@@ -1,0 +1,40 @@
+# Share — Stackelberg-Nash based Data Markets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures figures-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation figure (full scale, ~30 s) into bench_out_full/.
+figures:
+	$(GO) run ./cmd/share-bench -out bench_out_full -report
+
+# Fast smoke regeneration (~5 s) into bench_out/.
+figures-quick:
+	$(GO) run ./cmd/share-bench -quick -out bench_out -report
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/medical
+	$(GO) run ./examples/energy
+	$(GO) run ./examples/multiround
+	$(GO) run ./examples/classification
+
+clean:
+	rm -rf bench_out bench_out_full

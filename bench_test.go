@@ -1,0 +1,340 @@
+// Benchmarks regenerating the paper's evaluation, one per figure (§6), plus
+// ablation benches for the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Fig. 3 benches use a scaled-down corpus so the default bench run
+// finishes quickly; cmd/share-bench runs the full 1,000,000-row sweep.
+package share_test
+
+import (
+	"testing"
+
+	"share/internal/baseline"
+	"share/internal/core"
+	"share/internal/dataset"
+	"share/internal/experiments"
+	"share/internal/ldp"
+	"share/internal/nash"
+	"share/internal/shapley"
+	"share/internal/stat"
+	"share/internal/valuation"
+)
+
+func benchGame(b *testing.B, m int) *core.Game {
+	b.Helper()
+	g := core.PaperGame(m, stat.NewRand(experiments.DefaultSeed))
+	if err := g.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// --- Core solver ---
+
+func BenchmarkSolveM100(b *testing.B) {
+	g := benchGame(b, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveM1000(b *testing.B) {
+	g := benchGame(b, 1000)
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveM10000(b *testing.B) {
+	g := benchGame(b, 10000)
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 2: effectiveness sweeps ---
+
+func BenchmarkFig2a(b *testing.B) {
+	g := benchGame(b, 100)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2a(g, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2b(b *testing.B) {
+	g := benchGame(b, 100)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2b(g, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2c(b *testing.B) {
+	g := benchGame(b, 100)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2c(g, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 3: efficiency (scaled-down corpus; full sweep in share-bench) ---
+
+func BenchmarkFig3TradingRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, err := experiments.Fig3(experiments.Fig3Options{
+			Sizes:               []int{50},
+			CorpusRows:          20_000,
+			PiecesPerSeller:     50,
+			ShapleyPermutations: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figs. 4–8: sensitivity sweeps ---
+
+func benchSweep(b *testing.B, fn func(*core.Game) (*experiments.Series, *experiments.Series, error)) {
+	b.Helper()
+	g := benchGame(b, 100)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fn(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) { benchSweep(b, experiments.Fig4) }
+func BenchmarkFig5(b *testing.B) { benchSweep(b, experiments.Fig5) }
+func BenchmarkFig6(b *testing.B) { benchSweep(b, experiments.Fig6) }
+func BenchmarkFig7(b *testing.B) { benchSweep(b, experiments.Fig7) }
+func BenchmarkFig8(b *testing.B) { benchSweep(b, experiments.Fig8) }
+
+// --- Theorem 5.1: mean-field analysis ---
+
+func BenchmarkMeanFieldError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MeanFieldError(0, []int{10, 100, 1000}, experiments.DefaultSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation 2 (DESIGN.md §6): direct derivation vs mean-field shortcut at a
+// large seller count — the runtime gap the approximation buys.
+func BenchmarkStage3DirectDerivationMF(b *testing.B) {
+	g := benchGame(b, 2000)
+	p, err := g.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := g.ScaleWeightsForBound(p.PD); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.DirectTauMF(p.PD, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStage3MeanField(b *testing.B) {
+	g := benchGame(b, 2000)
+	p, err := g.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MeanFieldTau(p.PD)
+	}
+}
+
+// Ablation 1: Eq. 20 closed form vs the generic numerical Nash solver.
+func BenchmarkStage3Analytic(b *testing.B) {
+	g := benchGame(b, 50)
+	for i := 0; i < b.N; i++ {
+		g.Stage3Tau(0.02)
+	}
+}
+
+func BenchmarkStage3NumericNash(b *testing.B) {
+	g := benchGame(b, 50)
+	pd := 0.02
+	start := g.Stage3Tau(pd)
+	ng := &nash.Game{
+		Players: g.M(),
+		Payoff: func(i int, x float64, s []float64) float64 {
+			tau := append([]float64(nil), s...)
+			tau[i] = x
+			return g.SellerProfit(i, pd, tau)
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ng.Solve(nash.Options{Start: start}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation 3: Share's Nash selection vs broker-driven baselines.
+func BenchmarkAblationMechanisms(b *testing.B) {
+	g := benchGame(b, 100)
+	rng := stat.NewRand(experiments.DefaultSeed)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Ablation(g, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation 5: exact vs Monte Carlo vs truncated Shapley.
+func BenchmarkShapleyExact12(b *testing.B) {
+	u := saturatingUtility()
+	for i := 0; i < b.N; i++ {
+		if _, err := shapley.Exact(12, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShapleyMonteCarlo100x100(b *testing.B) {
+	u := saturatingUtility()
+	rng := stat.NewRand(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := shapley.MonteCarlo(100, u, 100, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShapleyTruncated100x100(b *testing.B) {
+	u := saturatingUtility()
+	rng := stat.NewRand(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := shapley.TruncatedMonteCarlo(100, u, 100, 1e-6, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// saturatingUtility reaches the grand coalition's value once 20 of the 100
+// players have joined, so the truncated estimator skips ~80% of the
+// evaluations while the plain one scans every prefix.
+func saturatingUtility() shapley.Utility {
+	return func(coalition []int) float64 {
+		n := float64(len(coalition))
+		if n >= 20 {
+			return 1
+		}
+		return n / 20
+	}
+}
+
+// --- Substrate benches ---
+
+func BenchmarkLDPLaplacePerturb(b *testing.B) {
+	lo, hi := dataset.CCPPBounds()
+	bounds, err := ldp.NewBounds(lo, hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mech := ldp.NewLaplace(bounds)
+	rng := stat.NewRand(2)
+	row := []float64{20, 50, 1010, 70}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mech.Perturb(rng, row, 1.0)
+	}
+}
+
+func BenchmarkSellerShapleyTMC(b *testing.B) {
+	rng := stat.NewRand(3)
+	full := dataset.SyntheticCCPP(2100, rng)
+	train, test := full.Split(2000)
+	chunks, err := dataset.PartitionEqual(train.Clone(), 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := valuation.SellerShapleyTMC(chunks, test, 5, 0.01, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBrokerLeadingSolve(b *testing.B) {
+	g := benchGame(b, 100)
+	for i := 0; i < b.N; i++ {
+		if _, err := g.SolveBrokerLeading(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineBandit(b *testing.B) {
+	g := benchGame(b, 100)
+	p, err := g.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stat.NewRand(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.EpsilonGreedyBandit(g, p.PM, p.PD, 25, 50, 0.1, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Parallel vs sequential Shapley valuation (the production weight-update
+// path at scale).
+func BenchmarkSellerShapleySequential(b *testing.B) {
+	chunks, test := shapleyBenchData(b)
+	rng := stat.NewRand(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := valuation.SellerShapleyTMC(chunks, test, 20, 0, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSellerShapleyParallel(b *testing.B) {
+	chunks, test := shapleyBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := valuation.SellerShapleyParallel(chunks, test, 20, 0, 5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func shapleyBenchData(b *testing.B) ([]*dataset.Dataset, *dataset.Dataset) {
+	b.Helper()
+	rng := stat.NewRand(6)
+	full := dataset.SyntheticCCPP(4200, rng)
+	train, test := full.Split(4000)
+	chunks, err := dataset.PartitionEqual(train.Clone(), 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return chunks, test
+}

@@ -1,0 +1,159 @@
+// Command share-client talks to a running share-server from the command
+// line: register sellers, fetch quotes, execute trades, inspect the ledger
+// and weights.
+//
+// Usage:
+//
+//	share-client [-server URL] <command> [flags]
+//
+// Commands:
+//
+//	health                          server liveness and market state
+//	register -id ID -lambda λ [-rows N]   register a synthetic-data seller
+//	sellers                         list sellers with weights
+//	quote  [-n N] [-v V] [...]      solve the game without trading
+//	trade  [-n N] [-v V] [...]      execute one trading round
+//	trades                          print the transaction ledger
+//	weights                         print the broker's dataset weights
+//
+// Example session (against `share-server -demo 10`):
+//
+//	share-client quote -n 200 -v 0.8
+//	share-client trade -n 200 -v 0.8
+//	share-client trades
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"share/internal/httpapi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("share-client: ")
+
+	server := flag.String("server", "http://localhost:8080", "share-server base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	client := httpapi.NewClient(*server, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+	if err := dispatch(ctx, client, cmd, args); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: share-client [-server URL] <command> [flags]
+
+commands:
+  health      server liveness and market state
+  register    register a seller: -id ID -lambda λ [-rows N]
+  sellers     list registered sellers
+  quote       equilibrium quote: [-n N] [-v V] [-theta1 θ] [-rho1 ρ] [-rho2 ρ]
+  trade       execute one round (same flags as quote)
+  trades      print the transaction ledger
+  weights     print broker dataset weights
+`)
+}
+
+func dispatch(ctx context.Context, c *httpapi.Client, cmd string, args []string) error {
+	switch cmd {
+	case "health":
+		h, err := c.Health(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(h)
+	case "register":
+		fs := flag.NewFlagSet("register", flag.ExitOnError)
+		id := fs.String("id", "", "seller id (required)")
+		lambda := fs.Float64("lambda", 0.5, "privacy sensitivity λ")
+		rows := fs.Int("rows", 200, "synthetic rows to mint")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if *id == "" {
+			return fmt.Errorf("register: -id is required")
+		}
+		info, err := c.RegisterSeller(ctx, httpapi.SellerRegistration{
+			ID: *id, Lambda: *lambda, SyntheticRows: *rows,
+		})
+		if err != nil {
+			return err
+		}
+		return printJSON(info)
+	case "sellers":
+		s, err := c.Sellers(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(s)
+	case "quote", "trade":
+		d, err := parseDemand(cmd, args)
+		if err != nil {
+			return err
+		}
+		if cmd == "quote" {
+			q, err := c.Quote(ctx, d)
+			if err != nil {
+				return err
+			}
+			return printJSON(q)
+		}
+		tr, err := c.Trade(ctx, d)
+		if err != nil {
+			return err
+		}
+		return printJSON(tr)
+	case "trades":
+		ts, err := c.Trades(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(ts)
+	case "weights":
+		w, err := c.Weights(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(w)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parseDemand(cmd string, args []string) (httpapi.Demand, error) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	n := fs.Float64("n", 500, "demanded data quantity N")
+	v := fs.Float64("v", 0.8, "required performance v")
+	theta1 := fs.Float64("theta1", 0, "dataset-quality concern θ₁ (0 = server default)")
+	rho1 := fs.Float64("rho1", 0, "dataset-quality sensitivity ρ₁ (0 = server default)")
+	rho2 := fs.Float64("rho2", 0, "performance sensitivity ρ₂ (0 = server default)")
+	if err := fs.Parse(args); err != nil {
+		return httpapi.Demand{}, err
+	}
+	return httpapi.Demand{N: *n, V: *v, Theta1: *theta1, Rho1: *rho1, Rho2: *rho2}, nil
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,238 @@
+// Command share runs Stackelberg-Nash data-market simulations from the
+// command line: it solves the three-stage game for a configurable buyer
+// demand, verifies the Stackelberg-Nash Equilibrium, optionally executes
+// full trading rounds (LDP data transaction, product manufacture, Shapley
+// weight updates) on synthetic CCPP data, and prints a human-readable
+// report.
+//
+// Usage:
+//
+//	share [flags]
+//
+//	-m int        number of sellers (default 100)
+//	-n float      demanded data quantity N (default 500)
+//	-v float      required product performance v (default 0.8)
+//	-theta1 float buyer's dataset-quality concern θ₁ (default 0.5)
+//	-rho1 float   buyer's dataset-quality sensitivity ρ₁ (default 0.5)
+//	-rho2 float   buyer's performance sensitivity ρ₂ (default 250)
+//	-rounds int   full market rounds to execute (0 = solve only)
+//	-warmup int   dummy-buyer warm-up iterations before trading (default 0)
+//	-seed int     random seed (default 20240601)
+//	-broker-lead  also solve the broker-leading market variant
+//	-json         emit machine-readable JSON instead of text
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"share/internal/core"
+	"share/internal/experiments"
+	"share/internal/market"
+	"share/internal/stat"
+	"share/internal/translog"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("share: ")
+
+	var (
+		m          = flag.Int("m", core.PaperM, "number of sellers")
+		n          = flag.Float64("n", 500, "demanded data quantity N")
+		v          = flag.Float64("v", 0.8, "required product performance v")
+		theta1     = flag.Float64("theta1", 0.5, "buyer's dataset-quality concern θ₁")
+		rho1       = flag.Float64("rho1", 0.5, "buyer's dataset-quality sensitivity ρ₁")
+		rho2       = flag.Float64("rho2", 250, "buyer's performance sensitivity ρ₂")
+		rounds     = flag.Int("rounds", 0, "full market rounds to execute (0 = solve only)")
+		warmup     = flag.Int("warmup", 0, "dummy-buyer warm-up iterations before trading")
+		seed       = flag.Int64("seed", experiments.DefaultSeed, "random seed")
+		brokerLead = flag.Bool("broker-lead", false, "also solve the broker-leading variant")
+		analyze    = flag.Bool("analyze", false, "print comparative statics and the truthfulness analysis")
+		asJSON     = flag.Bool("json", false, "emit JSON output")
+	)
+	flag.Parse()
+
+	if err := run(*m, *n, *v, *theta1, *rho1, *rho2, *rounds, *warmup, *seed, *brokerLead, *analyze, *asJSON); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type report struct {
+	Equilibrium  *core.Profile          `json:"equilibrium"`
+	MaxDeviation float64                `json:"max_deviation_gain"`
+	BrokerLead   *core.Profile          `json:"broker_leading,omitempty"`
+	Rounds       []*market.Transaction  `json:"rounds,omitempty"`
+	CostFit      *translog.Params       `json:"refit_cost_params,omitempty"`
+	Game         map[string]interface{} `json:"game"`
+}
+
+func run(m int, n, v, theta1, rho1, rho2 float64, rounds, warmup int, seed int64, brokerLead, analyze, asJSON bool) error {
+	rng := stat.NewRand(seed)
+	g := core.PaperGame(m, rng)
+	g.Buyer.N = n
+	g.Buyer.V = v
+	g.Buyer.Theta1, g.Buyer.Theta2 = theta1, 1-theta1
+	g.Buyer.Rho1, g.Buyer.Rho2 = rho1, rho2
+	if err := g.Validate(); err != nil {
+		return err
+	}
+
+	p, err := g.Solve()
+	if err != nil {
+		return fmt.Errorf("solving game: %w", err)
+	}
+	dev := g.VerifySNE(p)
+
+	rep := &report{
+		Equilibrium:  p,
+		MaxDeviation: dev.MaxGain(),
+		Game: map[string]interface{}{
+			"m": m, "n": n, "v": v,
+			"theta1": theta1, "rho1": rho1, "rho2": rho2, "seed": seed,
+		},
+	}
+
+	if brokerLead {
+		bl, err := g.SolveBrokerLeading(0)
+		if err != nil {
+			return fmt.Errorf("solving broker-leading variant: %w", err)
+		}
+		rep.BrokerLead = bl
+	}
+
+	if rounds > 0 || warmup > 0 {
+		mkt, _, err := experiments.BuildCCPPMarket(g, rng, seed)
+		if err != nil {
+			return fmt.Errorf("building market: %w", err)
+		}
+		if warmup > 0 {
+			if err := mkt.Warmup(g.Buyer, warmup); err != nil {
+				return fmt.Errorf("warm-up: %w", err)
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			if _, err := mkt.RunRound(g.Buyer); err != nil {
+				return fmt.Errorf("round %d: %w", r+1, err)
+			}
+		}
+		rep.Rounds = mkt.Ledger()
+		if obs := mkt.CostObservations(); len(obs) >= 6 {
+			if fit, err := translog.Fit(obs); err == nil {
+				rep.CostFit = &fit
+			}
+		}
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	printText(rep, g)
+	if analyze {
+		if err := printAnalysis(g, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printAnalysis reports the comparative statics and truthfulness analytics
+// at the solved equilibrium.
+func printAnalysis(g *core.Game, p *core.Profile) error {
+	fmt.Println()
+	fmt.Println("Comparative statics (equilibrium price derivatives)")
+	th := g.SensitivityTheta1()
+	r1 := g.SensitivityRho1()
+	sv, err := g.SensitivityV()
+	if err != nil {
+		return err
+	}
+	l0, err := g.SensitivityLambda(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  ∂p^M*/∂θ₁ = %+.5g   ∂p^D*/∂θ₁ = %+.5g\n", th.DPM, th.DPD)
+	fmt.Printf("  ∂p^M*/∂ρ₁ = %+.5g   ∂p^M*/∂ρ₂ = 0 (exactly)\n", r1.DPM)
+	fmt.Printf("  ∂p^M*/∂v  = %+.5g   ∂p^M*/∂λ₁ = %+.5g   ∂p^M*/∂ωᵢ = 0 (exactly)\n", sv.DPM, l0.DPM)
+	fmt.Printf("  elasticity of p^M* in θ₁: %.4f\n",
+		core.Elasticity(g.Buyer.Theta1, p.PM, th.DPM))
+
+	fmt.Println()
+	fmt.Println("Truthfulness (seller S₁ misreporting her privacy sensitivity)")
+	for _, f := range []float64{0.5, 0.9, 1.1, 2} {
+		out, err := g.Misreport(0, f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  report %.1f·λ₁: profit %+.3e (gain %+.3e)\n",
+			f, out.RealizedProfit, out.Gain)
+	}
+	best, err := g.BestMisreport(0, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  best misreport factor %.4f, gain %+.3e — approximately strategy-proof\n",
+		best.Factor, best.Gain)
+	return nil
+}
+
+func printText(rep *report, g *core.Game) {
+	p := rep.Equilibrium
+	fmt.Println("Stackelberg-Nash Equilibrium")
+	fmt.Println("============================")
+	fmt.Printf("  product price p^M* : %.6g\n", p.PM)
+	fmt.Printf("  data price    p^D* : %.6g\n", p.PD)
+	fmt.Printf("  fidelity τ₁*/τ̄    : %.6g / %.6g\n", p.Tau[0], mean(p.Tau))
+	fmt.Printf("  dataset quality q^D: %.6g   product quality q^M: %.6g\n", p.QD, p.QM)
+	fmt.Println()
+	fmt.Println("Profits")
+	fmt.Printf("  buyer  Φ : %.6g\n", p.BuyerProfit)
+	fmt.Printf("  broker Ω : %.6g\n", p.BrokerProfit)
+	fmt.Printf("  sellers Σ: %.6g (S₁: %.6g)\n", sum(p.SellerProfits), p.SellerProfits[0])
+	fmt.Printf("  max unilateral deviation gain: %.3g (≤0 ⇒ SNE verified)\n", rep.MaxDeviation)
+
+	if rep.BrokerLead != nil {
+		bl := rep.BrokerLead
+		fmt.Println()
+		fmt.Println("Broker-leading variant")
+		fmt.Printf("  p^M: %.6g  p^D: %.6g  Φ: %.6g  Ω: %.6g\n",
+			bl.PM, bl.PD, bl.BuyerProfit, bl.BrokerProfit)
+	}
+
+	for _, tx := range rep.Rounds {
+		fmt.Println()
+		fmt.Printf("Round %d\n", tx.Round)
+		fmt.Printf("  payment: %.6g  manufacturing cost: %.6g\n", tx.Payment, tx.ManufacturingCost)
+		fmt.Printf("  product performance: %.4f  RMSE: %.4g\n",
+			tx.Metrics.Performance, tx.Metrics.Detail["rmse"])
+		fmt.Printf("  phase times: strategy %v, transaction %v, production %v, shapley %v\n",
+			tx.Timings.Strategy, tx.Timings.DataTransaction, tx.Timings.Production, tx.Timings.WeightUpdate)
+	}
+	if rep.CostFit != nil {
+		fmt.Println()
+		fmt.Printf("Refit translog cost parameters from %d ledger records:\n", len(rep.Rounds))
+		fmt.Printf("  σ = [%.4g %.4g %.4g %.4g %.4g %.4g]\n",
+			rep.CostFit.Sigma0, rep.CostFit.Sigma1, rep.CostFit.Sigma2,
+			rep.CostFit.Sigma3, rep.CostFit.Sigma4, rep.CostFit.Sigma5)
+	}
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return sum(xs) / float64(len(xs))
+}

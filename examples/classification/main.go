@@ -1,0 +1,99 @@
+// Classification market: alternative data products.
+//
+// The paper leaves the product form open ("from simple data aggregation to
+// deep learning models", §5.2). This example trades two non-regression
+// products through the identical market mechanism: a logistic classifier
+// ("will the plant produce above-median output?") and an
+// aggregate-statistics product (per-feature means). Only the product builder
+// changes — prices, fidelities and allocations still come from the same
+// three-stage Stackelberg-Nash game.
+//
+// Run with:
+//
+//	go run ./examples/classification
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"share/internal/core"
+	"share/internal/dataset"
+	"share/internal/market"
+	"share/internal/product"
+	"share/internal/stat"
+	"share/internal/translog"
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := stat.NewRand(11)
+
+	full := dataset.SyntheticCCPP(2500, rng)
+	train, test := full.Split(2000)
+	chunks, err := dataset.PartitionEqual(train.Clone(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Low privacy sensitivity so equilibrium fidelities clamp at 1 and the
+	// products train on clean data — this example is about product forms,
+	// not the privacy/price trade-off (see examples/energy for that).
+	mkSellers := func() []*market.Seller {
+		sellers := make([]*market.Seller, len(chunks))
+		for i := range sellers {
+			sellers[i] = &market.Seller{
+				ID:     fmt.Sprintf("site-%d", i+1),
+				Lambda: 1e-9,
+				Data:   chunks[i],
+			}
+		}
+		return sellers
+	}
+
+	buyer := core.Buyer{N: 800, V: 0.9, Theta1: 0.5, Theta2: 0.5, Rho1: 0.5, Rho2: 250}
+
+	builders := []product.Builder{
+		product.OLS{},
+		product.Logistic{Threshold: product.MedianThreshold(train)},
+		product.MeanVector{},
+	}
+	fmt.Println("Same mechanism, three product forms")
+	fmt.Println("===================================")
+	for _, b := range builders {
+		mkt, err := market.New(mkSellers(), market.Config{
+			Cost:    translog.PaperDefaults(),
+			Product: b,
+			TestSet: test,
+			Update:  &market.WeightUpdate{Retain: 0.2, Permutations: 10},
+			Seed:    11,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", b.Name(), err)
+		}
+		tx, err := mkt.RunRound(buyer)
+		if err != nil {
+			log.Fatalf("%s: %v", b.Name(), err)
+		}
+		fmt.Printf("\n%s\n", b.Name())
+		fmt.Printf("  p^M*=%.5f  p^D*=%.5f  payment=%.5f  (identical game, identical prices)\n",
+			tx.Profile.PM, tx.Profile.PD, tx.Payment)
+		fmt.Printf("  realized performance: %.4f\n", tx.Metrics.Performance)
+		switch b.(type) {
+		case product.Logistic:
+			fmt.Printf("  logloss: %.4f  base rate: %.3f\n",
+				tx.Metrics.Detail["logloss"], tx.Metrics.Detail["base_rate"])
+		case product.MeanVector:
+			fmt.Printf("  mean normalized error: %.5f\n", tx.Metrics.Detail["mean_normalized_error"])
+		default:
+			fmt.Printf("  explained variance: %.4f  RMSE: %.3f\n",
+				tx.Metrics.Detail["explained_variance"], tx.Metrics.Detail["rmse"])
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("The strategy profile ⟨p^M*, p^D*, τ*⟩ is product-agnostic: the game")
+	fmt.Println("prices dataset quality, and the broker is free to manufacture any")
+	fmt.Println("product from the purchased data. Only the realized performance —")
+	fmt.Println("and hence the Shapley-updated weights — depends on the product form.")
+}

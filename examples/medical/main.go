@@ -1,0 +1,151 @@
+// Medical data market: the paper's motivating scenario (§1).
+//
+// A drug company (buyer) needs a model trained on real medical data to
+// decide drug supply. A data trading center (broker) buys data from
+// hospitals (sellers), each of which protects its patients with local
+// differential privacy calibrated to its own privacy sensitivity — a
+// hospital bound by a strict patient consent agreement has a high λ and
+// offers lower-fidelity data.
+//
+// The example contrasts three buyer postures (quality-focused, balanced,
+// performance-focused) and shows how the buyer's leadership propagates:
+// her concern parameter θ₁ moves every price and every hospital's fidelity
+// choice, exactly the Fig. 4 dynamics.
+//
+// Run with:
+//
+//	go run ./examples/medical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"share/internal/core"
+	"share/internal/dataset"
+	"share/internal/ldp"
+	"share/internal/market"
+	"share/internal/stat"
+	"share/internal/translog"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Five hospitals with heterogeneous privacy postures. λ is each
+	// hospital's privacy sensitivity: the teaching hospital has strict
+	// consent agreements (high λ); the research institute trades more
+	// freely (low λ).
+	hospitals := []struct {
+		name   string
+		lambda float64
+	}{
+		{"St. Mary's Teaching Hospital", 0.90},
+		{"County General", 0.55},
+		{"Lakeside Clinic", 0.40},
+		{"University Research Institute", 0.15},
+		{"Harbor Medical Center", 0.30},
+	}
+	lambdas := make([]float64, len(hospitals))
+	for i, h := range hospitals {
+		lambdas[i] = h.lambda
+	}
+
+	// The trading center weights hospitals by their data's historical
+	// contribution (normally learned via Shapley updates; fixed here).
+	weights := []float64{0.15, 0.2, 0.2, 0.3, 0.15}
+
+	for _, posture := range []struct {
+		label  string
+		theta1 float64
+	}{
+		{"quality-focused buyer   (θ₁=0.7)", 0.7},
+		{"balanced buyer          (θ₁=0.5)", 0.5},
+		{"performance-focused buyer (θ₁=0.3)", 0.3},
+	} {
+		game := &core.Game{
+			Buyer: core.Buyer{
+				N:      1000, // data pieces for training
+				V:      0.85, // demanded model performance
+				Theta1: posture.theta1,
+				Theta2: 1 - posture.theta1,
+				Rho1:   0.6,
+				Rho2:   200,
+			},
+			Broker:  core.Broker{Cost: translog.PaperDefaults(), Weights: weights},
+			Sellers: core.Sellers{Lambda: lambdas},
+		}
+		profile, err := game.Solve()
+		if err != nil {
+			log.Fatalf("%s: %v", posture.label, err)
+		}
+		if err := game.CheckSNE(profile, 0); err != nil {
+			log.Fatalf("%s: equilibrium check failed: %v", posture.label, err)
+		}
+
+		fmt.Printf("%s\n", posture.label)
+		fmt.Printf("  model price %.5f, data price %.5f, company profit %.4f, center profit %.4f\n",
+			profile.PM, profile.PD, profile.BuyerProfit, profile.BrokerProfit)
+		for i, h := range hospitals {
+			fmt.Printf("    %-30s λ=%.2f  fidelity %.5f  ε=%.5f  sells %5.1f records  earns %.6f\n",
+				h.name, h.lambda, profile.Tau[i],
+				ldp.EpsilonForFidelity(profile.Tau[i]),
+				profile.Chi[i], profile.SellerProfits[i])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading the output:")
+	fmt.Println("  • More quality concern (higher θ₁) raises both prices and every")
+	fmt.Println("    hospital's fidelity — the buyer's leadership steers the market.")
+	fmt.Println("  • Privacy-tolerant hospitals (low λ) offer higher fidelity, win")
+	fmt.Println("    larger allocations, and earn more — seller selection emerges")
+	fmt.Println("    from the inner Nash competition, with no broker intervention.")
+
+	// --- Part 2: an actual trade on synthetic patient records ---
+	//
+	// The trading center buys real (synthetic) patient rows, each hospital
+	// perturbs its records under its equilibrium LDP budget, and the drug
+	// company's dose-response model is trained on the purchase.
+	fmt.Println()
+	fmt.Println("Executing the balanced buyer's trade on patient records…")
+	rng := stat.NewRand(2024)
+	corpus := dataset.SyntheticMedical(5500, rng)
+	train, test := corpus.Split(5000)
+	chunks, err := dataset.PartitionEqual(train, len(hospitals))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sellers := make([]*market.Seller, len(hospitals))
+	for i, h := range hospitals {
+		sellers[i] = &market.Seller{ID: h.name, Lambda: h.lambda, Data: chunks[i]}
+	}
+	mkt, err := market.New(sellers, market.Config{
+		Cost:    translog.PaperDefaults(),
+		TestSet: test,
+		Update:  &market.WeightUpdate{Retain: 0.2, Permutations: 20},
+		Seed:    2024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buyer := core.Buyer{N: 1000, V: 0.85, Theta1: 0.5, Theta2: 0.5, Rho1: 0.6, Rho2: 200}
+	tx, err := mkt.RunRound(buyer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  company paid %.5f for the model; hospitals received %.5f in total\n",
+		tx.Payment, sum(tx.Compensations))
+	fmt.Printf("  dose-response model explained variance on held-out patients: %.4f\n",
+		tx.Metrics.Performance)
+	fmt.Println("  (low at equilibrium fidelities — strong privacy protection has a")
+	fmt.Println("   real modeling cost; compare examples/classification on clean data)")
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module share
+
+go 1.22

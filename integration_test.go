@@ -1,0 +1,101 @@
+// End-to-end integration test: the complete §6.1 pipeline at reduced scale,
+// exercising every layer together — synthetic data, quality sort, partition,
+// dummy-buyer warm-up with Shapley weight updates, the Stackelberg-Nash
+// solve, SNE verification, a real trade with LDP and product manufacture,
+// ledger snapshotting, and the headline figure assertions.
+package share_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"share/internal/core"
+	"share/internal/experiments"
+	"share/internal/market"
+	"share/internal/stat"
+)
+
+func TestEndToEndPaperPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline is slow")
+	}
+	const m = 20
+	seed := int64(experiments.DefaultSeed)
+	rng := stat.NewRand(seed)
+	g := core.PaperGame(m, rng)
+
+	// Build the §6.1 market: quality-sorted synthetic CCPP over m sellers.
+	mkt, _, err := experiments.BuildCCPPMarket(g, rng, seed)
+	if err != nil {
+		t.Fatalf("BuildCCPPMarket: %v", err)
+	}
+
+	// Dummy-buyer warm-up stabilizes weights (paper: five iterations).
+	if err := mkt.Warmup(g.Buyer, 3); err != nil {
+		t.Fatalf("Warmup: %v", err)
+	}
+	g.Broker.Weights = mkt.Weights()
+
+	// The warmed-up game has a verifiable SNE...
+	profile, err := g.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := g.CheckSNE(profile, 1e-6); err != nil {
+		t.Fatalf("SNE check: %v", err)
+	}
+	// ...whose first-order conditions vanish.
+	fo := g.FirstOrder(profile)
+	if math.Abs(fo.Buyer) > 1e-4 || math.Abs(fo.Broker) > 1e-4 {
+		t.Errorf("FOC residuals: buyer %v, broker %v", fo.Buyer, fo.Broker)
+	}
+
+	// A real trade settles with consistent accounting.
+	tx, err := mkt.RunRound(g.Buyer)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	pieces := 0
+	for _, p := range tx.Pieces {
+		pieces += p
+	}
+	if pieces != int(g.Buyer.N) {
+		t.Errorf("Σ pieces = %d, want %v", pieces, g.Buyer.N)
+	}
+	var comp float64
+	for _, c := range tx.Compensations {
+		comp += c
+	}
+	// Equilibrium identity: seller compensation = half the payment.
+	if math.Abs(comp-tx.Payment/2) > 1e-9*(1+tx.Payment) {
+		t.Errorf("compensation %v != payment/2 = %v", comp, tx.Payment/2)
+	}
+
+	// The ledger snapshot round-trips into a fresh market.
+	var buf bytes.Buffer
+	if err := mkt.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	snap, err := market.Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(snap.Ledger) != 1 || len(snap.Weights) != m {
+		t.Errorf("snapshot shape: %d ledger entries, %d weights", len(snap.Ledger), len(snap.Weights))
+	}
+
+	// Headline figure assertions on the warmed-up game.
+	fig2a, err := experiments.Fig2a(g, 0, 0)
+	if err != nil {
+		t.Fatalf("Fig2a: %v", err)
+	}
+	peak, err := fig2a.ArgMaxX("buyer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := fig2a.Rows[1].X - fig2a.Rows[0].X
+	if math.Abs(peak-profile.PM) > step {
+		t.Errorf("warmed-up Fig. 2(a) buyer peak at %v, want ≈ %v", peak, profile.PM)
+	}
+}

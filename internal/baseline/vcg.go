@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"share/internal/core"
+)
+
+// VCG procurement: a centralized, strategy-proof comparator to Share's
+// decentralized Nash competition. The broker procures a total dataset
+// quality Q directly: sellers report their privacy sensitivities, the
+// broker computes the cost-minimizing quality split, and pays each seller
+// her Clarke-pivot (VCG) transfer, which makes truthful reporting a
+// dominant strategy.
+//
+// With quadratic privacy costs cᵢ(q) = λᵢq² (Eq. 11 with q = χτ), the
+// cost-minimizing split of a total Q solves min Σλᵢqᵢ² s.t. Σqᵢ = Q, giving
+//
+//	qᵢ = Q/(λᵢ·S),  S = Σ1/λⱼ,  total cost Q²/S.
+//
+// Strikingly, this is exactly the per-seller quality profile Share's inner
+// Nash game induces at equilibrium (qᵢ* = p^D/(2λᵢ) with Q* = p^D·S/2): the
+// sellers' decentralized fidelity competition reproduces the centrally
+// cost-efficient procurement — one of the strongest things one can say for
+// the Eq. 13 allocation rule. What differs is the *payment*: VCG's pivot
+// transfers overpay relative to Share's uniform quality price whenever
+// sellers are heterogeneous, which is the classic price of strategy-
+// proofness (the tests quantify it).
+type VCGOutcome struct {
+	// Quality is the procured per-seller quality qᵢ.
+	Quality []float64
+	// Payments are the Clarke-pivot transfers to each seller.
+	Payments []float64
+	// TotalQuality is Q.
+	TotalQuality float64
+	// TotalPayment is Σ payments (the broker's procurement spend).
+	TotalPayment float64
+	// TotalCost is the sellers' total privacy cost Q²/S.
+	TotalCost float64
+	// SellerSurplus is TotalPayment − TotalCost (each seller's surplus is
+	// her payment minus her own cost; all are non-negative under VCG).
+	SellerSurplus float64
+}
+
+// VCGProcure computes the VCG procurement of total quality q from the
+// game's sellers.
+func VCGProcure(g *core.Game, q float64) (*VCGOutcome, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !(q > 0) {
+		return nil, fmt.Errorf("baseline: procurement quality must be positive, got %g", q)
+	}
+	m := g.M()
+	if m < 2 {
+		return nil, errors.New("baseline: VCG procurement needs at least two sellers (the pivot removes one)")
+	}
+	s := g.SumInvLambda()
+	out := &VCGOutcome{
+		Quality:      make([]float64, m),
+		Payments:     make([]float64, m),
+		TotalQuality: q,
+		TotalCost:    q * q / s,
+	}
+	for i, li := range g.Sellers.Lambda {
+		qi := q / (li * s)
+		out.Quality[i] = qi
+		// Clarke pivot: welfare of others without i minus with i.
+		// Without seller i the others deliver Q at cost Q²/S₋ᵢ; with her
+		// they bear Q²/S − λᵢqᵢ².
+		sWithout := s - 1/li
+		costOthersWithout := q * q / sWithout
+		costOthersWith := out.TotalCost - li*qi*qi
+		out.Payments[i] = costOthersWithout - costOthersWith
+		out.TotalPayment += out.Payments[i]
+	}
+	out.SellerSurplus = out.TotalPayment - out.TotalCost
+	return out, nil
+}
+
+// VCGVersusShare compares the two procurement routes at Share's equilibrium
+// quality: same quality profile, different payments.
+type VCGVersusShare struct {
+	Share *Outcome
+	VCG   *VCGOutcome
+	// PaymentRatio is VCG total payment / Share's data spending p^D·q^D.
+	PaymentRatio float64
+	// MaxQualityGap is the largest |qᵢ^VCG − qᵢ^Share| (zero up to float
+	// error: the allocations provably coincide).
+	MaxQualityGap float64
+}
+
+// CompareVCG runs Share, then VCG-procures the identical total quality, and
+// reports the comparison.
+func CompareVCG(g *core.Game) (*VCGVersusShare, error) {
+	share, err := Share(g)
+	if err != nil {
+		return nil, err
+	}
+	if !(share.QD > 0) {
+		return nil, errors.New("baseline: Share equilibrium procured no quality")
+	}
+	vcg, err := VCGProcure(g, share.QD)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &VCGVersusShare{Share: share, VCG: vcg}
+	shareSpend := share.PD * share.QD
+	if shareSpend > 0 {
+		cmp.PaymentRatio = vcg.TotalPayment / shareSpend
+	}
+	for i := range vcg.Quality {
+		shareQ := share.Chi[i] * share.Tau[i]
+		if d := math.Abs(vcg.Quality[i] - shareQ); d > cmp.MaxQualityGap {
+			cmp.MaxQualityGap = d
+		}
+	}
+	return cmp, nil
+}

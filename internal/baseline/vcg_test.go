@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"share/internal/core"
+	"share/internal/stat"
+)
+
+func TestVCGAllocationMinimizesCost(t *testing.T) {
+	g := testGame(t, 10, 20)
+	out, err := VCGProcure(g, 5)
+	if err != nil {
+		t.Fatalf("VCGProcure: %v", err)
+	}
+	// Quality sums to Q.
+	var total float64
+	for _, q := range out.Quality {
+		total += q
+	}
+	if math.Abs(total-5) > 1e-9 {
+		t.Errorf("ΣQ = %v, want 5", total)
+	}
+	// Cost matches the closed form Q²/S.
+	s := g.SumInvLambda()
+	if math.Abs(out.TotalCost-25/s) > 1e-9 {
+		t.Errorf("total cost = %v, want %v", out.TotalCost, 25/s)
+	}
+	// No perturbation of the split lowers the cost (optimality): move
+	// mass δ from seller a to seller b and check the cost rises.
+	cost := func(qs []float64) float64 {
+		var c float64
+		for i, q := range qs {
+			c += g.Sellers.Lambda[i] * q * q
+		}
+		return c
+	}
+	base := cost(out.Quality)
+	for a := 0; a < 3; a++ {
+		for b := 5; b < 8; b++ {
+			alt := append([]float64(nil), out.Quality...)
+			alt[a] += 0.1
+			alt[b] -= 0.1
+			if cost(alt) < base-1e-9 {
+				t.Errorf("perturbed split (%d→%d) beats the 'optimal' one", b, a)
+			}
+		}
+	}
+}
+
+func TestVCGIndividualRationality(t *testing.T) {
+	// Every seller's payment covers her own cost (IR), strictly when she
+	// has competition.
+	g := testGame(t, 8, 21)
+	out, err := VCGProcure(g, 3)
+	if err != nil {
+		t.Fatalf("VCGProcure: %v", err)
+	}
+	for i, pay := range out.Payments {
+		own := g.Sellers.Lambda[i] * out.Quality[i] * out.Quality[i]
+		if pay < own-1e-12 {
+			t.Errorf("seller %d paid %v below her cost %v", i, pay, own)
+		}
+	}
+	if out.SellerSurplus < 0 {
+		t.Errorf("aggregate seller surplus = %v", out.SellerSurplus)
+	}
+}
+
+// TestVCGTruthfulness verifies the dominant-strategy property empirically:
+// misreporting λ̂ᵢ never increases seller i's utility (payment − true cost).
+func TestVCGTruthfulness(t *testing.T) {
+	g := testGame(t, 6, 22)
+	const q = 4.0
+	truthful, err := VCGProcure(g, q)
+	if err != nil {
+		t.Fatalf("VCGProcure: %v", err)
+	}
+	i := 2
+	trueLambda := g.Sellers.Lambda[i]
+	truthUtil := truthful.Payments[i] - trueLambda*truthful.Quality[i]*truthful.Quality[i]
+	for _, factor := range []float64{0.25, 0.5, 0.8, 1.25, 2, 4} {
+		lied := g.Clone()
+		lied.Sellers.Lambda[i] = factor * trueLambda
+		out, err := VCGProcure(lied, q)
+		if err != nil {
+			t.Fatalf("VCGProcure(misreport %v): %v", factor, err)
+		}
+		util := out.Payments[i] - trueLambda*out.Quality[i]*out.Quality[i]
+		if util > truthUtil+1e-9 {
+			t.Errorf("misreport ×%v utility %v beats truthful %v — VCG truthfulness broken", factor, util, truthUtil)
+		}
+	}
+}
+
+// TestCompareVCGAllocationsCoincide confirms the headline structural fact:
+// Share's Nash equilibrium induces exactly the VCG/cost-efficient quality
+// split — and pays less for it.
+func TestCompareVCGAllocationsCoincide(t *testing.T) {
+	g := testGame(t, 30, 23)
+	cmp, err := CompareVCG(g)
+	if err != nil {
+		t.Fatalf("CompareVCG: %v", err)
+	}
+	if cmp.MaxQualityGap > 1e-9*(1+cmp.Share.QD) {
+		t.Errorf("quality profiles differ by %v; they should coincide", cmp.MaxQualityGap)
+	}
+	// VCG overpays relative to Share's uniform quality price: each pivot
+	// payment exceeds λᵢqᵢ² and the pricing rule is designed to leave
+	// information rents.
+	if cmp.PaymentRatio <= 1 {
+		t.Errorf("payment ratio = %v; VCG should cost the broker more than the Nash route", cmp.PaymentRatio)
+	}
+}
+
+// Property: individual rationality and the quality budget hold across
+// random games and procurement targets.
+func TestVCGPropertyIR(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := stat.NewRand(seed)
+		m := 2 + rng.Intn(20)
+		gg := core.PaperGame(m, rng)
+		q := 0.5 + 10*rng.Float64()
+		out, err := VCGProcure(gg, q)
+		if err != nil {
+			return false
+		}
+		var total float64
+		for i, pay := range out.Payments {
+			own := gg.Sellers.Lambda[i] * out.Quality[i] * out.Quality[i]
+			if pay < own-1e-9 {
+				return false
+			}
+			total += out.Quality[i]
+		}
+		return math.Abs(total-q) < 1e-6*q
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+
+	"share/internal/numeric"
+)
+
+// This file implements the broker-leading market variant the paper's
+// conclusion names as a direct adaptation of the mechanism ("our data market
+// model can be easily adapted to a variety of market settings, e.g.,
+// broker-leading instead of buyer-leading").
+//
+// In the broker-leading market the broker moves first, announcing both the
+// unit data price p^D (to the sellers) and the unit product price p^M (to
+// the buyer). Sellers still play their inner Nash game and react along
+// Eq. 20. The buyer is now a price-taker whose only decision is whether to
+// participate; she buys exactly when her profit is non-negative. The broker
+// therefore maximizes Ω subject to the buyer's participation constraint
+// Φ(p^M, τ*(p^D)) ≥ 0.
+//
+// For a fixed p^D, Ω is linear and increasing in p^M, so the broker raises
+// p^M until participation binds: p^M = U(q^D*)/q^M*. Substituting leaves a
+// single-variable concave problem in p^D, solved by golden-section search.
+
+// ErrNoViableTrade reports that no broker-leading price pair gives the
+// broker a non-negative profit (manufacturing cost exceeds the buyer's
+// total willingness to pay at any data price).
+var ErrNoViableTrade = errors.New("core: no broker-leading price yields the broker non-negative profit")
+
+// participationPM returns the largest product price the buyer accepts given
+// fidelity profile tau: U(q^D)/q^M, i.e. Φ = 0. A zero-quality product has
+// no finite price; it returns 0 (no trade).
+func (g *Game) participationPM(tau []float64) float64 {
+	qD := g.DatasetQuality(tau)
+	qM := g.ProductQuality(qD)
+	if qM <= 0 {
+		return 0
+	}
+	return g.Utility(qD) / qM
+}
+
+// BrokerLeadingObjective is the broker's profit when she leads: at data
+// price pD, sellers react along Eq. 20 and the product price extracts the
+// buyer's full surplus.
+func (g *Game) BrokerLeadingObjective(pD float64) float64 {
+	tau := g.Stage3Tau(pD)
+	pM := g.participationPM(tau)
+	return g.BrokerProfit(pM, pD, tau)
+}
+
+// SolveBrokerLeading computes the broker-leading market outcome. The search
+// bracket for p^D is [0, hi] where hi defaults (when ≤ 0) to four times the
+// buyer-leading equilibrium data price — comfortably past the concave
+// objective's peak, since surplus extraction only strengthens the broker's
+// incentive to buy quality relative to the buyer-leading market.
+func (g *Game) SolveBrokerLeading(hi float64) (*Profile, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if hi <= 0 {
+		pm, err := g.Stage1PM()
+		if err != nil {
+			return nil, err
+		}
+		hi = 4 * g.Stage2PD(pm)
+		if hi <= 0 {
+			return nil, ErrNoViableTrade
+		}
+	}
+	pd := numeric.GoldenMax(g.BrokerLeadingObjective, 0, hi, 0)
+	tau := g.Stage3Tau(pd)
+	pm := g.participationPM(tau)
+	prof := g.EvaluateProfile(pm, pd, tau)
+	if prof.BrokerProfit < 0 {
+		return prof, ErrNoViableTrade
+	}
+	return prof, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBrokerLeadingExtractsBuyerSurplus(t *testing.T) {
+	g := paperTestGame(t, 50, 70)
+	p, err := g.SolveBrokerLeading(0)
+	if err != nil {
+		t.Fatalf("SolveBrokerLeading: %v", err)
+	}
+	// Participation binds: the buyer is left with (numerically) zero profit.
+	if math.Abs(p.BuyerProfit) > 1e-6*(1+math.Abs(p.PM*p.QM)) {
+		t.Errorf("buyer profit = %v, want ≈0 under full surplus extraction", p.BuyerProfit)
+	}
+}
+
+func TestBrokerLeadingBeatsBuyerLeadingForBroker(t *testing.T) {
+	g := paperTestGame(t, 50, 71)
+	buyerLed, err := g.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	brokerLed, err := g.SolveBrokerLeading(0)
+	if err != nil {
+		t.Fatalf("SolveBrokerLeading: %v", err)
+	}
+	if brokerLed.BrokerProfit < buyerLed.BrokerProfit-1e-9 {
+		t.Errorf("leading broker earns %v < following broker's %v", brokerLed.BrokerProfit, buyerLed.BrokerProfit)
+	}
+	// And symmetrically, the buyer is worse off when she loses leadership.
+	if brokerLed.BuyerProfit > buyerLed.BuyerProfit+1e-9 {
+		t.Errorf("buyer better off without leadership: %v > %v", brokerLed.BuyerProfit, buyerLed.BuyerProfit)
+	}
+}
+
+func TestBrokerLeadingSellersStillAtNash(t *testing.T) {
+	g := paperTestGame(t, 20, 72)
+	p, err := g.SolveBrokerLeading(0)
+	if err != nil {
+		t.Fatalf("SolveBrokerLeading: %v", err)
+	}
+	want := g.Stage3Tau(p.PD)
+	for i := range want {
+		if math.Abs(p.Tau[i]-want[i]) > 1e-12 {
+			t.Errorf("τ[%d] = %v, want Eq. 20 reaction %v", i, p.Tau[i], want[i])
+		}
+	}
+}
+
+func TestBrokerLeadingValidates(t *testing.T) {
+	g := paperTestGame(t, 5, 73)
+	g.Sellers.Lambda = g.Sellers.Lambda[:4]
+	if _, err := g.SolveBrokerLeading(0); err == nil {
+		t.Error("accepted an invalid game")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand"
+
+	"share/internal/stat"
+	"share/internal/translog"
+)
+
+// Paper default parameters (§6.1): N = 500, v = 0.8, θ₁ = θ₂ = 0.5,
+// ρ₁ = 0.5, ρ₂ = 250, σ₀ = 1e−3, σ₁ = −2, σ₂ = −3, σ₃ = 1e−3, σ₄ = 2e−3,
+// σ₅ = 1e−3, m = 100, λᵢ drawn uniformly from (0, 1).
+
+// PaperM is the default seller count used by the paper's experiments.
+const PaperM = 100
+
+// PaperBuyer returns the buyer parameters of §6.1.
+func PaperBuyer() Buyer {
+	return Buyer{
+		N:      500,
+		V:      0.8,
+		Theta1: 0.5,
+		Theta2: 0.5,
+		Rho1:   0.5,
+		Rho2:   250,
+	}
+}
+
+// UniformWeights returns m equal weights summing to 1 — the weight state of
+// a freshly established market, before any dummy-buyer iterations (§5.2).
+func UniformWeights(m int) []float64 {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = 1 / float64(m)
+	}
+	return w
+}
+
+// RandomLambdas draws m privacy sensitivities uniformly from the open
+// interval (0, 1) as in §6.1. The open interval matters: λ = 0 voids the
+// privacy loss and makes 1/λ diverge.
+func RandomLambdas(m int, rng *rand.Rand) []float64 {
+	ls := make([]float64, m)
+	for i := range ls {
+		ls[i] = stat.UniformOpen(rng, 0, 1)
+	}
+	return ls
+}
+
+// PaperGame assembles a game with the paper's default parameters: m sellers
+// (pass 0 for the default 100), uniform weights, λ ~ U(0,1) drawn from rng.
+func PaperGame(m int, rng *rand.Rand) *Game {
+	if m <= 0 {
+		m = PaperM
+	}
+	return &Game{
+		Buyer: PaperBuyer(),
+		Broker: Broker{
+			Cost:    translog.PaperDefaults(),
+			Weights: UniformWeights(m),
+		},
+		Sellers: Sellers{Lambda: RandomLambdas(m, rng)},
+	}
+}

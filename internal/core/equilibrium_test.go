@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"share/internal/nash"
+	"share/internal/stat"
+)
+
+// TestSolveSatisfiesSNE is the headline correctness test: the
+// backward-induction profile admits no profitable unilateral deviation for
+// any participant (Def. 4.2 / Thm. 5.2).
+func TestSolveSatisfiesSNE(t *testing.T) {
+	for _, m := range []int{2, 10, 100} {
+		g := paperTestGame(t, m, int64(40+m))
+		p, err := g.Solve()
+		if err != nil {
+			t.Fatalf("m=%d Solve: %v", m, err)
+		}
+		if err := g.CheckSNE(p, 1e-7); err != nil {
+			t.Errorf("m=%d: %v", m, err)
+		}
+	}
+}
+
+// TestSolveSNEProperty fuzzes parameterizations and requires the SNE
+// property to hold everywhere.
+func TestSolveSNEProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := stat.NewRand(seed)
+		m := 2 + rng.Intn(30)
+		g := PaperGame(m, rng)
+		g.Buyer.V = 0.2 + 0.7*rng.Float64()
+		g.Buyer.Rho1 = 0.1 + 3*rng.Float64()
+		th := 0.2 + 0.6*rng.Float64()
+		g.Buyer.Theta1, g.Buyer.Theta2 = th, 1-th
+		p, err := g.Solve()
+		if err != nil {
+			return false
+		}
+		return g.CheckSNE(p, 1e-6) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStage3AgreesWithNumericalNash cross-validates the Eq. 20 closed form
+// against the generic iterated-best-response solver on the true profit
+// functions.
+func TestStage3AgreesWithNumericalNash(t *testing.T) {
+	g := paperTestGame(t, 12, 44)
+	pd := 0.02
+	analytic := g.Stage3Tau(pd)
+	ng := &nash.Game{
+		Players: g.M(),
+		Payoff: func(i int, x float64, s []float64) float64 {
+			tau := append([]float64(nil), s...)
+			tau[i] = x
+			return g.SellerProfit(i, pd, tau)
+		},
+	}
+	res, err := ng.Solve(nash.Options{})
+	if err != nil {
+		t.Fatalf("numerical Nash: %v", err)
+	}
+	for i := range analytic {
+		if math.Abs(res.Strategies[i]-analytic[i]) > 1e-5 {
+			t.Errorf("τ[%d]: numeric %v vs analytic %v", i, res.Strategies[i], analytic[i])
+		}
+	}
+}
+
+func TestFirstOrderResidualsVanish(t *testing.T) {
+	g := paperTestGame(t, 50, 45)
+	p, err := g.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	fo := g.FirstOrder(p)
+	if math.Abs(fo.Buyer) > 1e-5 {
+		t.Errorf("buyer FOC residual = %v", fo.Buyer)
+	}
+	if math.Abs(fo.Broker) > 1e-5 {
+		t.Errorf("broker FOC residual = %v", fo.Broker)
+	}
+	for i, r := range fo.Sellers {
+		if fo.Clamped[i] {
+			continue
+		}
+		if math.Abs(r) > 1e-4 {
+			t.Errorf("seller %d FOC residual = %v", i, r)
+		}
+	}
+}
+
+// TestSecondOrderConcavity numerically confirms the strict concavity claims
+// of Thm. 5.2: each objective's second derivative is negative at the
+// optimum.
+func TestSecondOrderConcavity(t *testing.T) {
+	g := paperTestGame(t, 30, 46)
+	p, err := g.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	d2 := secondDeriv(g.ReducedBuyerProfit, p.PM)
+	if d2 >= 0 {
+		t.Errorf("buyer objective not concave at optimum: %v", d2)
+	}
+	d2 = secondDeriv(func(pd float64) float64 { return g.BrokerObjective(p.PM, pd) }, p.PD)
+	if d2 >= 0 {
+		t.Errorf("broker objective not concave at optimum: %v", d2)
+	}
+	tau := append([]float64(nil), p.Tau...)
+	for i := 0; i < 3; i++ {
+		orig := tau[i]
+		d2 = secondDeriv(func(x float64) float64 {
+			tau[i] = x
+			v := g.SellerProfit(i, p.PD, tau)
+			tau[i] = orig
+			return v
+		}, orig)
+		if d2 >= 0 {
+			t.Errorf("seller %d objective not concave at optimum: %v", i, d2)
+		}
+	}
+}
+
+func secondDeriv(f func(float64) float64, x float64) float64 {
+	h := 1e-4 * (1 + math.Abs(x))
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}
+
+// TestDeviationReportAtNonEquilibrium: starting from a perturbed profile the
+// report must expose profitable deviations pointing back toward the SNE.
+func TestDeviationReportAtNonEquilibrium(t *testing.T) {
+	g := paperTestGame(t, 20, 47)
+	p, err := g.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	perturbed := g.EvaluateProfile(p.PM*1.5, p.PD, p.Tau)
+	r := g.VerifySNE(perturbed)
+	if r.BuyerGain <= 0 {
+		t.Errorf("perturbed buyer should have a profitable deviation, gain = %v", r.BuyerGain)
+	}
+	if math.Abs(r.BuyerBest-p.PM) > 1e-4*(1+p.PM) {
+		t.Errorf("buyer's best deviation %v should point to p^M* = %v", r.BuyerBest, p.PM)
+	}
+	if err := g.CheckSNE(perturbed, 1e-7); err == nil {
+		t.Error("CheckSNE accepted a perturbed profile")
+	}
+}
+
+// TestEquilibriumUniqueness probes Thm. 5.2's uniqueness: different starting
+// points of the numerical Nash solver land on the same Stage-3 equilibrium.
+func TestEquilibriumUniqueness(t *testing.T) {
+	g := paperTestGame(t, 8, 48)
+	pd := 0.02
+	ng := &nash.Game{
+		Players: g.M(),
+		Payoff: func(i int, x float64, s []float64) float64 {
+			tau := append([]float64(nil), s...)
+			tau[i] = x
+			return g.SellerProfit(i, pd, tau)
+		},
+	}
+	starts := [][]float64{
+		nil,
+		make([]float64, 8), // all zeros
+		{1, 1, 1, 1, 1, 1, 1, 1},
+		{0.9, 0.1, 0.9, 0.1, 0.9, 0.1, 0.9, 0.1},
+	}
+	var first []float64
+	for si, start := range starts {
+		res, err := ng.Solve(nash.Options{Start: start})
+		if err != nil {
+			t.Fatalf("start %d: %v", si, err)
+		}
+		if first == nil {
+			first = res.Strategies
+			continue
+		}
+		for i := range first {
+			if math.Abs(res.Strategies[i]-first[i]) > 1e-5 {
+				t.Errorf("start %d: τ[%d] = %v differs from %v (non-unique?)", si, i, res.Strategies[i], first[i])
+			}
+		}
+	}
+}
+
+// TestBuyerLeadingAdvantage: the leader's equilibrium profit weakly exceeds
+// what she would get at any other price — and specifically at the price a
+// naive "cost-plus" buyer might post.
+func TestBuyerLeadingAdvantage(t *testing.T) {
+	g := paperTestGame(t, 50, 49)
+	p, err := g.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for _, alt := range []float64{p.PM * 0.5, p.PM * 0.9, p.PM * 1.1, p.PM * 2} {
+		if g.BuyerObjective(alt) > p.BuyerProfit+1e-9 {
+			t.Errorf("buyer does better at %v than at the SNE price", alt)
+		}
+	}
+}

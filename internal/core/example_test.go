@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"fmt"
+
+	"share/internal/core"
+	"share/internal/translog"
+)
+
+// fixedGame builds a small deterministic game for the examples.
+func fixedGame() *core.Game {
+	return &core.Game{
+		Buyer: core.Buyer{N: 100, V: 0.8, Theta1: 0.5, Theta2: 0.5, Rho1: 0.5, Rho2: 250},
+		Broker: core.Broker{
+			Cost:    translog.PaperDefaults(),
+			Weights: []float64{0.25, 0.25, 0.25, 0.25},
+		},
+		Sellers: core.Sellers{Lambda: []float64{0.2, 0.4, 0.6, 0.8}},
+	}
+}
+
+func ExampleGame_Solve() {
+	g := fixedGame()
+	p, err := g.Solve()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("p^M* = %.4f\n", p.PM)
+	fmt.Printf("p^D* = %.4f\n", p.PD)
+	fmt.Printf("Σχ   = %.0f\n", p.Chi[0]+p.Chi[1]+p.Chi[2]+p.Chi[3])
+	// Output:
+	// p^M* = 0.1368
+	// p^D* = 0.0547
+	// Σχ   = 100
+}
+
+func ExampleGame_CheckSNE() {
+	g := fixedGame()
+	p, _ := g.Solve()
+	if err := g.CheckSNE(p, 0); err != nil {
+		fmt.Println("not an equilibrium:", err)
+		return
+	}
+	fmt.Println("SNE verified: no profitable unilateral deviation")
+	// Output:
+	// SNE verified: no profitable unilateral deviation
+}
+
+func ExampleGame_Stage2PD() {
+	g := fixedGame()
+	// Eq. 25: the broker's optimal data price is v·p^M/2.
+	fmt.Printf("%.3f\n", g.Stage2PD(0.5))
+	// Output:
+	// 0.200
+}
+
+func ExampleTheorem51Bounds() {
+	lo, hi := core.Theorem51Bounds(100)
+	fmt.Printf("(%.2e, %.2e)\n", lo, hi)
+	// Output:
+	// (-1.67e-05, 9.93e-03)
+}

@@ -1,0 +1,161 @@
+// Package core implements the paper's primary contribution: the three-stage
+// Stackelberg-Nash game over a buyer (leader), a broker (sub-leader) and m
+// competing sellers (followers), its profit functions (Eqs. 5–13), the
+// backward-induction equilibrium derivation (Eqs. 20, 25, 27), the
+// Stackelberg-Nash Equilibrium definition and verification (Def. 4.2,
+// Thm. 5.2), and the mean-field approximate Nash solver with its Theorem 5.1
+// error bounds.
+//
+// A Game value captures one transaction's parameters: the buyer's demand
+// (N, v) and utility parameters (θ, ρ), the broker's translog cost parameters
+// and the per-seller dataset weights ω, and each seller's privacy sensitivity
+// λ. Solve runs the full backward induction and returns the optimal strategy
+// profile ⟨p^M*, p^D*, τ*⟩ together with realized allocations and profits.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"share/internal/translog"
+)
+
+// Buyer holds the leader's demand and utility parameters (§4.1.1).
+type Buyer struct {
+	// N is the total data quantity demanded for manufacturing (Σχᵢ = N).
+	N float64
+	// V is the required product performance (e.g. explained variance for a
+	// regression product). Must be positive.
+	V float64
+	// Theta1 and Theta2 weight the buyer's concern for dataset quality and
+	// product performance; they must be in (0, 1) and sum to 1 (Eq. 6).
+	Theta1, Theta2 float64
+	// Rho1 and Rho2 are the buyer's sensitivities to dataset quality and
+	// product performance (Eq. 5); both must be positive.
+	Rho1, Rho2 float64
+}
+
+// Validate checks the buyer parameters against the paper's constraints.
+func (b Buyer) Validate() error {
+	if !(b.N > 0) {
+		return fmt.Errorf("core: buyer data quantity N must be positive, got %g", b.N)
+	}
+	if !(b.V > 0) {
+		return fmt.Errorf("core: required performance v must be positive, got %g", b.V)
+	}
+	if !(b.Theta1 > 0 && b.Theta1 < 1) || !(b.Theta2 > 0 && b.Theta2 < 1) {
+		return fmt.Errorf("core: θ₁, θ₂ must lie in (0,1), got θ₁=%g θ₂=%g", b.Theta1, b.Theta2)
+	}
+	if math.Abs(b.Theta1+b.Theta2-1) > 1e-9 {
+		return fmt.Errorf("core: θ₁+θ₂ must equal 1, got %g", b.Theta1+b.Theta2)
+	}
+	if !(b.Rho1 > 0) || !(b.Rho2 > 0) {
+		return fmt.Errorf("core: ρ₁, ρ₂ must be positive, got ρ₁=%g ρ₂=%g", b.Rho1, b.Rho2)
+	}
+	return nil
+}
+
+// Broker holds the sub-leader's manufacturing cost model and the dataset
+// weights ω it maintains for the sellers (§4.1.2, Eq. 13).
+type Broker struct {
+	// Cost holds the translog cost parameters σ₀..σ₅ (Eq. 8).
+	Cost translog.Params
+	// Weights are the per-seller dataset weights ω₁..ω_m reflecting
+	// historical data quality; all must be positive. Only their
+	// proportions matter to the allocation rule, but their absolute scale
+	// enters the Theorem 5.1 error-bound condition.
+	Weights []float64
+}
+
+// Validate checks the broker parameters.
+func (a Broker) Validate() error {
+	if len(a.Weights) == 0 {
+		return errors.New("core: broker has no seller weights")
+	}
+	for i, w := range a.Weights {
+		if !(w > 0) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: weight ω[%d] must be positive and finite, got %g", i, w)
+		}
+	}
+	return nil
+}
+
+// Sellers holds the followers' privacy sensitivities λ₁..λ_m (§4.1.3).
+type Sellers struct {
+	// Lambda are the privacy sensitivities; all must be positive.
+	Lambda []float64
+}
+
+// Validate checks the seller parameters.
+func (s Sellers) Validate() error {
+	if len(s.Lambda) == 0 {
+		return errors.New("core: no sellers")
+	}
+	for i, l := range s.Lambda {
+		if !(l > 0) || math.IsInf(l, 0) {
+			return fmt.Errorf("core: privacy sensitivity λ[%d] must be positive and finite, got %g", i, l)
+		}
+	}
+	return nil
+}
+
+// Game is one transaction's complete parameterization.
+type Game struct {
+	Buyer   Buyer
+	Broker  Broker
+	Sellers Sellers
+}
+
+// M returns the number of sellers.
+func (g *Game) M() int { return len(g.Sellers.Lambda) }
+
+// Validate checks all parameters jointly (weights and sensitivities must
+// agree on the seller count).
+func (g *Game) Validate() error {
+	if err := g.Buyer.Validate(); err != nil {
+		return err
+	}
+	if err := g.Broker.Validate(); err != nil {
+		return err
+	}
+	if err := g.Sellers.Validate(); err != nil {
+		return err
+	}
+	if len(g.Broker.Weights) != len(g.Sellers.Lambda) {
+		return fmt.Errorf("core: %d weights for %d sellers", len(g.Broker.Weights), len(g.Sellers.Lambda))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the game (weights and sensitivities copied).
+func (g *Game) Clone() *Game {
+	return &Game{
+		Buyer: g.Buyer,
+		Broker: Broker{
+			Cost:    g.Broker.Cost,
+			Weights: append([]float64(nil), g.Broker.Weights...),
+		},
+		Sellers: Sellers{Lambda: append([]float64(nil), g.Sellers.Lambda...)},
+	}
+}
+
+// SumInvLambda returns S = Σ 1/λᵢ, the aggregate privacy elasticity that the
+// Stage 1 and Stage 2 closed forms depend on.
+func (g *Game) SumInvLambda() float64 {
+	var s float64
+	for _, l := range g.Sellers.Lambda {
+		s += 1 / l
+	}
+	return s
+}
+
+// SumSqrtWeightOverLambda returns Σ √(ωⱼ/λⱼ), the aggregate appearing in the
+// Stage 3 closed form (Eq. 20).
+func (g *Game) SumSqrtWeightOverLambda() float64 {
+	var s float64
+	for j, w := range g.Broker.Weights {
+		s += math.Sqrt(w / g.Sellers.Lambda[j])
+	}
+	return s
+}

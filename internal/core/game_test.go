@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"share/internal/stat"
+	"share/internal/translog"
+)
+
+func paperTestGame(t *testing.T, m int, seed int64) *Game {
+	t.Helper()
+	g := PaperGame(m, stat.NewRand(seed))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("paper game invalid: %v", err)
+	}
+	return g
+}
+
+func TestBuyerValidate(t *testing.T) {
+	ok := PaperBuyer()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("paper buyer rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Buyer)
+	}{
+		{"zero N", func(b *Buyer) { b.N = 0 }},
+		{"negative v", func(b *Buyer) { b.V = -1 }},
+		{"theta1 zero", func(b *Buyer) { b.Theta1 = 0; b.Theta2 = 1 }},
+		{"theta sum", func(b *Buyer) { b.Theta1 = 0.5; b.Theta2 = 0.6 }},
+		{"rho1 zero", func(b *Buyer) { b.Rho1 = 0 }},
+		{"rho2 negative", func(b *Buyer) { b.Rho2 = -2 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := PaperBuyer()
+			c.mutate(&b)
+			if err := b.Validate(); err == nil {
+				t.Errorf("%s accepted", c.name)
+			}
+		})
+	}
+}
+
+func TestBrokerSellersValidate(t *testing.T) {
+	if err := (Broker{}).Validate(); err == nil {
+		t.Error("broker with no weights accepted")
+	}
+	if err := (Broker{Weights: []float64{1, 0}}).Validate(); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := (Broker{Weights: []float64{1, math.Inf(1)}}).Validate(); err == nil {
+		t.Error("infinite weight accepted")
+	}
+	if err := (Sellers{}).Validate(); err == nil {
+		t.Error("no sellers accepted")
+	}
+	if err := (Sellers{Lambda: []float64{0.5, -1}}).Validate(); err == nil {
+		t.Error("negative λ accepted")
+	}
+}
+
+func TestGameValidateJoint(t *testing.T) {
+	g := paperTestGame(t, 10, 1)
+	g.Broker.Weights = g.Broker.Weights[:9]
+	if err := g.Validate(); err == nil {
+		t.Error("weight/λ count mismatch accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := paperTestGame(t, 5, 2)
+	c := g.Clone()
+	c.Broker.Weights[0] = 99
+	c.Sellers.Lambda[0] = 99
+	c.Buyer.N = 1
+	if g.Broker.Weights[0] == 99 || g.Sellers.Lambda[0] == 99 || g.Buyer.N == 1 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	g := &Game{
+		Buyer:   PaperBuyer(),
+		Broker:  Broker{Cost: translog.PaperDefaults(), Weights: []float64{1, 4}},
+		Sellers: Sellers{Lambda: []float64{0.25, 1}},
+	}
+	if got := g.SumInvLambda(); got != 5 {
+		t.Errorf("SumInvLambda = %v, want 5", got)
+	}
+	// √(1/0.25) + √(4/1) = 2 + 2 = 4.
+	if got := g.SumSqrtWeightOverLambda(); got != 4 {
+		t.Errorf("SumSqrtWeightOverLambda = %v, want 4", got)
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	w := UniformWeights(4)
+	for _, x := range w {
+		if x != 0.25 {
+			t.Errorf("UniformWeights = %v", w)
+		}
+	}
+}
+
+func TestRandomLambdasInOpenInterval(t *testing.T) {
+	rng := stat.NewRand(3)
+	ls := RandomLambdas(1000, rng)
+	for i, l := range ls {
+		if l <= 0 || l >= 1 {
+			t.Fatalf("λ[%d] = %v outside (0,1)", i, l)
+		}
+	}
+}
+
+func TestPaperGameDefaults(t *testing.T) {
+	g := PaperGame(0, stat.NewRand(4))
+	if g.M() != PaperM {
+		t.Errorf("default m = %d, want %d", g.M(), PaperM)
+	}
+	if g.Buyer.N != 500 || g.Buyer.V != 0.8 || g.Buyer.Rho2 != 250 {
+		t.Errorf("paper buyer parameters wrong: %+v", g.Buyer)
+	}
+	if g.Broker.Cost != translog.PaperDefaults() {
+		t.Error("paper cost parameters wrong")
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"share/internal/stat"
+)
+
+// Closed-form identities that must hold at every equilibrium. These pin the
+// implementation to the paper's algebra far more tightly than smoke tests:
+// any drift in Solve's internals breaks one of them.
+
+// q^D* = p^D*·S/2 with S = Σ1/λᵢ (derived in §5.1.2).
+func TestIdentityDatasetQuality(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := stat.NewRand(seed)
+		g := PaperGame(2+rng.Intn(50), rng)
+		p, err := g.Solve()
+		if err != nil {
+			return false
+		}
+		if clamped(p.Tau) {
+			return true // identity only holds at interior solutions
+		}
+		want := p.PD * g.SumInvLambda() / 2
+		return math.Abs(p.QD-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Seller compensation p^D·q^D equals exactly half the buyer's payment:
+// p^D·q^D = (v·p^M/2)·q^D = p^M·q^M/2 since q^M = v·q^D. So the broker's
+// gross margin on data is always 50% at equilibrium.
+func TestIdentityBrokerMargin(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := stat.NewRand(seed)
+		g := PaperGame(2+rng.Intn(50), rng)
+		p, err := g.Solve()
+		if err != nil {
+			return false
+		}
+		payment := p.PM * p.QM
+		dataSpend := p.PD * p.QD
+		return math.Abs(dataSpend-payment/2) < 1e-9*(1+payment)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Broker profit decomposes as Ω* = p^M·q^M/2 − C(N, v).
+func TestIdentityBrokerProfit(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := stat.NewRand(seed)
+		g := PaperGame(2+rng.Intn(50), rng)
+		p, err := g.Solve()
+		if err != nil {
+			return false
+		}
+		want := p.PM*p.QM/2 - g.ManufacturingCost()
+		return math.Abs(p.BrokerProfit-want) < 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Each seller's quality is qᵢ = p^D/(2λᵢ) at interior equilibria — the load-
+// bearing fact behind both the VCG-coincidence result and approximate
+// truthfulness.
+func TestIdentitySellerQuality(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := stat.NewRand(seed)
+		g := PaperGame(2+rng.Intn(40), rng)
+		p, err := g.Solve()
+		if err != nil {
+			return false
+		}
+		if clamped(p.Tau) {
+			return true
+		}
+		for i := range p.Tau {
+			q := p.Chi[i] * p.Tau[i]
+			want := p.PD / (2 * g.Sellers.Lambda[i])
+			if math.Abs(q-want) > 1e-9*(1+want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Seller profit at interior equilibrium simplifies to λᵢqᵢ² = p^D²/(4λᵢ):
+// Ψᵢ = p^D·qᵢ − λᵢqᵢ² with qᵢ = p^D/(2λᵢ) gives p^D²/(2λᵢ) − p^D²/(4λᵢ).
+func TestIdentitySellerProfit(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := stat.NewRand(seed)
+		g := PaperGame(2+rng.Intn(40), rng)
+		p, err := g.Solve()
+		if err != nil {
+			return false
+		}
+		if clamped(p.Tau) {
+			return true
+		}
+		for i := range p.SellerProfits {
+			want := p.PD * p.PD / (4 * g.Sellers.Lambda[i])
+			if math.Abs(p.SellerProfits[i]-want) > 1e-9*(1+want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Equilibrium invariance: scaling all weights uniformly changes nothing
+// observable.
+func TestIdentityWeightScaleInvariance(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := stat.NewRand(seed)
+		g := PaperGame(2+rng.Intn(30), rng)
+		p1, err := g.Solve()
+		if err != nil {
+			return false
+		}
+		scale := 0.1 + 10*rng.Float64()
+		g2 := g.Clone()
+		for i := range g2.Broker.Weights {
+			g2.Broker.Weights[i] *= scale
+		}
+		p2, err := g2.Solve()
+		if err != nil {
+			return false
+		}
+		if math.Abs(p1.PM-p2.PM) > 1e-12*(1+p1.PM) {
+			return false
+		}
+		for i := range p1.Tau {
+			if math.Abs(p1.Tau[i]-p2.Tau[i]) > 1e-9*(1+p1.Tau[i]) {
+				return false
+			}
+			if math.Abs(p1.Chi[i]-p2.Chi[i]) > 1e-6*(1+p1.Chi[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamped(tau []float64) bool {
+	for _, t := range tau {
+		if t >= 1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"share/internal/stat"
+)
+
+func TestAllocationSumsToN(t *testing.T) {
+	g := paperTestGame(t, 50, 10)
+	tau := make([]float64, 50)
+	rng := stat.NewRand(11)
+	for i := range tau {
+		tau[i] = rng.Float64()
+	}
+	chi := g.Allocation(tau)
+	var total float64
+	for _, c := range chi {
+		if c < 0 {
+			t.Fatalf("negative allocation %v", c)
+		}
+		total += c
+	}
+	if math.Abs(total-g.Buyer.N) > 1e-9 {
+		t.Errorf("Σχ = %v, want N = %v", total, g.Buyer.N)
+	}
+}
+
+func TestAllocationZeroFidelity(t *testing.T) {
+	g := paperTestGame(t, 5, 12)
+	chi := g.Allocation(make([]float64, 5))
+	for i, c := range chi {
+		if c != 0 {
+			t.Errorf("χ[%d] = %v with all-zero τ, want 0", i, c)
+		}
+	}
+}
+
+func TestAllocationProportionalToWeightTimesFidelity(t *testing.T) {
+	g := paperTestGame(t, 3, 13)
+	g.Broker.Weights = []float64{1, 2, 3}
+	tau := []float64{0.3, 0.3, 0.1}
+	chi := g.Allocation(tau)
+	// ωτ = 0.3, 0.6, 0.3 → proportions 1/4, 1/2, 1/4 of N=500.
+	want := []float64{125, 250, 125}
+	for i := range want {
+		if math.Abs(chi[i]-want[i]) > 1e-9 {
+			t.Errorf("χ[%d] = %v, want %v", i, chi[i], want[i])
+		}
+	}
+}
+
+// Property (Eq. 13 competitiveness): raising one seller's fidelity strictly
+// increases her allocation and decreases everyone else's.
+func TestAllocationMonotonicityProperty(t *testing.T) {
+	g := paperTestGame(t, 8, 14)
+	prop := func(seed int64) bool {
+		rng := stat.NewRand(seed)
+		tau := make([]float64, 8)
+		for i := range tau {
+			tau[i] = 0.05 + 0.9*rng.Float64()
+		}
+		i := rng.Intn(8)
+		before := g.Allocation(tau)
+		tau[i] *= 1.2
+		after := g.Allocation(tau)
+		if after[i] <= before[i] {
+			return false
+		}
+		for j := range tau {
+			if j != i && after[j] > before[j]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilityComponents(t *testing.T) {
+	g := paperTestGame(t, 5, 15)
+	// At q^D = 0 only the performance term remains.
+	want := g.Buyer.Theta2 * math.Log(1+g.Buyer.Rho2*g.Buyer.V)
+	if got := g.Utility(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Utility(0) = %v, want %v", got, want)
+	}
+	// Utility is increasing and concave in q^D (diminishing marginal).
+	u1, u2, u3 := g.Utility(1), g.Utility(2), g.Utility(3)
+	if !(u2 > u1 && u3 > u2) {
+		t.Error("utility not increasing in q^D")
+	}
+	if (u3 - u2) >= (u2 - u1) {
+		t.Error("utility not concave in q^D")
+	}
+}
+
+func TestProfitAccountingIdentity(t *testing.T) {
+	// Money conservation: buyer payment = broker revenue; broker data
+	// spending = Σ seller revenues. Total welfare = utility − cost − Σloss.
+	g := paperTestGame(t, 20, 16)
+	p, err := g.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	var sellerRevenue, sellerLoss float64
+	for i := range p.Tau {
+		q := p.Chi[i] * p.Tau[i]
+		sellerRevenue += p.PD * q
+		sellerLoss += g.Sellers.Lambda[i] * q * q
+	}
+	// Broker profit = payment − cost − seller revenue.
+	wantBroker := p.PM*p.QM - g.ManufacturingCost() - sellerRevenue
+	if math.Abs(p.BrokerProfit-wantBroker) > 1e-9*(1+math.Abs(wantBroker)) {
+		t.Errorf("broker profit = %v, want %v", p.BrokerProfit, wantBroker)
+	}
+	// Welfare identity.
+	var sellerTotal float64
+	for _, s := range p.SellerProfits {
+		sellerTotal += s
+	}
+	welfare := p.BuyerProfit + p.BrokerProfit + sellerTotal
+	wantWelfare := g.Utility(p.QD) - g.ManufacturingCost() - sellerLoss
+	if math.Abs(welfare-wantWelfare) > 1e-9*(1+math.Abs(wantWelfare)) {
+		t.Errorf("welfare = %v, want %v", welfare, wantWelfare)
+	}
+}
+
+func TestSellerProfitsMatchesPerSeller(t *testing.T) {
+	g := paperTestGame(t, 10, 17)
+	rng := stat.NewRand(18)
+	tau := make([]float64, 10)
+	for i := range tau {
+		tau[i] = rng.Float64()
+	}
+	batch := g.SellerProfits(0.02, tau)
+	for i := range tau {
+		if got := g.SellerProfit(i, 0.02, tau); math.Abs(got-batch[i]) > 1e-12 {
+			t.Errorf("SellerProfit(%d) = %v, batch %v", i, got, batch[i])
+		}
+	}
+}
+
+func TestPrivacyLossQuadratic(t *testing.T) {
+	g := paperTestGame(t, 2, 19)
+	g.Broker.Weights = []float64{1, 1}
+	g.Sellers.Lambda = []float64{0.5, 0.5}
+	tau := []float64{0.4, 0.4}
+	// χ = (250, 250); q = 100; loss = 0.5·100² = 5000.
+	if got := g.PrivacyLoss(0, tau); math.Abs(got-5000) > 1e-9 {
+		t.Errorf("PrivacyLoss = %v, want 5000", got)
+	}
+}
+
+func TestProductQualityInstantiation(t *testing.T) {
+	g := paperTestGame(t, 2, 20)
+	if got := g.ProductQuality(10); math.Abs(got-10*g.Buyer.V) > 1e-12 {
+		t.Errorf("q^M = %v, want q^D·v = %v", got, 10*g.Buyer.V)
+	}
+}

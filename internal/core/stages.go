@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Stage3Tau returns the sellers' inner Nash equilibrium fidelities for a
+// given unit data price p^D by the paper's direct derivation (Eq. 20):
+//
+//	τᵢ* = p^D / (2N·√(ωᵢλᵢ)) · Σⱼ √(ωⱼ/λⱼ),
+//
+// clamped to the feasible range [0, 1]: when the interior optimum exceeds 1,
+// each seller's profit is monotonically increasing on [0, 1] and is maximized
+// at the right endpoint (equilibrium analysis in §5.1.4).
+func (g *Game) Stage3Tau(pD float64) []float64 {
+	sum := g.SumSqrtWeightOverLambda()
+	tau := make([]float64, g.M())
+	if pD <= 0 {
+		return tau
+	}
+	for i := range tau {
+		wi, li := g.Broker.Weights[i], g.Sellers.Lambda[i]
+		t := pD / (2 * g.Buyer.N * math.Sqrt(wi*li)) * sum
+		if t > 1 {
+			t = 1
+		}
+		tau[i] = t
+	}
+	return tau
+}
+
+// Stage2PD returns the broker's optimal unit data price for a given unit
+// product price p^M (Eq. 25): p^D* = v·p^M/2. The closed form follows from
+// substituting the sellers' reaction (Eq. 20) into the broker's profit and
+// solving the first-order condition; the profit is strictly concave in p^D
+// (second derivative −Σ1/λᵢ < 0).
+func (g *Game) Stage2PD(pM float64) float64 {
+	if pM <= 0 {
+		return 0
+	}
+	return g.Buyer.V * pM / 2
+}
+
+// StageCoefficients returns the aggregates c₁ = ρ₁vS/4 and c₂ = v²S/(2θ₁)
+// with S = Σ1/λᵢ, the constants of the buyer's reduced profit
+// Φ(p^M) = θ₁ln(1+c₁p^M) + θ₂ln(1+ρ₂v) − (c₂θ₁/2)·(p^M)² (§5.1.3).
+func (g *Game) StageCoefficients() (c1, c2 float64) {
+	s := g.SumInvLambda()
+	c1 = g.Buyer.Rho1 * g.Buyer.V * s / 4
+	c2 = g.Buyer.V * g.Buyer.V * s / (2 * g.Buyer.Theta1)
+	return c1, c2
+}
+
+// ReducedBuyerProfit evaluates the buyer's profit as a function of p^M alone,
+// with the broker and sellers already at their optimal reactions — the
+// objective Stage 1 maximizes.
+func (g *Game) ReducedBuyerProfit(pM float64) float64 {
+	c1, c2 := g.StageCoefficients()
+	return g.Buyer.Theta1*math.Log(1+c1*pM) +
+		g.Buyer.Theta2*math.Log(1+g.Buyer.Rho2*g.Buyer.V) -
+		c2*g.Buyer.Theta1/2*pM*pM
+}
+
+// Stage1PM returns the buyer's optimal unit product price (Eq. 27), the
+// positive root of c₁c₂·(p^M)² + c₂·p^M − c₁ = 0:
+//
+//	p^M* = (−c₂ + √(c₂² + 4c₁²c₂)) / (2c₁c₂).
+//
+// It errs if the aggregates degenerate (possible only with invalid
+// parameters, e.g. infinite λ).
+func (g *Game) Stage1PM() (float64, error) {
+	c1, c2 := g.StageCoefficients()
+	if !(c1 > 0) || !(c2 > 0) || math.IsInf(c1, 0) || math.IsInf(c2, 0) {
+		return 0, fmt.Errorf("core: degenerate stage-1 coefficients c₁=%g c₂=%g", c1, c2)
+	}
+	disc := c2*c2 + 4*c1*c1*c2
+	pm := (-c2 + math.Sqrt(disc)) / (2 * c1 * c2)
+	if !(pm > 0) || math.IsNaN(pm) {
+		return 0, errors.New("core: stage 1 produced a non-positive product price")
+	}
+	return pm, nil
+}
+
+// Profile is a complete strategy profile with its realized quantities and
+// profits — the output of Solve, or of evaluating a deviated profile.
+type Profile struct {
+	// PM is the unit product price p^M (the buyer's strategy).
+	PM float64
+	// PD is the unit data price p^D (the broker's strategy).
+	PD float64
+	// Tau are the sellers' data fidelities τᵢ (the followers' strategies).
+	Tau []float64
+	// Chi is the realized allocation χᵢ (Eq. 13); Σχᵢ = N whenever any
+	// fidelity is positive.
+	Chi []float64
+	// QD is the total manufacturing dataset quality q^D.
+	QD float64
+	// QM is the product quality q^M = q^D·v.
+	QM float64
+	// BuyerProfit is Φ at this profile.
+	BuyerProfit float64
+	// BrokerProfit is Ω at this profile.
+	BrokerProfit float64
+	// SellerProfits are Ψᵢ at this profile.
+	SellerProfits []float64
+}
+
+// EvaluateProfile computes allocations, qualities and all profits for an
+// arbitrary strategy profile (p^M, p^D, τ). It is the workhorse behind both
+// Solve and the unilateral-deviation experiments of Fig. 2.
+func (g *Game) EvaluateProfile(pM, pD float64, tau []float64) *Profile {
+	chi := g.Allocation(tau)
+	var qD float64
+	for i, t := range tau {
+		qD += SellerQuality(chi[i], t)
+	}
+	qM := g.ProductQuality(qD)
+	p := &Profile{
+		PM:            pM,
+		PD:            pD,
+		Tau:           append([]float64(nil), tau...),
+		Chi:           chi,
+		QD:            qD,
+		QM:            qM,
+		BuyerProfit:   g.Utility(qD) - pM*qM,
+		BrokerProfit:  pM*qM - g.ManufacturingCost() - pD*qD,
+		SellerProfits: make([]float64, len(tau)),
+	}
+	for i, t := range tau {
+		q := SellerQuality(chi[i], t)
+		p.SellerProfits[i] = pD*q - g.Sellers.Lambda[i]*q*q
+	}
+	return p
+}
+
+// Solve runs the full backward induction (§5.1): Stage 3 yields the sellers'
+// reaction expression, Stage 2 the broker's reaction, Stage 1 the buyer's
+// optimal price value; substituting back produces the complete optimal
+// strategy profile ⟨p^M*, p^D*, τ*⟩ — the Stackelberg-Nash Equilibrium
+// (Thm. 5.2 proves it exists and is unique).
+func (g *Game) Solve() (*Profile, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	pm, err := g.Stage1PM()
+	if err != nil {
+		return nil, err
+	}
+	pd := g.Stage2PD(pm)
+	tau := g.Stage3Tau(pd)
+	return g.EvaluateProfile(pm, pd, tau), nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"share/internal/numeric"
+)
+
+// numericDPM differentiates p^M* numerically with respect to a game
+// mutation.
+func numericDPM(t *testing.T, g *Game, x float64, set func(*Game, float64)) float64 {
+	t.Helper()
+	return numeric.Derivative(func(v float64) float64 {
+		gx := g.Clone()
+		set(gx, v)
+		pm, err := gx.Stage1PM()
+		if err != nil {
+			t.Fatalf("Stage1PM during differentiation: %v", err)
+		}
+		return pm
+	}, x, 0)
+}
+
+func numericDPD(t *testing.T, g *Game, x float64, set func(*Game, float64)) float64 {
+	t.Helper()
+	return numeric.Derivative(func(v float64) float64 {
+		gx := g.Clone()
+		set(gx, v)
+		pm, err := gx.Stage1PM()
+		if err != nil {
+			t.Fatalf("Stage1PM during differentiation: %v", err)
+		}
+		return gx.Stage2PD(pm)
+	}, x, 0)
+}
+
+func checkClose(t *testing.T, name string, analytic, numeric float64) {
+	t.Helper()
+	tol := 1e-5 * (1 + math.Abs(numeric))
+	if math.Abs(analytic-numeric) > tol {
+		t.Errorf("%s: analytic %v vs numeric %v", name, analytic, numeric)
+	}
+}
+
+func TestSensitivityTheta1MatchesNumeric(t *testing.T) {
+	g := paperTestGame(t, 40, 90)
+	s := g.SensitivityTheta1()
+	num := numericDPM(t, g, g.Buyer.Theta1, func(gx *Game, v float64) {
+		gx.Buyer.Theta1, gx.Buyer.Theta2 = v, 1-v
+	})
+	checkClose(t, "∂pM/∂θ1", s.DPM, num)
+	numPD := numericDPD(t, g, g.Buyer.Theta1, func(gx *Game, v float64) {
+		gx.Buyer.Theta1, gx.Buyer.Theta2 = v, 1-v
+	})
+	checkClose(t, "∂pD/∂θ1", s.DPD, numPD)
+	// Fig. 4: strategies rise with θ₁.
+	if s.DPM <= 0 {
+		t.Errorf("∂pM/∂θ1 = %v, want positive", s.DPM)
+	}
+}
+
+func TestSensitivityRho1MatchesNumeric(t *testing.T) {
+	g := paperTestGame(t, 40, 91)
+	s := g.SensitivityRho1()
+	num := numericDPM(t, g, g.Buyer.Rho1, func(gx *Game, v float64) { gx.Buyer.Rho1 = v })
+	checkClose(t, "∂pM/∂ρ1", s.DPM, num)
+	if s.DPM <= 0 {
+		t.Errorf("∂pM/∂ρ1 = %v, want positive (Fig. 5)", s.DPM)
+	}
+	// Saturation: the derivative shrinks as ρ₁ grows.
+	big := g.Clone()
+	big.Buyer.Rho1 = 50
+	if bs := big.SensitivityRho1(); bs.DPM >= s.DPM {
+		t.Errorf("∂pM/∂ρ1 should shrink at large ρ1: %v vs %v", bs.DPM, s.DPM)
+	}
+}
+
+func TestSensitivityRho2IsZero(t *testing.T) {
+	g := paperTestGame(t, 20, 92)
+	s := g.SensitivityRho2()
+	if s.DPM != 0 || s.DPD != 0 {
+		t.Errorf("ρ₂ sensitivity = %+v, want zero (Fig. 6)", s)
+	}
+	num := numericDPM(t, g, g.Buyer.Rho2, func(gx *Game, v float64) { gx.Buyer.Rho2 = v })
+	if math.Abs(num) > 1e-12 {
+		t.Errorf("numeric ∂pM/∂ρ2 = %v, want 0", num)
+	}
+}
+
+func TestSensitivityVMatchesNumeric(t *testing.T) {
+	g := paperTestGame(t, 40, 93)
+	s, err := g.SensitivityV()
+	if err != nil {
+		t.Fatalf("SensitivityV: %v", err)
+	}
+	num := numericDPM(t, g, g.Buyer.V, func(gx *Game, v float64) { gx.Buyer.V = v })
+	checkClose(t, "∂pM/∂v", s.DPM, num)
+	numPD := numericDPD(t, g, g.Buyer.V, func(gx *Game, v float64) { gx.Buyer.V = v })
+	checkClose(t, "∂pD/∂v", s.DPD, numPD)
+}
+
+func TestSensitivityLambdaMatchesNumeric(t *testing.T) {
+	g := paperTestGame(t, 40, 94)
+	s, err := g.SensitivityLambda(0)
+	if err != nil {
+		t.Fatalf("SensitivityLambda: %v", err)
+	}
+	num := numericDPM(t, g, g.Sellers.Lambda[0], func(gx *Game, v float64) { gx.Sellers.Lambda[0] = v })
+	checkClose(t, "∂pM/∂λ1", s.DPM, num)
+	// Fig. 8: prices rise with λ₁.
+	if s.DPM <= 0 {
+		t.Errorf("∂pM/∂λ1 = %v, want positive", s.DPM)
+	}
+	if _, err := g.SensitivityLambda(-1); err == nil {
+		t.Error("accepted a negative index")
+	}
+	if _, err := g.SensitivityLambda(40); err == nil {
+		t.Error("accepted an out-of-range index")
+	}
+}
+
+func TestSensitivityWeightIsZero(t *testing.T) {
+	g := paperTestGame(t, 20, 95)
+	if s := g.SensitivityWeight(); s.DPM != 0 || s.DPD != 0 {
+		t.Errorf("weight sensitivity = %+v, want zero (Fig. 7)", s)
+	}
+	num := numericDPM(t, g, g.Broker.Weights[0], func(gx *Game, v float64) { gx.Broker.Weights[0] = v })
+	if math.Abs(num) > 1e-12 {
+		t.Errorf("numeric ∂pM/∂ω1 = %v, want 0", num)
+	}
+}
+
+func TestTauSensitivityOwnLambda(t *testing.T) {
+	g := paperTestGame(t, 20, 96)
+	pd := 0.02
+	d, err := g.TauSensitivityOwnLambda(0, pd)
+	if err != nil {
+		t.Fatalf("TauSensitivityOwnLambda: %v", err)
+	}
+	num := numeric.Derivative(func(v float64) float64 {
+		gx := g.Clone()
+		gx.Sellers.Lambda[0] = v
+		return gx.Stage3Tau(pd)[0]
+	}, g.Sellers.Lambda[0], 0)
+	checkClose(t, "∂τ1/∂λ1", d, num)
+	// Fig. 8: fidelity sinks with own privacy sensitivity.
+	if d >= 0 {
+		t.Errorf("∂τ1/∂λ1 = %v, want negative", d)
+	}
+	if _, err := g.TauSensitivityOwnLambda(99, pd); err == nil {
+		t.Error("accepted an out-of-range index")
+	}
+}
+
+func TestElasticity(t *testing.T) {
+	if got := Elasticity(2, 4, 6); got != 3 {
+		t.Errorf("Elasticity = %v, want 3", got)
+	}
+	if got := Elasticity(2, 0, 6); got != 0 {
+		t.Errorf("Elasticity with y=0 = %v, want 0", got)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"share/internal/numeric"
+)
+
+// Truthfulness analysis. The paper assumes participants report their true
+// parameters "in line with the practical situation under the supervision of
+// market regulators (e.g., by regular spot-check)" (§5.2). This file
+// quantifies what that supervision is worth: how much a seller could gain
+// by *misreporting* her privacy sensitivity λᵢ.
+//
+// Mechanics of a misreport: the market solves the game with the reported
+// λ̂ᵢ — prices and the Eq. 20 fidelity prescription all use λ̂ᵢ — but the
+// seller's realized privacy loss is governed by her true λᵢ. Her realized
+// profit is therefore
+//
+//	Ψᵢ = p^D(λ̂)·χᵢ(λ̂)·τᵢ(λ̂) − λᵢ·(χᵢ(λ̂)·τᵢ(λ̂))².
+//
+// The perhaps surprising result (verified in the tests): the mechanism is
+// *approximately strategy-proof* in λ. At equilibrium, seller i's delivered
+// quality is qᵢ = p^D/(2λ̂ᵢ), so her realized profit is
+//
+//	p^D²/(2λ̂ᵢ) − λᵢ·p^D²/(4λ̂ᵢ²),
+//
+// which — holding p^D fixed — is maximized exactly at λ̂ᵢ = λᵢ: the larger
+// allocation an under-reporter wins is precisely cancelled by the
+// quadratic loss charged at her true sensitivity. The only remaining gain
+// channel is the O(1/m) feedback of λ̂ᵢ on the prices through S = Σ1/λⱼ,
+// which vanishes as the market grows. The regulator's spot-checks (§5.2)
+// therefore only need to police the *price-feedback* channel, not the
+// allocation itself.
+
+// MisreportOutcome records the consequence of seller i reporting factor·λᵢ.
+type MisreportOutcome struct {
+	// Factor is the misreport ratio λ̂ᵢ/λᵢ (1 = truthful).
+	Factor float64
+	// ReportedLambda is λ̂ᵢ.
+	ReportedLambda float64
+	// RealizedProfit is the seller's profit with the loss charged at her
+	// true λᵢ.
+	RealizedProfit float64
+	// TruthfulProfit is her profit under truthful reporting.
+	TruthfulProfit float64
+	// Gain is RealizedProfit − TruthfulProfit.
+	Gain float64
+}
+
+// Misreport evaluates seller i reporting factor·λᵢ while her true
+// sensitivity stays λᵢ. factor must be positive.
+func (g *Game) Misreport(i int, factor float64) (*MisreportOutcome, error) {
+	if i < 0 || i >= g.M() {
+		return nil, fmt.Errorf("core: seller index %d out of range", i)
+	}
+	if !(factor > 0) {
+		return nil, fmt.Errorf("core: misreport factor must be positive, got %g", factor)
+	}
+	truthful, err := g.Solve()
+	if err != nil {
+		return nil, err
+	}
+	trueLambda := g.Sellers.Lambda[i]
+
+	reported := g.Clone()
+	reported.Sellers.Lambda[i] = factor * trueLambda
+	lied, err := reported.Solve()
+	if err != nil {
+		return nil, err
+	}
+	// Realized quality the seller delivers under the reported-game profile.
+	q := lied.Chi[i] * lied.Tau[i]
+	realized := lied.PD*q - trueLambda*q*q
+	return &MisreportOutcome{
+		Factor:         factor,
+		ReportedLambda: factor * trueLambda,
+		RealizedProfit: realized,
+		TruthfulProfit: truthful.SellerProfits[i],
+		Gain:           realized - truthful.SellerProfits[i],
+	}, nil
+}
+
+// BestMisreport searches factor ∈ [lo, hi] (defaults [0.05, 3] when zero)
+// for seller i's most profitable misreport. A result with Gain ≤ tol means
+// truth-telling is (locally) optimal for this parameterization.
+func (g *Game) BestMisreport(i int, lo, hi float64) (*MisreportOutcome, error) {
+	if lo <= 0 {
+		lo = 0.05
+	}
+	if hi <= lo {
+		hi = 3
+	}
+	if i < 0 || i >= g.M() {
+		return nil, fmt.Errorf("core: seller index %d out of range", i)
+	}
+	obj := func(f float64) float64 {
+		out, err := g.Misreport(i, f)
+		if err != nil {
+			return negInf
+		}
+		return out.RealizedProfit
+	}
+	best := numeric.GoldenMax(obj, lo, hi, 1e-6)
+	return g.Misreport(i, best)
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMisreportTruthfulIsNeutral(t *testing.T) {
+	g := paperTestGame(t, 20, 100)
+	out, err := g.Misreport(0, 1)
+	if err != nil {
+		t.Fatalf("Misreport: %v", err)
+	}
+	if math.Abs(out.Gain) > 1e-12 {
+		t.Errorf("truthful report has gain %v, want 0", out.Gain)
+	}
+	if out.RealizedProfit != out.TruthfulProfit {
+		t.Errorf("realized %v != truthful %v at factor 1", out.RealizedProfit, out.TruthfulProfit)
+	}
+}
+
+func TestMisreportValidation(t *testing.T) {
+	g := paperTestGame(t, 5, 101)
+	if _, err := g.Misreport(-1, 1); err == nil {
+		t.Error("accepted negative index")
+	}
+	if _, err := g.Misreport(5, 1); err == nil {
+		t.Error("accepted out-of-range index")
+	}
+	if _, err := g.Misreport(0, 0); err == nil {
+		t.Error("accepted zero factor")
+	}
+}
+
+// TestApproximateStrategyProofness documents the quantified result of the
+// truthfulness analysis: both gross under- and over-reporting of λ strictly
+// hurt the deviating seller (the allocation gain is cancelled by the loss
+// charged at the true λ), the best misreport sits within a hair of
+// truthful reporting, and its residual gain — driven only by the O(1/m)
+// price feedback through S = Σ1/λ — shrinks as the market grows.
+func TestApproximateStrategyProofness(t *testing.T) {
+	g := paperTestGame(t, 20, 102)
+	under, err := g.Misreport(0, 0.5)
+	if err != nil {
+		t.Fatalf("Misreport: %v", err)
+	}
+	if under.Gain >= 0 {
+		t.Errorf("halving the report gains %v, want a strict loss", under.Gain)
+	}
+	over, err := g.Misreport(0, 2)
+	if err != nil {
+		t.Fatalf("Misreport: %v", err)
+	}
+	if over.Gain >= 0 {
+		t.Errorf("doubling the report gains %v, want a strict loss", over.Gain)
+	}
+	best, err := g.BestMisreport(0, 0, 0)
+	if err != nil {
+		t.Fatalf("BestMisreport: %v", err)
+	}
+	if math.Abs(best.Factor-1) > 0.1 {
+		t.Errorf("best misreport factor = %v, want ≈1 (approximate truthfulness)", best.Factor)
+	}
+	truthful, _ := g.Solve()
+	scale := math.Abs(truthful.SellerProfits[0]) + 1e-30
+	if best.Gain/scale > 0.05 {
+		t.Errorf("best misreport gain is %.2f%% of profit; approximate strategy-proofness broken", best.Gain/scale*100)
+	}
+}
+
+// TestMisreportGainShrinksWithMarketSize: the residual price-feedback gain
+// is O(1/m).
+func TestMisreportGainShrinksWithMarketSize(t *testing.T) {
+	gainAt := func(m int) float64 {
+		g := paperTestGame(t, m, 103)
+		best, err := g.BestMisreport(0, 0.5, 1.5)
+		if err != nil {
+			t.Fatalf("m=%d BestMisreport: %v", m, err)
+		}
+		truthful, _ := g.Solve()
+		return best.Gain / (math.Abs(truthful.SellerProfits[0]) + 1e-30)
+	}
+	small, large := gainAt(5), gainAt(200)
+	if large > small+1e-9 {
+		t.Errorf("relative misreport gain grew with m: %v → %v", small, large)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"share/internal/numeric"
+)
+
+// DeviationReport records how much any single participant could gain by
+// unilaterally deviating from a profile — the operational test of Def. 4.2.
+// At a true SNE every gain is ≤ 0 up to numerical tolerance.
+//
+// Stackelberg semantics: as in the paper's own existence proof (§5.1.4,
+// "when the broker and sellers hold the optimal strategy *expressions* in
+// Eq. 25 and Eq. 20"), a leader's deviation is judged with the lower stages
+// re-reacting along their reaction functions — a deviated p^M induces
+// p^D = v·p^M/2 and then τ*(p^D); a deviated p^D induces τ*(p^D). The
+// sellers, being the last stage, deviate against *fixed* rivals — the
+// ordinary Nash condition (Eq. 16). This also matches how Fig. 2 of the
+// paper is generated (broker and seller profits move with the deviated
+// upstream price, which only happens when downstream stages re-react).
+type DeviationReport struct {
+	// BuyerGain is max over p^M of Φ along the reaction-substituted
+	// objective, minus Φ at p^M*.
+	BuyerGain float64
+	// BuyerBest is the deviating product price achieving BuyerGain.
+	BuyerBest float64
+	// BrokerGain is max over p^D of Ω(p^M*, p^D, τ*(p^D)) minus Ω at p^D*.
+	BrokerGain float64
+	// BrokerBest is the deviating data price achieving BrokerGain.
+	BrokerBest float64
+	// SellerGains[i] is max over τᵢ ∈ [0,1] of Ψᵢ(p^D*, τ*₋ᵢ, τᵢ) minus
+	// Ψᵢ(p^D*, τ*), rivals held fixed.
+	SellerGains []float64
+	// SellerBest[i] is the deviating fidelity achieving SellerGains[i].
+	SellerBest []float64
+}
+
+// MaxGain returns the largest profitable deviation across all participants.
+func (r *DeviationReport) MaxGain() float64 {
+	g := math.Max(r.BuyerGain, r.BrokerGain)
+	for _, s := range r.SellerGains {
+		if s > g {
+			g = s
+		}
+	}
+	return g
+}
+
+// BuyerObjective is the buyer's profit at product price pM with the broker
+// and sellers re-reacting along Eqs. 25 and 20 — the objective Stage 1
+// maximizes, evaluated through the full profile machinery (not the reduced
+// closed form), so it remains exact when fidelities clamp at τ = 1.
+func (g *Game) BuyerObjective(pM float64) float64 {
+	pd := g.Stage2PD(pM)
+	return g.BuyerProfit(pM, g.Stage3Tau(pd))
+}
+
+// BrokerObjective is the broker's profit at data price pD with the buyer's
+// price fixed at pM and the sellers re-reacting along Eq. 20.
+func (g *Game) BrokerObjective(pM, pD float64) float64 {
+	return g.BrokerProfit(pM, pD, g.Stage3Tau(pD))
+}
+
+// VerifySNE searches for profitable unilateral deviations from profile p.
+// Price deviations are searched on [0, 3·x*] brackets around the equilibrium
+// (wide enough to catch any concave objective's maximum; both objectives
+// are single-peaked); seller deviations over the feasible fidelity range
+// [0, 1]. All searches use golden-section on the exact profit functions, so
+// the report remains valid when fidelities are clamped at the boundary.
+func (g *Game) VerifySNE(p *Profile) *DeviationReport {
+	r := &DeviationReport{
+		SellerGains: make([]float64, g.M()),
+		SellerBest:  make([]float64, g.M()),
+	}
+
+	base := g.BuyerObjective(p.PM)
+	best := numeric.GoldenMax(g.BuyerObjective, 0, 3*p.PM+1e-9, 0)
+	r.BuyerBest = best
+	r.BuyerGain = g.BuyerObjective(best) - base
+
+	brokerObj := func(pd float64) float64 { return g.BrokerObjective(p.PM, pd) }
+	baseB := brokerObj(p.PD)
+	bestB := numeric.GoldenMax(brokerObj, 0, 3*p.PD+1e-9, 0)
+	r.BrokerBest = bestB
+	r.BrokerGain = brokerObj(bestB) - baseB
+
+	tau := append([]float64(nil), p.Tau...)
+	for i := range tau {
+		orig := tau[i]
+		obj := func(t float64) float64 {
+			tau[i] = t
+			v := g.SellerProfit(i, p.PD, tau)
+			tau[i] = orig
+			return v
+		}
+		baseS := obj(orig)
+		bestS := numeric.GoldenMax(obj, 0, 1, 0)
+		r.SellerBest[i] = bestS
+		r.SellerGains[i] = obj(bestS) - baseS
+	}
+	return r
+}
+
+// FirstOrderResiduals holds the first-order-condition residuals at a
+// profile: the derivative of each participant's objective with respect to
+// her own strategy, computed numerically. At an interior SNE all residuals
+// are ~0; sellers clamped at τ = 1 may legitimately have positive residuals
+// (their profit is still increasing at the boundary).
+type FirstOrderResiduals struct {
+	// Buyer is dΦ/dp^M at p^M* along the reaction-substituted objective.
+	Buyer float64
+	// Broker is dΩ/dp^D at p^D* along the reactive objective.
+	Broker float64
+	// Sellers[i] is ∂Ψᵢ/∂τᵢ at τᵢ* holding τ₋ᵢ* fixed.
+	Sellers []float64
+	// Clamped[i] reports whether seller i's fidelity sits at the boundary
+	// τ = 1.
+	Clamped []bool
+}
+
+// FirstOrder computes the first-order residuals at profile p.
+func (g *Game) FirstOrder(p *Profile) *FirstOrderResiduals {
+	res := &FirstOrderResiduals{
+		Sellers: make([]float64, g.M()),
+		Clamped: make([]bool, g.M()),
+	}
+	res.Buyer = numeric.Derivative(g.BuyerObjective, p.PM, 0)
+	res.Broker = numeric.Derivative(func(pd float64) float64 {
+		return g.BrokerObjective(p.PM, pd)
+	}, p.PD, 0)
+	tau := append([]float64(nil), p.Tau...)
+	for i := range tau {
+		orig := tau[i]
+		res.Clamped[i] = orig >= 1
+		res.Sellers[i] = numeric.Derivative(func(t float64) float64 {
+			tau[i] = t
+			v := g.SellerProfit(i, p.PD, tau)
+			tau[i] = orig
+			return v
+		}, orig, 0)
+	}
+	return res
+}
+
+// CheckSNE verifies profile p satisfies Def. 4.2 within tolerance tol on
+// profit gains (pass 0 for a default of 1e-6, applied relative to each
+// party's profit scale). It returns nil when no participant can improve by
+// more than the tolerance, and a descriptive error naming the most
+// profitable deviation otherwise.
+func (g *Game) CheckSNE(p *Profile, tol float64) error {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	r := g.VerifySNE(p)
+	scale := 1 + math.Abs(p.BuyerProfit)
+	if r.BuyerGain > tol*scale {
+		return fmt.Errorf("core: buyer can gain %g by deviating to p^M=%g", r.BuyerGain, r.BuyerBest)
+	}
+	scale = 1 + math.Abs(p.BrokerProfit)
+	if r.BrokerGain > tol*scale {
+		return fmt.Errorf("core: broker can gain %g by deviating to p^D=%g", r.BrokerGain, r.BrokerBest)
+	}
+	for i, gain := range r.SellerGains {
+		scale = 1 + math.Abs(p.SellerProfits[i])
+		if gain > tol*scale {
+			return fmt.Errorf("core: seller %d can gain %g by deviating to τ=%g", i, gain, r.SellerBest[i])
+		}
+	}
+	return nil
+}

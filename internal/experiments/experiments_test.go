@@ -1,0 +1,391 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"share/internal/numeric"
+)
+
+func setupAnalytic(t *testing.T) *Setup {
+	t.Helper()
+	s, err := NewSetup(100, DefaultSeed, false)
+	if err != nil {
+		t.Fatalf("NewSetup: %v", err)
+	}
+	return s
+}
+
+// --- Fig. 2: each party's profit peaks at her SNE strategy ---
+
+func TestFig2aBuyerProfitPeaksAtEquilibrium(t *testing.T) {
+	s := setupAnalytic(t)
+	p, err := s.Game.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	series, err := Fig2a(s.Game, 0, 0)
+	if err != nil {
+		t.Fatalf("Fig2a: %v", err)
+	}
+	peak, err := series.ArgMaxX("buyer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sweep grid has finite resolution; the peak must be the grid point
+	// nearest p^M*.
+	step := (series.Rows[1].X - series.Rows[0].X)
+	if math.Abs(peak-p.PM) > step {
+		t.Errorf("buyer profit peaks at %v, want ≈ p^M* = %v", peak, p.PM)
+	}
+	// Broker profit increases with p^M (paper: "with growing p^M, the
+	// broker can gain more profit"), and so does the seller's.
+	broker, _ := series.Column("broker")
+	seller, _ := series.Column("seller1")
+	assertIncreasing(t, "fig2a broker", broker)
+	assertIncreasing(t, "fig2a seller1", seller)
+}
+
+func TestFig2bBrokerProfitPeaksAtEquilibrium(t *testing.T) {
+	s := setupAnalytic(t)
+	p, _ := s.Game.Solve()
+	series, err := Fig2b(s.Game, 0, 0)
+	if err != nil {
+		t.Fatalf("Fig2b: %v", err)
+	}
+	peak, _ := series.ArgMaxX("broker")
+	step := series.Rows[1].X - series.Rows[0].X
+	if math.Abs(peak-p.PD) > step {
+		t.Errorf("broker profit peaks at %v, want ≈ p^D* = %v", peak, p.PD)
+	}
+	// Growing p^D adds seller compensation and buyer quality (paper §6.2).
+	seller, _ := series.Column("seller1")
+	buyer, _ := series.Column("buyer")
+	assertIncreasing(t, "fig2b seller1", seller)
+	assertIncreasing(t, "fig2b buyer", buyer)
+}
+
+func TestFig2cSellerProfitPeaksAtEquilibrium(t *testing.T) {
+	s := setupAnalytic(t)
+	p, _ := s.Game.Solve()
+	series, err := Fig2c(s.Game, 0, 0)
+	if err != nil {
+		t.Fatalf("Fig2c: %v", err)
+	}
+	peak, _ := series.ArgMaxX("seller1")
+	step := series.Rows[1].X - series.Rows[0].X
+	if math.Abs(peak-p.Tau[0]) > step {
+		t.Errorf("S₁ profit peaks at %v, want ≈ τ₁* = %v", peak, p.Tau[0])
+	}
+	// Dilution: S₂'s profit barely moves as τ₁ sweeps (m = 100).
+	s2, _ := series.Column("seller2")
+	lo, hi := minMax(s2)
+	if rel := (hi - lo) / (math.Abs(hi) + 1e-30); rel > 0.05 {
+		t.Errorf("S₂'s profit varies %v%% under τ₁ deviation; dilution should keep it near-flat", rel*100)
+	}
+	// Broker near-flat too ("the broker can nearly keep her profit").
+	broker, _ := series.Column("broker")
+	lo, hi = minMax(broker)
+	if rel := (hi - lo) / (math.Abs(hi) + 1e-30); rel > 0.05 {
+		t.Errorf("broker profit varies %v%% under τ₁ deviation", rel*100)
+	}
+}
+
+// --- Figs. 4–8: sensitivity shapes ---
+
+func TestFig4Shapes(t *testing.T) {
+	s := setupAnalytic(t)
+	strat, prof, err := Fig4(s.Game)
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	for _, col := range []string{"pM", "pD", "tau1"} {
+		ys, _ := strat.Column(col)
+		assertIncreasing(t, "fig4 "+col, ys)
+	}
+	buyer, _ := prof.Column("buyer")
+	assertDecreasing(t, "fig4 buyer", buyer)
+	broker, _ := prof.Column("broker")
+	assertIncreasing(t, "fig4 broker", broker)
+	seller, _ := prof.Column("seller1")
+	assertIncreasing(t, "fig4 seller1", seller)
+	// "All the strategies boost in a linear rate": the paper's plot is
+	// visually linear; we assert rough linearity (no strong curvature).
+	pm, _ := strat.Column("pM")
+	assertNearLinear(t, "fig4 pM", strat.Xs(), pm, 0.2)
+}
+
+func TestFig5Shapes(t *testing.T) {
+	s := setupAnalytic(t)
+	strat, prof, err := Fig5(s.Game)
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	pm, _ := strat.Column("pM")
+	assertIncreasing(t, "fig5 pM", pm)
+	// Saturation: p^M* → 1/√c₂ as ρ₁ → ∞; the last steps change little.
+	n := len(pm)
+	firstStep := pm[1] - pm[0]
+	lastStep := pm[n-1] - pm[n-2]
+	if lastStep > firstStep {
+		t.Errorf("fig5 pM should saturate: first step %v, last step %v", firstStep, lastStep)
+	}
+	limit := 1 / math.Sqrt(secondCoefficient(s))
+	if pm[n-1] > limit {
+		t.Errorf("fig5 pM exceeded its theoretical cap: %v > %v", pm[n-1], limit)
+	}
+	buyer, _ := prof.Column("buyer")
+	assertIncreasing(t, "fig5 buyer", buyer)
+}
+
+func secondCoefficient(s *Setup) float64 {
+	_, c2 := s.Game.StageCoefficients()
+	return c2
+}
+
+func TestFig6Shapes(t *testing.T) {
+	s := setupAnalytic(t)
+	strat, prof, err := Fig6(s.Game)
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	// ρ₂ never enters the equilibrium: strategies exactly flat.
+	for _, col := range []string{"pM", "pD", "tau1", "tau2"} {
+		ys, _ := strat.Column(col)
+		lo, hi := minMax(ys)
+		if hi-lo > 1e-12*(1+math.Abs(hi)) {
+			t.Errorf("fig6 %s not flat: range [%v, %v]", col, lo, hi)
+		}
+	}
+	buyer, _ := prof.Column("buyer")
+	assertIncreasing(t, "fig6 buyer", buyer)
+	for _, col := range []string{"broker", "seller1"} {
+		ys, _ := prof.Column(col)
+		lo, hi := minMax(ys)
+		if hi-lo > 1e-12*(1+math.Abs(hi)) {
+			t.Errorf("fig6 %s profit not flat", col)
+		}
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	s := setupAnalytic(t)
+	strat, prof, err := Fig7(s.Game)
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	// Prices exactly flat (weights don't enter Stages 1–2).
+	for _, col := range []string{"pM", "pD"} {
+		ys, _ := strat.Column(col)
+		lo, hi := minMax(ys)
+		if hi-lo > 1e-12*(1+math.Abs(hi)) {
+			t.Errorf("fig7 %s not flat", col)
+		}
+	}
+	// τ₁ strictly decreasing in ω₁ (τ₁ ∝ 1/√ω₁ dominates the aggregate
+	// term at m=100); τ₂ near-flat (dilution).
+	tau1, _ := strat.Column("tau1")
+	assertDecreasing(t, "fig7 tau1", tau1)
+	tau2, _ := strat.Column("tau2")
+	lo, hi := minMax(tau2)
+	if (hi-lo)/(math.Abs(hi)+1e-30) > 0.05 {
+		t.Errorf("fig7 tau2 moved %v%%, dilution should keep it near-flat", (hi-lo)/hi*100)
+	}
+	// Broker profit stable.
+	broker, _ := prof.Column("broker")
+	lo, hi = minMax(broker)
+	if (hi-lo)/(math.Abs(hi)+1e-30) > 0.05 {
+		t.Errorf("fig7 broker profit moved %v%%", (hi-lo)/math.Abs(hi)*100)
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	s := setupAnalytic(t)
+	strat, prof, err := Fig8(s.Game)
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	tau1, _ := strat.Column("tau1")
+	assertDecreasing(t, "fig8 tau1", tau1)
+	pm, _ := strat.Column("pM")
+	assertIncreasing(t, "fig8 pM", pm)
+	pd, _ := strat.Column("pD")
+	assertIncreasing(t, "fig8 pD", pd)
+	seller1, _ := prof.Column("seller1")
+	assertDecreasing(t, "fig8 seller1", seller1)
+	// Broker profit nearly unchanged ("the broker... just transfers data").
+	broker, _ := prof.Column("broker")
+	lo, hi := minMax(broker)
+	if (hi-lo)/(math.Abs(hi)+1e-30) > 0.10 {
+		t.Errorf("fig8 broker profit moved %v%%", (hi-lo)/math.Abs(hi)*100)
+	}
+}
+
+// --- Mean-field and ablation harnesses ---
+
+func TestMeanFieldErrorSeriesWithinBounds(t *testing.T) {
+	series, err := MeanFieldError(0, []int{10, 50, 200}, 0)
+	if err != nil {
+		t.Fatalf("MeanFieldError: %v", err)
+	}
+	errs, _ := series.Column("error")
+	los, _ := series.Column("lower_bound")
+	his, _ := series.Column("upper_bound")
+	for i := range errs {
+		if errs[i] <= los[i] || errs[i] >= his[i] {
+			t.Errorf("m=%v: error %v outside (%v, %v)", series.Rows[i].X, errs[i], los[i], his[i])
+		}
+	}
+	// Error magnitude shrinks with m.
+	if math.Abs(errs[len(errs)-1]) > math.Abs(errs[0]) {
+		t.Errorf("error grew with m: %v → %v", errs[0], errs[len(errs)-1])
+	}
+}
+
+func TestAblationShareDominatesQuality(t *testing.T) {
+	s := setupAnalytic(t)
+	series, names, err := Ablation(s.Game, s.Rng)
+	if err != nil {
+		t.Fatalf("Ablation: %v", err)
+	}
+	if names[0] != "share" {
+		t.Fatalf("first mechanism = %q", names[0])
+	}
+	qd, _ := series.Column("qD")
+	for i := 1; i < len(qd); i++ {
+		if qd[i] > qd[0]+1e-9 {
+			t.Errorf("%s beats Share on quality: %v > %v", names[i], qd[i], qd[0])
+		}
+	}
+}
+
+func TestVCGComparisonStructure(t *testing.T) {
+	series, err := VCGComparison([]int{5, 20, 50}, 0)
+	if err != nil {
+		t.Fatalf("VCGComparison: %v", err)
+	}
+	gaps, _ := series.Column("max_quality_gap")
+	ratios, _ := series.Column("payment_ratio")
+	for i := range gaps {
+		if gaps[i] > 1e-9 {
+			t.Errorf("m=%v: Nash and VCG allocations differ by %v", series.Rows[i].X, gaps[i])
+		}
+		if ratios[i] <= 1 {
+			t.Errorf("m=%v: VCG payment ratio %v ≤ 1", series.Rows[i].X, ratios[i])
+		}
+	}
+}
+
+func TestAnalyticVsNumericAgreement(t *testing.T) {
+	s, err := NewSetup(10, DefaultSeed, false)
+	if err != nil {
+		t.Fatalf("NewSetup: %v", err)
+	}
+	series, err := AnalyticVsNumeric(s.Game, []float64{0.01, 0.02, 0.05})
+	if err != nil {
+		t.Fatalf("AnalyticVsNumeric: %v", err)
+	}
+	gaps, _ := series.Column("max_tau_gap")
+	for i, gap := range gaps {
+		if gap > 1e-5 {
+			t.Errorf("pD=%v: analytic/numeric gap = %v", series.Rows[i].X, gap)
+		}
+	}
+}
+
+// --- Series plumbing ---
+
+func TestSeriesCSV(t *testing.T) {
+	s := &Series{Name: "t", Title: "test", XLabel: "x", Columns: []string{"a", "b"}}
+	s.Add(1, 10, 20)
+	s.Add(2, 30, 40)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# t: test\n") {
+		t.Errorf("missing title comment: %q", out)
+	}
+	if !strings.Contains(out, "x,a,b") || !strings.Contains(out, "2,30,40") {
+		t.Errorf("CSV content wrong: %q", out)
+	}
+}
+
+func TestSeriesColumnErrors(t *testing.T) {
+	s := &Series{Name: "t", Columns: []string{"a"}}
+	if _, err := s.Column("missing"); err == nil {
+		t.Error("Column accepted a missing name")
+	}
+	if _, err := s.ArgMaxX("a"); err == nil {
+		t.Error("ArgMaxX accepted an empty series")
+	}
+}
+
+func TestSeriesAddPanicsOnArity(t *testing.T) {
+	s := &Series{Name: "t", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("Add accepted wrong arity")
+		}
+	}()
+	s.Add(1, 2)
+}
+
+// --- helpers ---
+
+func assertIncreasing(t *testing.T, name string, ys []float64) {
+	t.Helper()
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1]-1e-12*(1+math.Abs(ys[i-1])) {
+			t.Errorf("%s not non-decreasing at %d: %v → %v", name, i, ys[i-1], ys[i])
+			return
+		}
+	}
+	if len(ys) > 1 && !(ys[len(ys)-1] > ys[0]) {
+		t.Errorf("%s flat overall: %v → %v", name, ys[0], ys[len(ys)-1])
+	}
+}
+
+func assertDecreasing(t *testing.T, name string, ys []float64) {
+	t.Helper()
+	neg := make([]float64, len(ys))
+	for i, y := range ys {
+		neg[i] = -y
+	}
+	assertIncreasing(t, name+" (negated)", neg)
+}
+
+func assertNearLinear(t *testing.T, name string, xs, ys []float64, tol float64) {
+	t.Helper()
+	// Fit y = a + b·x by least squares on the two endpoints, then bound the
+	// relative deviation of interior points.
+	n := len(xs)
+	b := (ys[n-1] - ys[0]) / (xs[n-1] - xs[0])
+	a := ys[0] - b*xs[0]
+	span := math.Abs(ys[n-1]-ys[0]) + 1e-30
+	for i := range xs {
+		pred := a + b*xs[i]
+		if math.Abs(ys[i]-pred)/span > tol {
+			t.Errorf("%s deviates from linear at x=%v: %v vs %v", name, xs[i], ys[i], pred)
+			return
+		}
+	}
+}
+
+func minMax(ys []float64) (lo, hi float64) {
+	lo, hi = ys[0], ys[0]
+	for _, y := range ys[1:] {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	return lo, hi
+}
+
+var _ = numeric.Linspace // keep the import available for future harness tests

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"share/internal/core"
+	"share/internal/dataset"
+	"share/internal/ldp"
+	"share/internal/stat"
+)
+
+func TestFig2cEmpiricalRunsAndKeepsSellerShape(t *testing.T) {
+	rng := stat.NewRand(DefaultSeed)
+	g := core.PaperGame(10, rng)
+	full := dataset.SyntheticCCPP(1100, rng)
+	train, test := full.Split(1000)
+	chunks, err := dataset.PartitionEqual(train.Clone(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := dataset.CCPPBounds()
+	bounds, err := ldp.NewBounds(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := Fig2cEmpirical(g, chunks, test, ldp.NewLaplace(bounds), rng)
+	if err != nil {
+		t.Fatalf("Fig2cEmpirical: %v", err)
+	}
+	if len(series.Rows) != 21 {
+		t.Fatalf("rows = %d", len(series.Rows))
+	}
+	// The analytic seller curve still peaks at τ₁* — model noise only
+	// touches the buyer's empirical column.
+	p, err := g.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, err := series.ArgMaxX("seller1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := series.Rows[1].X - series.Rows[0].X
+	if math.Abs(peak-p.Tau[0]) > step {
+		t.Errorf("S₁ profit peaks at %v, want ≈ τ₁* = %v", peak, p.Tau[0])
+	}
+	// Realized performance is a valid score.
+	vs, _ := series.Column("realized_v")
+	for i, v := range vs {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Errorf("realized v[%d] = %v", i, v)
+		}
+	}
+	// Chunk mismatch is rejected.
+	if _, err := Fig2cEmpirical(g, chunks[:5], test, ldp.NewLaplace(bounds), rng); err == nil {
+		t.Error("accepted mismatched chunk count")
+	}
+}
+
+func TestWelfarePlannerBeatsMarket(t *testing.T) {
+	g := core.PaperGame(15, stat.NewRand(DefaultSeed))
+	res, err := Welfare(g)
+	if err != nil {
+		t.Fatalf("Welfare: %v", err)
+	}
+	// The planner can always at least match the market (she may pick τ*).
+	if res.Planner < res.SNE-1e-9 {
+		t.Errorf("planner welfare %v below market welfare %v", res.Planner, res.SNE)
+	}
+	if res.PriceOfAnarchy < 1-1e-9 {
+		t.Errorf("price of anarchy %v < 1", res.PriceOfAnarchy)
+	}
+	for i, tau := range res.PlannerTau {
+		if tau < 0 || tau > 1 {
+			t.Errorf("planner τ[%d] = %v outside [0,1]", i, tau)
+		}
+	}
+}
+
+func TestWelfareSweepMonotoneStructure(t *testing.T) {
+	g := core.PaperGame(10, stat.NewRand(DefaultSeed))
+	series, err := WelfareSweep(g, []float64{0.1, 0.5, 2})
+	if err != nil {
+		t.Fatalf("WelfareSweep: %v", err)
+	}
+	sne, _ := series.Column("welfare_sne")
+	planner, _ := series.Column("welfare_planner")
+	for i := range sne {
+		if planner[i] < sne[i]-1e-9 {
+			t.Errorf("ρ₁=%v: planner %v < market %v", series.Rows[i].X, planner[i], sne[i])
+		}
+	}
+	// Welfare grows with the buyer's data appetite for both regimes.
+	if !(sne[2] > sne[0]) || !(planner[2] > planner[0]) {
+		t.Error("welfare should grow with ρ₁")
+	}
+}
+
+func TestSocialWelfareDecomposition(t *testing.T) {
+	// W(τ*) must equal the sum of all equilibrium profits (transfers
+	// cancel).
+	g := core.PaperGame(12, stat.NewRand(DefaultSeed))
+	p, err := g.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	total += p.BuyerProfit + p.BrokerProfit
+	for _, s := range p.SellerProfits {
+		total += s
+	}
+	w := SocialWelfare(g, p.Tau)
+	if math.Abs(w-total) > 1e-9*(1+math.Abs(total)) {
+		t.Errorf("welfare %v != profit sum %v", w, total)
+	}
+}

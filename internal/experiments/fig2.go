@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"share/internal/core"
+	"share/internal/numeric"
+)
+
+// Fig. 2 — effectiveness: each subplot perturbs one participant's strategy
+// around its SNE value while the rest of the market behaves per the
+// mechanism, and plots every party's profit. The reproduction criterion is
+// that each party's profit peaks exactly at her equilibrium strategy.
+//
+// Deviation semantics follow the paper's curves (§6.2): when an upstream
+// price deviates, the downstream stages re-react along their reaction
+// functions (the broker's profit visibly grows with p^M and the sellers'
+// with p^D, which only happens under re-reaction); when a seller deviates,
+// her rivals hold their equilibrium fidelities (the Nash condition).
+
+// DeviationPoints is the number of x samples per Fig. 2 sweep.
+const DeviationPoints = 41
+
+// Fig2a sweeps the product price p^M across [lo, hi]·p^M* (defaults 0.2–2
+// when lo/hi are 0) and records Φ (buyer), Ω (broker) and Ψ₁ (seller S₁).
+func Fig2a(g *core.Game, lo, hi float64) (*Series, error) {
+	p, err := g.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if lo <= 0 {
+		lo = 0.2
+	}
+	if hi <= lo {
+		hi = 2.0
+	}
+	s := &Series{
+		Name:    "fig2a",
+		Title:   "Profit vs p^M deviation (SNE at p^M*=" + fmtG(p.PM) + ")",
+		XLabel:  "pM",
+		Columns: []string{"buyer", "broker", "seller1"},
+	}
+	for _, x := range numeric.Linspace(lo*p.PM, hi*p.PM, DeviationPoints) {
+		pd := g.Stage2PD(x)
+		tau := g.Stage3Tau(pd)
+		prof := g.EvaluateProfile(x, pd, tau)
+		s.Add(x, prof.BuyerProfit, prof.BrokerProfit, prof.SellerProfits[0])
+	}
+	return s, nil
+}
+
+// Fig2b sweeps the data price p^D across [lo, hi]·p^D* with p^M fixed at the
+// equilibrium and sellers re-reacting, recording Φ, Ω and Ψ₁.
+func Fig2b(g *core.Game, lo, hi float64) (*Series, error) {
+	p, err := g.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if lo <= 0 {
+		lo = 0.2
+	}
+	if hi <= lo {
+		hi = 2.0
+	}
+	s := &Series{
+		Name:    "fig2b",
+		Title:   "Profit vs p^D deviation (SNE at p^D*=" + fmtG(p.PD) + ")",
+		XLabel:  "pD",
+		Columns: []string{"buyer", "broker", "seller1"},
+	}
+	for _, x := range numeric.Linspace(lo*p.PD, hi*p.PD, DeviationPoints) {
+		tau := g.Stage3Tau(x)
+		prof := g.EvaluateProfile(p.PM, x, tau)
+		s.Add(x, prof.BuyerProfit, prof.BrokerProfit, prof.SellerProfits[0])
+	}
+	return s, nil
+}
+
+// Fig2c sweeps seller S₁'s fidelity τ₁ across [lo, hi]·τ₁* with all other
+// strategies fixed at equilibrium, recording Φ, Ω, Ψ₁ and Ψ₂ (S₂ shows the
+// dilution effect: with m large, τ₁'s influence on rivals is negligible).
+func Fig2c(g *core.Game, lo, hi float64) (*Series, error) {
+	p, err := g.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if lo <= 0 {
+		lo = 0.2
+	}
+	if hi <= lo {
+		hi = 2.0
+	}
+	s := &Series{
+		Name:    "fig2c",
+		Title:   "Profit vs τ₁ deviation (SNE at τ₁*=" + fmtG(p.Tau[0]) + ")",
+		XLabel:  "tau1",
+		Columns: []string{"buyer", "broker", "seller1", "seller2"},
+	}
+	tau := append([]float64(nil), p.Tau...)
+	for _, x := range numeric.Linspace(lo*p.Tau[0], min2(1, hi*p.Tau[0]), DeviationPoints) {
+		tau[0] = x
+		prof := g.EvaluateProfile(p.PM, p.PD, tau)
+		s.Add(x, prof.BuyerProfit, prof.BrokerProfit, prof.SellerProfits[0], prof.SellerProfits[1])
+	}
+	return s, nil
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"share/internal/core"
+	"share/internal/stat"
+)
+
+// Mean-field analysis (Theorem 5.1): for growing seller counts, compare the
+// exact inner Nash equilibrium of the alternative-loss game ("direct
+// derivation", the Eq. 24 fixed point) against the mean-field approximation
+// (Eq. 23), under the ω-scaling precondition ωᵢ/λᵢ ≤ 1/(p^D·m²). The
+// reproduction criteria are (a) the signed error τ̄^DD − τ̄^MF stays inside
+// (−1/(6m²), 1/m − 2/(3m²)) and (b) it shrinks as m grows.
+
+// MeanFieldSizes is the default m sweep for the error analysis.
+var MeanFieldSizes = []int{10, 20, 50, 100, 200, 500, 1000, 2000}
+
+// MeanFieldError runs the Theorem 5.1 comparison at data price pD (0 → the
+// equilibrium p^D* of the paper-default game) over the given sizes (nil →
+// MeanFieldSizes). Columns: the signed error, the theorem's lower and upper
+// bounds, and the wall-clock of each solver.
+func MeanFieldError(pD float64, sizes []int, seed int64) (*Series, error) {
+	if len(sizes) == 0 {
+		sizes = MeanFieldSizes
+	}
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	rng := stat.NewRand(seed)
+	s := &Series{
+		Name:   "meanfield",
+		Title:  "Theorem 5.1: mean-field approximation error vs m",
+		XLabel: "m",
+		Columns: []string{
+			"error", "lower_bound", "upper_bound",
+			"dd_seconds", "mf_seconds",
+		},
+	}
+	for _, m := range sizes {
+		g := core.PaperGame(m, rng)
+		price := pD
+		if price <= 0 {
+			p, err := g.Solve()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: meanfield m=%d: %w", m, err)
+			}
+			price = p.PD
+		}
+		if err := g.ScaleWeightsForBound(price); err != nil {
+			return nil, fmt.Errorf("experiments: meanfield m=%d: %w", m, err)
+		}
+
+		t0 := time.Now()
+		dd, err := g.DirectTauMF(price, 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: meanfield m=%d direct derivation: %w", m, err)
+		}
+		ddSec := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		mf := g.MeanFieldTau(price)
+		mfSec := time.Since(t0).Seconds()
+
+		errVal := g.MeanFieldState(dd) - g.MeanFieldState(mf)
+		lo, hi := core.Theorem51Bounds(m)
+		s.Add(float64(m), errVal, lo, hi, ddSec, mfSec)
+	}
+	return s, nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"share/internal/core"
+	"share/internal/numeric"
+)
+
+// Figs. 4–8 — parameter sensitivity: each harness sweeps one parameter of
+// one participant across a range, re-solves the game, and records both the
+// equilibrium strategies (subplot a) and the profits (subplot b). Reproduction
+// criteria per figure are listed in DESIGN.md §3.
+
+// sweep re-solves the game for each x after modify(g, x) and emits two
+// series: strategies (pM, pD, tau1, tau2) and profits (buyer, broker,
+// seller1, seller2).
+func sweep(name, title, xlabel string, g *core.Game, xs []float64, modify func(*core.Game, float64)) (strategies, profits *Series, err error) {
+	strategies = &Series{
+		Name: name + "a", Title: title + " (strategies)", XLabel: xlabel,
+		Columns: []string{"pM", "pD", "tau1", "tau2"},
+	}
+	profits = &Series{
+		Name: name + "b", Title: title + " (profits)", XLabel: xlabel,
+		Columns: []string{"buyer", "broker", "seller1", "seller2"},
+	}
+	for _, x := range xs {
+		gx := g.Clone()
+		modify(gx, x)
+		p, err := gx.Solve()
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: %s at %s=%g: %w", name, xlabel, x, err)
+		}
+		strategies.Add(x, p.PM, p.PD, p.Tau[0], p.Tau[1])
+		profits.Add(x, p.BuyerProfit, p.BrokerProfit, p.SellerProfits[0], p.SellerProfits[1])
+	}
+	return strategies, profits, nil
+}
+
+// Fig4 sweeps the buyer's dataset-quality concern θ₁ over [0.1, 0.9]
+// (θ₂ = 1 − θ₁). Expected: strategies rise roughly linearly; buyer profit
+// falls while broker and seller profits rise.
+func Fig4(g *core.Game) (strategies, profits *Series, err error) {
+	return sweep("fig4", "Effect of θ₁", "theta1", g,
+		numeric.Linspace(0.1, 0.9, 17),
+		func(gx *core.Game, x float64) {
+			gx.Buyer.Theta1 = x
+			gx.Buyer.Theta2 = 1 - x
+		})
+}
+
+// Fig5 sweeps the buyer's dataset-quality sensitivity ρ₁ (log scale over
+// [0.01, 10]). Expected: strategies rise then saturate (pM* → 1/√c₂ as
+// ρ₁ → ∞); buyer profit rises throughout; broker and seller profits flatten
+// once strategies saturate.
+func Fig5(g *core.Game) (strategies, profits *Series, err error) {
+	return sweep("fig5", "Effect of ρ₁", "rho1", g,
+		numeric.Logspace(0.01, 10, 16),
+		func(gx *core.Game, x float64) { gx.Buyer.Rho1 = x })
+}
+
+// Fig6 sweeps the buyer's performance sensitivity ρ₂ (log scale over
+// [10, 1000]). Expected: strategies are exactly flat (ρ₂ never enters the
+// equilibrium formulas); only the buyer's profit rises.
+func Fig6(g *core.Game) (strategies, profits *Series, err error) {
+	return sweep("fig6", "Effect of ρ₂", "rho2", g,
+		numeric.Logspace(10, 1000, 16),
+		func(gx *core.Game, x float64) { gx.Buyer.Rho2 = x })
+}
+
+// Fig7 sweeps seller S₁'s dataset weight ω₁ over [0.1, 0.6] with the other
+// weights untouched. Expected: only S₁'s fidelity moves (τ₁ ∝ 1/√ω₁);
+// buyer/broker prices are exactly flat (weights never enter Stage 1–2);
+// S₂'s strategy barely moves (diluted through the Eq. 20 aggregate).
+func Fig7(g *core.Game) (strategies, profits *Series, err error) {
+	return sweep("fig7", "Effect of ω₁", "omega1", g,
+		numeric.Linspace(0.1, 0.6, 11),
+		func(gx *core.Game, x float64) { gx.Broker.Weights[0] = x })
+}
+
+// Fig8 sweeps seller S₁'s privacy sensitivity λ₁ over [0.1, 0.9]. Expected:
+// τ₁ sinks (stronger self-protection); p^M and p^D rise slightly (S = Σ1/λ
+// shrinks); S₁'s profit falls; the broker's stays nearly flat.
+func Fig8(g *core.Game) (strategies, profits *Series, err error) {
+	return sweep("fig8", "Effect of λ₁", "lambda1", g,
+		numeric.Linspace(0.1, 0.9, 17),
+		func(gx *core.Game, x float64) { gx.Sellers.Lambda[0] = x })
+}

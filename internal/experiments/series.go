@@ -1,0 +1,133 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§6): the Fig. 2 effectiveness curves (profit under unilateral deviation),
+// the Fig. 3 efficiency curves (trading-algorithm runtime vs seller count,
+// with and without Shapley weight updates), the Fig. 4–8 parameter
+// sensitivity sweeps, plus two analyses the paper states but does not plot —
+// the Theorem 5.1 mean-field error bound and a mechanism ablation against
+// the baselines.
+//
+// Each harness returns a Series: a labeled table of rows that cmd/share-bench
+// renders as CSV and bench_test.go exercises as testing.B benchmarks.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"share/internal/plot"
+)
+
+// Series is one figure's (or subplot's) data: an x column and named y
+// columns.
+type Series struct {
+	// Name is the machine-readable identifier, e.g. "fig2a".
+	Name string
+	// Title describes the figure, e.g. "Profit vs p^M deviation".
+	Title string
+	// XLabel names the x column.
+	XLabel string
+	// Columns name the y columns in order.
+	Columns []string
+	// Rows hold the data.
+	Rows []Row
+}
+
+// Row is one x position with its y values (aligned with Series.Columns).
+type Row struct {
+	X float64
+	Y []float64
+}
+
+// Add appends a row; the number of values must match Columns.
+func (s *Series) Add(x float64, ys ...float64) {
+	if len(ys) != len(s.Columns) {
+		panic(fmt.Sprintf("experiments: series %s expects %d columns, got %d", s.Name, len(s.Columns), len(ys)))
+	}
+	s.Rows = append(s.Rows, Row{X: x, Y: append([]float64(nil), ys...)})
+}
+
+// Column returns the values of the named column in row order.
+func (s *Series) Column(name string) ([]float64, error) {
+	for j, c := range s.Columns {
+		if c == name {
+			out := make([]float64, len(s.Rows))
+			for i, r := range s.Rows {
+				out[i] = r.Y[j]
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: series %s has no column %q", s.Name, name)
+}
+
+// Xs returns the x values in row order.
+func (s *Series) Xs() []float64 {
+	out := make([]float64, len(s.Rows))
+	for i, r := range s.Rows {
+		out[i] = r.X
+	}
+	return out
+}
+
+// WriteCSV emits the series with a header (# title comment, then columns).
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", s.Name, s.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{s.XLabel}, s.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, r := range s.Rows {
+		rec[0] = strconv.FormatFloat(r.X, 'g', 8, 64)
+		for j, y := range r.Y {
+			rec[j+1] = strconv.FormatFloat(y, 'g', 8, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// PlotString renders the series as an ASCII chart, one line per column.
+// logX plots the x axis on a log scale (for the m sweeps).
+func (s *Series) PlotString(logX bool) string {
+	xs := s.Xs()
+	lines := make([]plot.Line, len(s.Columns))
+	for j, name := range s.Columns {
+		ys := make([]float64, len(s.Rows))
+		for i, r := range s.Rows {
+			ys[i] = r.Y[j]
+		}
+		lines[j] = plot.Line{Name: name, Xs: xs, Ys: ys}
+	}
+	return plot.Render(lines, plot.Options{
+		Title:  fmt.Sprintf("%s — %s", s.Name, s.Title),
+		XLabel: s.XLabel,
+		LogX:   logX,
+	})
+}
+
+// ArgMaxX returns the x at which the named column attains its maximum.
+func (s *Series) ArgMaxX(column string) (float64, error) {
+	ys, err := s.Column(column)
+	if err != nil {
+		return 0, err
+	}
+	if len(ys) == 0 {
+		return 0, fmt.Errorf("experiments: series %s is empty", s.Name)
+	}
+	best, bestX := ys[0], s.Rows[0].X
+	for i, y := range ys {
+		if y > best {
+			best, bestX = y, s.Rows[i].X
+		}
+	}
+	return bestX, nil
+}

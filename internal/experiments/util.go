@@ -1,0 +1,6 @@
+package experiments
+
+import "strconv"
+
+// fmtG renders a float compactly for series titles.
+func fmtG(x float64) string { return strconv.FormatFloat(x, 'g', 5, 64) }

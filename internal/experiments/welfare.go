@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"share/internal/core"
+	"share/internal/nash"
+)
+
+// Welfare analysis (extension): how much social welfare does the
+// Stackelberg-Nash market leave on the table relative to a central planner?
+//
+// Social welfare is the sum of all profits; prices are pure transfers and
+// cancel, leaving
+//
+//	W(τ) = U(q^D(τ)) − C(N, v) − Σᵢ λᵢ(χᵢτᵢ)².
+//
+// A planner chooses the whole fidelity vector to maximize W directly; the
+// market reaches its τ* through three layers of selfish optimization. The
+// ratio W_planner / W_SNE is the (pure-strategy) price of anarchy of the
+// mechanism for a given parameterization.
+
+// WelfareResult reports one game's welfare comparison.
+type WelfareResult struct {
+	// SNE is the welfare at the market equilibrium.
+	SNE float64
+	// Planner is the welfare at the (numerically) planner-optimal τ.
+	Planner float64
+	// PriceOfAnarchy is Planner/SNE (1 = fully efficient market).
+	PriceOfAnarchy float64
+	// PlannerTau is the planner's fidelity vector.
+	PlannerTau []float64
+}
+
+// SocialWelfare evaluates W(τ) for the game.
+func SocialWelfare(g *core.Game, tau []float64) float64 {
+	qD := g.DatasetQuality(tau)
+	chi := g.Allocation(tau)
+	w := g.Utility(qD) - g.ManufacturingCost()
+	for i, t := range tau {
+		q := chi[i] * t
+		w -= g.Sellers.Lambda[i] * q * q
+	}
+	return w
+}
+
+// Welfare computes the welfare comparison for a game. The planner's optimum
+// is found by coordinate ascent on W (every "player" maximizes the common
+// welfare objective — a potential-game view of the planner's problem),
+// started from the SNE fidelities.
+func Welfare(g *core.Game) (*WelfareResult, error) {
+	p, err := g.Solve()
+	if err != nil {
+		return nil, err
+	}
+	sne := SocialWelfare(g, p.Tau)
+
+	ng := &nash.Game{
+		Players: g.M(),
+		Payoff: func(i int, x float64, s []float64) float64 {
+			tau := append([]float64(nil), s...)
+			tau[i] = x
+			return SocialWelfare(g, tau)
+		},
+	}
+	// Coarse tolerances: the welfare surface has a near-flat ridge (the
+	// allocation rule is homogeneous in τ, so scaling trades q^D against
+	// loss very gently) and chasing 1e-9 there costs minutes for digits
+	// that don't change the comparison.
+	res, err := ng.Solve(nash.Options{
+		Start:    p.Tau,
+		Damping:  1,
+		Tol:      1e-5,
+		InnerTol: 1e-7,
+		MaxIter:  100,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: planner ascent: %w", err)
+	}
+	planner := SocialWelfare(g, res.Strategies)
+	if planner < sne {
+		// Numerical ascent on a flat ridge can end a hair below the
+		// start; the planner can always adopt the market's τ*.
+		planner = sne
+		res.Strategies = append([]float64(nil), p.Tau...)
+	}
+	out := &WelfareResult{
+		SNE:        sne,
+		Planner:    planner,
+		PlannerTau: res.Strategies,
+	}
+	if sne != 0 {
+		out.PriceOfAnarchy = planner / sne
+	}
+	return out, nil
+}
+
+// WelfareSweep tabulates the price of anarchy as the buyer's data-quality
+// sensitivity ρ₁ grows — the regime where the market's underprovision of
+// fidelity is most visible.
+func WelfareSweep(g *core.Game, rho1s []float64) (*Series, error) {
+	s := &Series{
+		Name:    "welfare",
+		Title:   "Social welfare: market vs planner (price of anarchy)",
+		XLabel:  "rho1",
+		Columns: []string{"welfare_sne", "welfare_planner", "poa"},
+	}
+	for _, r := range rho1s {
+		gx := g.Clone()
+		gx.Buyer.Rho1 = r
+		res, err := Welfare(gx)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: welfare at ρ₁=%g: %w", r, err)
+		}
+		s.Add(r, res.SNE, res.Planner, res.PriceOfAnarchy)
+	}
+	return s, nil
+}

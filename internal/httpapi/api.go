@@ -1,0 +1,477 @@
+// Package httpapi exposes a Share market as a JSON-over-HTTP service — the
+// "large-scale data trading center" of the paper's market assumptions, made
+// operational. A server owns one broker (one market): sellers register with
+// their privacy sensitivity and data, buyers post demands, and each demand
+// runs one full round of Algorithm 1 (strategy decision, LDP data
+// transaction, product manufacture, Shapley weight update, settlement).
+//
+// Endpoints (all JSON):
+//
+//	GET  /v1/health    liveness and market state
+//	POST /v1/sellers   register a seller (before the first trade)
+//	GET  /v1/sellers   list registered sellers
+//	POST /v1/quote     solve the game for a demand without trading
+//	POST /v1/trades    run one trading round for a buyer demand
+//	GET  /v1/trades    list executed transactions
+//	GET  /v1/weights   current broker dataset weights
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+
+	"share/internal/core"
+	"share/internal/dataset"
+	"share/internal/market"
+	"share/internal/product"
+	"share/internal/stat"
+	"share/internal/translog"
+)
+
+// Server is the HTTP facade over one market. It serializes all market
+// operations behind a mutex (the market engine itself is single-threaded,
+// matching the paper's one-buyer-at-a-time assumption).
+type Server struct {
+	mu      sync.Mutex
+	cfg     market.Config
+	sellers []*market.Seller
+	mkt     *market.Market
+	logf    func(format string, args ...any)
+}
+
+// Options configure a Server.
+type Options struct {
+	// Cost is the broker's translog cost model (zero value: paper
+	// defaults).
+	Cost *translog.Params
+	// TestRows sizes the held-out synthetic CCPP test set used to score
+	// products (0 → 500).
+	TestRows int
+	// Update enables Shapley weight updates (nil → the paper's
+	// ω' = 0.2ω + 0.8·SV with 20 permutations).
+	Update *market.WeightUpdate
+	// Seed seeds the server's market randomness.
+	Seed int64
+	// Logf receives request-level log lines (nil → log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// NewServer builds an empty market service: sellers register over HTTP.
+func NewServer(opt Options) *Server {
+	cost := translog.PaperDefaults()
+	if opt.Cost != nil {
+		cost = *opt.Cost
+	}
+	testRows := opt.TestRows
+	if testRows <= 0 {
+		testRows = 500
+	}
+	upd := opt.Update
+	if upd == nil {
+		upd = &market.WeightUpdate{Retain: 0.2, Permutations: 20, TruncateTol: 0.005}
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	rng := stat.NewRand(opt.Seed + 7)
+	return &Server{
+		cfg: market.Config{
+			Cost:    cost,
+			TestSet: dataset.SyntheticCCPP(testRows, rng),
+			Update:  upd,
+			Seed:    opt.Seed,
+		},
+		logf: logf,
+	}
+}
+
+// Handler returns the routed http.Handler for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	mux.HandleFunc("POST /v1/sellers", s.handleRegisterSeller)
+	mux.HandleFunc("GET /v1/sellers", s.handleListSellers)
+	mux.HandleFunc("POST /v1/quote", s.handleQuote)
+	mux.HandleFunc("POST /v1/trades", s.handleTrade)
+	mux.HandleFunc("GET /v1/trades", s.handleListTrades)
+	mux.HandleFunc("GET /v1/weights", s.handleWeights)
+	return mux
+}
+
+// --- wire types ---
+
+// SellerRegistration is the POST /v1/sellers request body. Exactly one of
+// Rows/Targets or SyntheticRows must supply data.
+type SellerRegistration struct {
+	// ID labels the seller; must be unique and non-empty.
+	ID string `json:"id"`
+	// Lambda is the seller's privacy sensitivity λ > 0.
+	Lambda float64 `json:"lambda"`
+	// Rows and Targets carry the seller's dataset inline.
+	Rows    [][]float64 `json:"rows,omitempty"`
+	Targets []float64   `json:"targets,omitempty"`
+	// SyntheticRows asks the server to mint a CCPP-like dataset of this
+	// size for the seller (demo mode).
+	SyntheticRows int `json:"synthetic_rows,omitempty"`
+}
+
+// SellerInfo is one entry of GET /v1/sellers.
+type SellerInfo struct {
+	ID     string  `json:"id"`
+	Lambda float64 `json:"lambda"`
+	Rows   int     `json:"rows"`
+	Weight float64 `json:"weight"`
+}
+
+// Demand is a buyer's product demand (POST /v1/quote and /v1/trades). Zero
+// utility fields default to the paper's values.
+type Demand struct {
+	// N is the requested manufacturing data quantity.
+	N float64 `json:"n"`
+	// V is the required product performance.
+	V float64 `json:"v"`
+	// Theta1/Theta2/Rho1/Rho2 are the buyer's utility parameters.
+	Theta1 float64 `json:"theta1,omitempty"`
+	Theta2 float64 `json:"theta2,omitempty"`
+	Rho1   float64 `json:"rho1,omitempty"`
+	Rho2   float64 `json:"rho2,omitempty"`
+	// Product selects this trade's data product: "" or "ols", "ridge",
+	// "logistic", "mean", "histogram". Quotes ignore it (the equilibrium
+	// is product-agnostic).
+	Product string `json:"product,omitempty"`
+}
+
+// builderFor resolves a demand's product name against the pooled training
+// data available to the server (needed for the logistic median threshold).
+func builderFor(name string, ref *dataset.Dataset) (product.Builder, error) {
+	switch name {
+	case "", "ols":
+		return product.OLS{}, nil
+	case "ridge":
+		return product.Ridge{Alpha: 1}, nil
+	case "logistic":
+		return product.Logistic{Threshold: product.MedianThreshold(ref)}, nil
+	case "mean":
+		return product.MeanVector{}, nil
+	case "histogram":
+		return product.Histogram{}, nil
+	default:
+		return nil, fmt.Errorf("unknown product %q (want ols|ridge|logistic|mean|histogram)", name)
+	}
+}
+
+func (d Demand) buyer() core.Buyer {
+	b := core.PaperBuyer()
+	if d.N > 0 {
+		b.N = d.N
+	}
+	if d.V > 0 {
+		b.V = d.V
+	}
+	if d.Theta1 > 0 {
+		b.Theta1 = d.Theta1
+		b.Theta2 = 1 - d.Theta1
+	}
+	if d.Theta2 > 0 {
+		b.Theta2 = d.Theta2
+		b.Theta1 = 1 - d.Theta2
+	}
+	if d.Rho1 > 0 {
+		b.Rho1 = d.Rho1
+	}
+	if d.Rho2 > 0 {
+		b.Rho2 = d.Rho2
+	}
+	return b
+}
+
+// Quote is the POST /v1/quote response: the equilibrium without a trade.
+type Quote struct {
+	ProductPrice float64   `json:"product_price"`
+	DataPrice    float64   `json:"data_price"`
+	Fidelities   []float64 `json:"fidelities"`
+	Allocations  []float64 `json:"allocations"`
+	BuyerProfit  float64   `json:"buyer_profit"`
+	BrokerProfit float64   `json:"broker_profit"`
+	SellerProfit []float64 `json:"seller_profits"`
+	DatasetQ     float64   `json:"dataset_quality"`
+	ProductQ     float64   `json:"product_quality"`
+}
+
+// TradeResult is the POST /v1/trades response.
+type TradeResult struct {
+	Round             int       `json:"round"`
+	Product           string    `json:"product"`
+	Quote             Quote     `json:"quote"`
+	Pieces            []int     `json:"pieces"`
+	Compensations     []float64 `json:"compensations"`
+	Payment           float64   `json:"payment"`
+	ManufacturingCost float64   `json:"manufacturing_cost"`
+	Performance       float64   `json:"performance"`
+	ExplainedVariance float64   `json:"explained_variance"`
+	RMSE              float64   `json:"rmse"`
+	Weights           []float64 `json:"weights"`
+	TotalSeconds      float64   `json:"total_seconds"`
+}
+
+// apiError is the error envelope for every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"sellers": len(s.sellers),
+		"trades":  s.tradeCount(),
+		"trading": s.mkt != nil,
+	})
+}
+
+func (s *Server) tradeCount() int {
+	if s.mkt == nil {
+		return 0
+	}
+	return len(s.mkt.Ledger())
+}
+
+func (s *Server) handleRegisterSeller(w http.ResponseWriter, r *http.Request) {
+	var reg SellerRegistration
+	if err := decodeJSON(r, &reg); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mkt != nil {
+		writeError(w, http.StatusConflict, errors.New("market already trading; registration is closed"))
+		return
+	}
+	if reg.ID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("seller id is required"))
+		return
+	}
+	for _, existing := range s.sellers {
+		if existing.ID == reg.ID {
+			writeError(w, http.StatusConflict, fmt.Errorf("seller %q already registered", reg.ID))
+			return
+		}
+	}
+	if !(reg.Lambda > 0) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("lambda must be positive, got %g", reg.Lambda))
+		return
+	}
+	data, err := s.sellerData(reg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.sellers = append(s.sellers, &market.Seller{ID: reg.ID, Lambda: reg.Lambda, Data: data})
+	s.logf("httpapi: registered seller %q (%d rows, λ=%g)", reg.ID, data.Len(), reg.Lambda)
+	writeJSON(w, http.StatusCreated, SellerInfo{ID: reg.ID, Lambda: reg.Lambda, Rows: data.Len()})
+}
+
+func (s *Server) sellerData(reg SellerRegistration) (*dataset.Dataset, error) {
+	switch {
+	case reg.SyntheticRows > 0 && reg.Rows != nil:
+		return nil, errors.New("provide either inline rows or synthetic_rows, not both")
+	case reg.SyntheticRows > 0:
+		return dataset.SyntheticCCPP(reg.SyntheticRows, stat.NewRand(s.cfg.Seed+int64(len(s.sellers)))), nil
+	case len(reg.Rows) > 0:
+		if len(reg.Rows) != len(reg.Targets) {
+			return nil, fmt.Errorf("%d rows but %d targets", len(reg.Rows), len(reg.Targets))
+		}
+		d := &dataset.Dataset{X: reg.Rows, Y: reg.Targets}
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		return d, nil
+	default:
+		return nil, errors.New("seller data required: inline rows or synthetic_rows")
+	}
+}
+
+func (s *Server) handleListSellers(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var weights []float64
+	if s.mkt != nil {
+		weights = s.mkt.Weights()
+	}
+	out := make([]SellerInfo, len(s.sellers))
+	for i, sel := range s.sellers {
+		out[i] = SellerInfo{ID: sel.ID, Lambda: sel.Lambda, Rows: sel.Data.Len()}
+		if weights != nil {
+			out[i].Weight = weights[i]
+		} else {
+			out[i].Weight = 1 / float64(len(s.sellers))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// game assembles a core.Game for the current seller pool.
+func (s *Server) game(b core.Buyer) (*core.Game, error) {
+	if len(s.sellers) == 0 {
+		return nil, errors.New("no sellers registered")
+	}
+	lambdas := make([]float64, len(s.sellers))
+	for i, sel := range s.sellers {
+		lambdas[i] = sel.Lambda
+	}
+	weights := core.UniformWeights(len(s.sellers))
+	if s.mkt != nil {
+		weights = s.mkt.Weights()
+	}
+	return &core.Game{
+		Buyer:   b,
+		Broker:  core.Broker{Cost: s.cfg.Cost, Weights: weights},
+		Sellers: core.Sellers{Lambda: lambdas},
+	}, nil
+}
+
+func quoteFromProfile(p *core.Profile) Quote {
+	return Quote{
+		ProductPrice: p.PM,
+		DataPrice:    p.PD,
+		Fidelities:   p.Tau,
+		Allocations:  p.Chi,
+		BuyerProfit:  p.BuyerProfit,
+		BrokerProfit: p.BrokerProfit,
+		SellerProfit: p.SellerProfits,
+		DatasetQ:     p.QD,
+		ProductQ:     p.QM,
+	}
+}
+
+func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
+	var d Demand
+	if err := decodeJSON(r, &d); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := s.game(d.buyer())
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	p, err := g.Solve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, quoteFromProfile(p))
+}
+
+func (s *Server) handleTrade(w http.ResponseWriter, r *http.Request) {
+	var d Demand
+	if err := decodeJSON(r, &d); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mkt == nil {
+		if len(s.sellers) == 0 {
+			writeError(w, http.StatusConflict, errors.New("no sellers registered"))
+			return
+		}
+		mkt, err := market.New(s.sellers, s.cfg)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.mkt = mkt
+	}
+	builder, err := builderFor(d.Product, s.cfg.TestSet)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tx, err := s.mkt.RunRoundWith(d.buyer(), builder)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.logf("httpapi: trade %d executed (p^M=%g, p^D=%g, EV=%.4f)",
+		tx.Round, tx.Profile.PM, tx.Profile.PD, tx.Metrics.Performance)
+	writeJSON(w, http.StatusCreated, tradeResult(tx))
+}
+
+func tradeResult(tx *market.Transaction) TradeResult {
+	return TradeResult{
+		Round:             tx.Round,
+		Product:           tx.Product,
+		Quote:             quoteFromProfile(tx.Profile),
+		Pieces:            tx.Pieces,
+		Compensations:     tx.Compensations,
+		Payment:           tx.Payment,
+		ManufacturingCost: tx.ManufacturingCost,
+		Performance:       tx.Metrics.Performance,
+		ExplainedVariance: tx.Metrics.Detail["explained_variance"],
+		RMSE:              tx.Metrics.Detail["rmse"],
+		Weights:           tx.Weights,
+		TotalSeconds:      tx.Timings.Total.Seconds(),
+	}
+}
+
+func (s *Server) handleListTrades(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mkt == nil {
+		writeJSON(w, http.StatusOK, []TradeResult{})
+		return
+	}
+	ledger := s.mkt.Ledger()
+	out := make([]TradeResult, len(ledger))
+	for i, tx := range ledger {
+		out[i] = tradeResult(tx)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleWeights(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mkt == nil {
+		writeJSON(w, http.StatusOK, core.UniformWeights(max(1, len(s.sellers))))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.mkt.Weights())
+}
+
+// --- plumbing ---
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already out; nothing more to do than log via
+		// the default logger.
+		log.Printf("httpapi: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}

@@ -1,0 +1,122 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a typed Go client for a share-server instance. The zero value is
+// not usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the server at baseURL (e.g.
+// "http://localhost:8080"). Pass nil to use a default http.Client with a
+// five-minute timeout (Shapley-heavy trades can be slow).
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: hc}
+}
+
+// Health reports the server's liveness and market state.
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	return out, c.do(ctx, http.MethodGet, "/v1/health", nil, &out)
+}
+
+// RegisterSeller registers a seller; the server rejects registrations after
+// the first trade.
+func (c *Client) RegisterSeller(ctx context.Context, reg SellerRegistration) (SellerInfo, error) {
+	var out SellerInfo
+	return out, c.do(ctx, http.MethodPost, "/v1/sellers", reg, &out)
+}
+
+// Sellers lists registered sellers with their current weights.
+func (c *Client) Sellers(ctx context.Context) ([]SellerInfo, error) {
+	var out []SellerInfo
+	return out, c.do(ctx, http.MethodGet, "/v1/sellers", nil, &out)
+}
+
+// Quote solves the game for a demand without executing a trade.
+func (c *Client) Quote(ctx context.Context, d Demand) (Quote, error) {
+	var out Quote
+	return out, c.do(ctx, http.MethodPost, "/v1/quote", d, &out)
+}
+
+// Trade executes one full trading round for the demand.
+func (c *Client) Trade(ctx context.Context, d Demand) (TradeResult, error) {
+	var out TradeResult
+	return out, c.do(ctx, http.MethodPost, "/v1/trades", d, &out)
+}
+
+// Trades returns the executed-transaction ledger.
+func (c *Client) Trades(ctx context.Context) ([]TradeResult, error) {
+	var out []TradeResult
+	return out, c.do(ctx, http.MethodGet, "/v1/trades", nil, &out)
+}
+
+// Weights returns the broker's current dataset weights.
+func (c *Client) Weights(ctx context.Context) ([]float64, error) {
+	var out []float64
+	return out, c.do(ctx, http.MethodGet, "/v1/weights", nil, &out)
+}
+
+// StatusError is returned for non-2xx responses, carrying the server's
+// error message.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("httpapi: server returned %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("httpapi: encoding request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("httpapi: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("httpapi: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr apiError
+		msg := resp.Status
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("httpapi: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}

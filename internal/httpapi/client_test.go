@@ -1,0 +1,114 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+)
+
+func newClientPair(t *testing.T) *Client {
+	t.Helper()
+	srv := NewServer(Options{Seed: 5, Logf: func(string, ...any) {}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, nil)
+}
+
+func TestClientFullLifecycle(t *testing.T) {
+	c := newClientPair(t)
+	ctx := context.Background()
+
+	health, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("health = %v", health)
+	}
+
+	for i, lambda := range []float64{0.3, 0.5, 0.7} {
+		info, err := c.RegisterSeller(ctx, SellerRegistration{
+			ID: string(rune('a' + i)), Lambda: lambda, SyntheticRows: 100,
+		})
+		if err != nil {
+			t.Fatalf("RegisterSeller %d: %v", i, err)
+		}
+		if info.Rows != 100 {
+			t.Errorf("registered rows = %d", info.Rows)
+		}
+	}
+
+	sellers, err := c.Sellers(ctx)
+	if err != nil {
+		t.Fatalf("Sellers: %v", err)
+	}
+	if len(sellers) != 3 {
+		t.Fatalf("sellers = %d", len(sellers))
+	}
+
+	q, err := c.Quote(ctx, Demand{N: 120, V: 0.8})
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	if !(q.ProductPrice > 0) || len(q.Fidelities) != 3 {
+		t.Errorf("quote = %+v", q)
+	}
+
+	tr, err := c.Trade(ctx, Demand{N: 120, V: 0.8})
+	if err != nil {
+		t.Fatalf("Trade: %v", err)
+	}
+	if tr.Round != 1 || tr.Payment <= 0 {
+		t.Errorf("trade = %+v", tr)
+	}
+
+	trades, err := c.Trades(ctx)
+	if err != nil {
+		t.Fatalf("Trades: %v", err)
+	}
+	if len(trades) != 1 {
+		t.Errorf("trades = %d", len(trades))
+	}
+
+	weights, err := c.Weights(ctx)
+	if err != nil {
+		t.Fatalf("Weights: %v", err)
+	}
+	if len(weights) != 3 {
+		t.Errorf("weights = %v", weights)
+	}
+}
+
+func TestClientSurfacesServerErrors(t *testing.T) {
+	c := newClientPair(t)
+	ctx := context.Background()
+	// Quote with no sellers → 409 with a typed StatusError.
+	_, err := c.Quote(ctx, Demand{N: 10, V: 0.5})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error type = %T, want *StatusError", err)
+	}
+	if se.Code != 409 || se.Message == "" {
+		t.Errorf("status error = %+v", se)
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	c := newClientPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Health(ctx); err == nil {
+		t.Error("cancelled context should fail")
+	}
+}
+
+func TestClientBadBaseURL(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", nil) // nothing listens on port 1
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Error("unreachable server should error")
+	}
+}

@@ -1,0 +1,34 @@
+package ldp_test
+
+import (
+	"fmt"
+
+	"share/internal/ldp"
+)
+
+// The fidelity map (Eq. 10) converts a seller's privacy budget into the
+// data fidelity she offers on the market: ε = 0 is pure noise (τ = 0), and
+// fidelity saturates toward 1 as the budget grows.
+func ExampleFidelity() {
+	for _, eps := range []float64{0, 1, 10, 100} {
+		fmt.Printf("ε=%-4g τ=%.4f\n", eps, ldp.Fidelity(eps))
+	}
+	// Output:
+	// ε=0    τ=0.0000
+	// ε=1    τ=0.6667
+	// ε=10   τ=0.9420
+	// ε=100  τ=0.9937
+}
+
+// EpsilonForFidelity inverts the map: given the equilibrium fidelity τᵢ*
+// from Stage 3, it yields the LDP budget the seller must spend (Algorithm 1,
+// Line 12).
+func ExampleEpsilonForFidelity() {
+	tau := 0.5
+	eps := ldp.EpsilonForFidelity(tau)
+	fmt.Printf("τ=%.2f needs ε=%.4f\n", tau, eps)
+	fmt.Printf("round trip: %.2f\n", ldp.Fidelity(eps))
+	// Output:
+	// τ=0.50 needs ε=0.4142
+	// round trip: 0.50
+}

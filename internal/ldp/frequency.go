@@ -1,0 +1,175 @@
+package ldp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Frequency estimation under ε-LDP: each user holds one category in
+// [0, k); the aggregator recovers an unbiased estimate of the category
+// frequencies from privatized reports. Two standard protocols are
+// implemented — generalized (k-ary) randomized response, best at small k,
+// and optimized unary encoding (symmetric RAPPOR), better at large k — plus
+// the shared debiasing step. They power the histogram-style aggregate
+// products and double as a second, categorical test bed for the ε-LDP
+// guarantee.
+
+// GRR is generalized randomized response over k categories: report the true
+// category with probability e^ε/(e^ε+k−1), otherwise a uniformly random
+// other category.
+type GRR struct {
+	K   int
+	Eps float64
+}
+
+// NewGRR validates and builds a k-ary randomized responder.
+func NewGRR(k int, eps float64) (*GRR, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ldp: GRR needs at least 2 categories, got %d", k)
+	}
+	if err := ValidateEpsilon(eps); err != nil {
+		return nil, err
+	}
+	return &GRR{K: k, Eps: eps}, nil
+}
+
+// pTruth is the probability of reporting the true category.
+func (g *GRR) pTruth() float64 {
+	e := math.Exp(g.Eps)
+	return e / (e + float64(g.K) - 1)
+}
+
+// Privatize reports a privatized category for the true value v ∈ [0, K).
+func (g *GRR) Privatize(rng *rand.Rand, v int) (int, error) {
+	if v < 0 || v >= g.K {
+		return 0, fmt.Errorf("ldp: category %d outside [0,%d)", v, g.K)
+	}
+	if rng.Float64() < g.pTruth() {
+		return v, nil
+	}
+	// Uniform over the other k−1 categories.
+	r := rng.Intn(g.K - 1)
+	if r >= v {
+		r++
+	}
+	return r, nil
+}
+
+// EstimateFrequencies debiases a histogram of privatized reports into
+// unbiased frequency estimates (may be slightly negative; callers clamp if
+// they need a distribution).
+func (g *GRR) EstimateFrequencies(reports []int) ([]float64, error) {
+	n := len(reports)
+	if n == 0 {
+		return nil, errors.New("ldp: no reports")
+	}
+	counts := make([]float64, g.K)
+	for i, r := range reports {
+		if r < 0 || r >= g.K {
+			return nil, fmt.Errorf("ldp: report %d has category %d outside [0,%d)", i, r, g.K)
+		}
+		counts[r]++
+	}
+	p := g.pTruth()
+	q := (1 - p) / float64(g.K-1)
+	est := make([]float64, g.K)
+	for j, c := range counts {
+		// E[observed share] = p·f + q·(1−f) ⇒ f = (share − q)/(p − q).
+		share := c / float64(n)
+		est[j] = (share - q) / (p - q)
+	}
+	return est, nil
+}
+
+// OUE is optimized unary encoding: each user sends a k-bit vector where her
+// own bit stays 1 with probability ½ and every other bit flips on with
+// probability 1/(e^ε+1). Estimation variance is O(1/ε²) independent of k.
+type OUE struct {
+	K   int
+	Eps float64
+}
+
+// NewOUE validates and builds an optimized-unary-encoding responder.
+func NewOUE(k int, eps float64) (*OUE, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ldp: OUE needs at least 2 categories, got %d", k)
+	}
+	if err := ValidateEpsilon(eps); err != nil {
+		return nil, err
+	}
+	if eps == 0 {
+		return nil, errors.New("ldp: OUE requires ε > 0")
+	}
+	return &OUE{K: k, Eps: eps}, nil
+}
+
+// Privatize reports the perturbed bit vector for true category v.
+func (o *OUE) Privatize(rng *rand.Rand, v int) ([]bool, error) {
+	if v < 0 || v >= o.K {
+		return nil, fmt.Errorf("ldp: category %d outside [0,%d)", v, o.K)
+	}
+	q := 1 / (math.Exp(o.Eps) + 1)
+	bits := make([]bool, o.K)
+	for j := range bits {
+		if j == v {
+			bits[j] = rng.Float64() < 0.5
+		} else {
+			bits[j] = rng.Float64() < q
+		}
+	}
+	return bits, nil
+}
+
+// EstimateFrequencies debiases aggregated bit vectors into frequency
+// estimates.
+func (o *OUE) EstimateFrequencies(reports [][]bool) ([]float64, error) {
+	n := len(reports)
+	if n == 0 {
+		return nil, errors.New("ldp: no reports")
+	}
+	counts := make([]float64, o.K)
+	for i, bits := range reports {
+		if len(bits) != o.K {
+			return nil, fmt.Errorf("ldp: report %d has %d bits, want %d", i, len(bits), o.K)
+		}
+		for j, b := range bits {
+			if b {
+				counts[j]++
+			}
+		}
+	}
+	p := 0.5
+	q := 1 / (math.Exp(o.Eps) + 1)
+	est := make([]float64, o.K)
+	for j, c := range counts {
+		share := c / float64(n)
+		est[j] = (share - q) / (p - q)
+	}
+	return est, nil
+}
+
+// ClampDistribution projects raw frequency estimates onto the probability
+// simplex by clamping negatives to zero and renormalizing; a degenerate
+// all-zero clamp returns the uniform distribution.
+func ClampDistribution(est []float64) []float64 {
+	out := make([]float64, len(est))
+	var total float64
+	for i, v := range est {
+		if v > 0 {
+			out[i] = v
+			total += v
+		}
+	}
+	if total <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+
+	"share/internal/stat"
+)
+
+// trueDist is the category distribution used by the estimation tests.
+var trueDist = []float64{0.5, 0.3, 0.15, 0.05}
+
+func drawCategory(rng interface{ Float64() float64 }, dist []float64) int {
+	u := rng.Float64()
+	for i, p := range dist {
+		u -= p
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(dist) - 1
+}
+
+func TestGRRValidation(t *testing.T) {
+	if _, err := NewGRR(1, 1); err == nil {
+		t.Error("accepted k=1")
+	}
+	if _, err := NewGRR(4, -1); err == nil {
+		t.Error("accepted negative ε")
+	}
+	g, err := NewGRR(4, 2)
+	if err != nil {
+		t.Fatalf("NewGRR: %v", err)
+	}
+	if _, err := g.Privatize(stat.NewRand(1), 4); err == nil {
+		t.Error("accepted out-of-range category")
+	}
+	if _, err := g.EstimateFrequencies(nil); err == nil {
+		t.Error("accepted empty reports")
+	}
+	if _, err := g.EstimateFrequencies([]int{9}); err == nil {
+		t.Error("accepted out-of-range report")
+	}
+}
+
+func TestGRRUnbiasedEstimation(t *testing.T) {
+	rng := stat.NewRand(42)
+	g, err := NewGRR(len(trueDist), 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200_000
+	reports := make([]int, n)
+	for i := range reports {
+		v := drawCategory(rng, trueDist)
+		reports[i], err = g.Privatize(rng, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := g.EstimateFrequencies(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range trueDist {
+		if math.Abs(est[j]-want) > 0.02 {
+			t.Errorf("GRR f[%d] = %v, want %v", j, est[j], want)
+		}
+	}
+}
+
+// TestGRRSatisfiesLDP checks the ε-LDP ratio empirically on the report
+// distribution: P[report=z | true=a] / P[report=z | true=b] ≤ e^ε.
+func TestGRRSatisfiesLDP(t *testing.T) {
+	rng := stat.NewRand(7)
+	eps := 1.0
+	g, err := NewGRR(3, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300_000
+	countGiven := func(truth int) []float64 {
+		counts := make([]float64, 3)
+		for i := 0; i < n; i++ {
+			r, err := g.Privatize(rng, truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[r]++
+		}
+		for j := range counts {
+			counts[j] /= n
+		}
+		return counts
+	}
+	pa, pb := countGiven(0), countGiven(1)
+	for z := 0; z < 3; z++ {
+		ratio := pa[z] / pb[z]
+		if ratio > math.Exp(eps)*1.05 || 1/ratio > math.Exp(eps)*1.05 {
+			t.Errorf("LDP violated at z=%d: ratio %v vs e^ε=%v", z, ratio, math.Exp(eps))
+		}
+	}
+}
+
+func TestOUEUnbiasedEstimation(t *testing.T) {
+	rng := stat.NewRand(9)
+	o, err := NewOUE(len(trueDist), 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+	reports := make([][]bool, n)
+	for i := range reports {
+		v := drawCategory(rng, trueDist)
+		reports[i], err = o.Privatize(rng, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := o.EstimateFrequencies(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range trueDist {
+		if math.Abs(est[j]-want) > 0.02 {
+			t.Errorf("OUE f[%d] = %v, want %v", j, est[j], want)
+		}
+	}
+}
+
+func TestOUEValidation(t *testing.T) {
+	if _, err := NewOUE(1, 1); err == nil {
+		t.Error("accepted k=1")
+	}
+	if _, err := NewOUE(4, 0); err == nil {
+		t.Error("accepted ε=0")
+	}
+	o, _ := NewOUE(4, 1)
+	if _, err := o.Privatize(stat.NewRand(1), -1); err == nil {
+		t.Error("accepted negative category")
+	}
+	if _, err := o.EstimateFrequencies(nil); err == nil {
+		t.Error("accepted empty reports")
+	}
+	if _, err := o.EstimateFrequencies([][]bool{{true}}); err == nil {
+		t.Error("accepted short report")
+	}
+}
+
+func TestOUEBeatsGRRAtLargeK(t *testing.T) {
+	// At large k and moderate ε, OUE's estimation error is much smaller
+	// than GRR's — the reason both protocols exist.
+	rng := stat.NewRand(11)
+	const k, n = 64, 40_000
+	eps := 1.0
+	dist := make([]float64, k)
+	dist[0] = 0.5
+	for j := 1; j < k; j++ {
+		dist[j] = 0.5 / float64(k-1)
+	}
+
+	grr, _ := NewGRR(k, eps)
+	grrReports := make([]int, n)
+	for i := range grrReports {
+		grrReports[i], _ = grr.Privatize(rng, drawCategory(rng, dist))
+	}
+	grrEst, _ := grr.EstimateFrequencies(grrReports)
+
+	oue, _ := NewOUE(k, eps)
+	oueReports := make([][]bool, n)
+	for i := range oueReports {
+		oueReports[i], _ = oue.Privatize(rng, drawCategory(rng, dist))
+	}
+	oueEst, _ := oue.EstimateFrequencies(oueReports)
+
+	mse := func(est []float64) float64 {
+		var s float64
+		for j := range est {
+			d := est[j] - dist[j]
+			s += d * d
+		}
+		return s / float64(k)
+	}
+	if mse(oueEst) >= mse(grrEst) {
+		t.Errorf("OUE MSE %v should beat GRR MSE %v at k=%d", mse(oueEst), mse(grrEst), k)
+	}
+}
+
+func TestClampDistribution(t *testing.T) {
+	out := ClampDistribution([]float64{0.6, -0.1, 0.5})
+	if out[1] != 0 {
+		t.Errorf("negative estimate not clamped: %v", out)
+	}
+	var total float64
+	for _, v := range out {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("clamped distribution sums to %v", total)
+	}
+	uniform := ClampDistribution([]float64{-1, -2})
+	if uniform[0] != 0.5 || uniform[1] != 0.5 {
+		t.Errorf("all-negative clamp = %v, want uniform", uniform)
+	}
+}

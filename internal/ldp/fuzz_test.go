@@ -1,0 +1,38 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFidelityRoundTrip hammers the fidelity map with arbitrary floats: it
+// must never panic, always land in [0, 1], and invert exactly on the
+// interior.
+func FuzzFidelityRoundTrip(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1.0)
+	f.Add(0.5)
+	f.Add(-3.7)
+	f.Add(1e300)
+	f.Add(math.Inf(1))
+	f.Add(math.NaN())
+	f.Fuzz(func(t *testing.T, eps float64) {
+		tau := Fidelity(eps)
+		if math.IsNaN(eps) {
+			return // NaN in, anything defensible out; just no panic
+		}
+		if tau < 0 || tau > 1 || math.IsNaN(tau) {
+			t.Fatalf("Fidelity(%v) = %v outside [0,1]", eps, tau)
+		}
+		back := EpsilonForFidelity(tau)
+		if back < 0 || math.IsNaN(back) {
+			t.Fatalf("EpsilonForFidelity(%v) = %v", tau, back)
+		}
+		// Interior round trip: ε in a representable range must invert.
+		if eps > 1e-9 && eps < 1e8 {
+			if rel := math.Abs(back-eps) / eps; rel > 1e-6 {
+				t.Fatalf("round trip ε=%v → τ=%v → %v (rel err %v)", eps, tau, back, rel)
+			}
+		}
+	})
+}

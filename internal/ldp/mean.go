@@ -1,0 +1,81 @@
+package ldp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// One-bit mean estimation under ε-LDP (after Duchi, Jordan & Wainwright):
+// each user holds a bounded value, reports a single biased coin flip, and
+// the aggregator debiases the flip frequencies into an unbiased mean
+// estimate. It is the minimal-communication counterpart to the Laplace and
+// piecewise value perturbations — one bit per user instead of a float — and
+// powers aggregate mean products when bandwidth or auditability matters.
+
+// BitMean is a one-bit mean estimator for values in [Lo, Hi] under budget
+// Eps.
+type BitMean struct {
+	Lo, Hi float64
+	Eps    float64
+}
+
+// NewBitMean validates and builds the estimator.
+func NewBitMean(lo, hi, eps float64) (*BitMean, error) {
+	if !(lo < hi) {
+		return nil, fmt.Errorf("ldp: empty value range [%g, %g]", lo, hi)
+	}
+	if err := ValidateEpsilon(eps); err != nil {
+		return nil, err
+	}
+	if eps == 0 {
+		return nil, errors.New("ldp: one-bit mean estimation requires ε > 0")
+	}
+	return &BitMean{Lo: lo, Hi: hi, Eps: eps}, nil
+}
+
+// Privatize reports one bit for the value v (clamped into range). With
+// t = (v−lo)/(hi−lo) ∈ [0, 1], the bit is 1 with probability
+// q + t·(p − q) where p = e^ε/(e^ε+1), q = 1−p — so flipping the bit for
+// the extreme inputs satisfies the ε ratio exactly, and intermediate values
+// interpolate linearly (keeping the debiasing linear too).
+func (b *BitMean) Privatize(rng *rand.Rand, v float64) bool {
+	t := (v - b.Lo) / (b.Hi - b.Lo)
+	t = math.Max(0, math.Min(1, t))
+	p := math.Exp(b.Eps) / (math.Exp(b.Eps) + 1)
+	q := 1 - p
+	return rng.Float64() < q+t*(p-q)
+}
+
+// EstimateMean debiases the aggregated bits into an unbiased estimate of
+// the population mean. ones is the count of 1-bits among n reports.
+func (b *BitMean) EstimateMean(ones, n int) (float64, error) {
+	if n <= 0 {
+		return 0, errors.New("ldp: no reports")
+	}
+	if ones < 0 || ones > n {
+		return 0, fmt.Errorf("ldp: %d ones among %d reports", ones, n)
+	}
+	p := math.Exp(b.Eps) / (math.Exp(b.Eps) + 1)
+	q := 1 - p
+	share := float64(ones) / float64(n)
+	// E[share] = q + t̄(p−q) ⇒ t̄ = (share − q)/(p − q).
+	tBar := (share - q) / (p - q)
+	return b.Lo + tBar*(b.Hi-b.Lo), nil
+}
+
+// EstimateFromValues runs the whole protocol over values and returns the
+// debiased mean — a convenience for tests and the aggregate products.
+func (b *BitMean) EstimateFromValues(rng *rand.Rand, values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, errors.New("ldp: no values")
+	}
+	ones := 0
+	for _, v := range values {
+		if b.Privatize(rng, v) {
+			ones++
+		}
+	}
+	return b.EstimateMean(ones, len(values))
+}

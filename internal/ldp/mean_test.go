@@ -1,0 +1,120 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+
+	"share/internal/stat"
+)
+
+func TestBitMeanValidation(t *testing.T) {
+	if _, err := NewBitMean(1, 1, 1); err == nil {
+		t.Error("accepted empty range")
+	}
+	if _, err := NewBitMean(0, 1, 0); err == nil {
+		t.Error("accepted ε=0")
+	}
+	if _, err := NewBitMean(0, 1, -1); err == nil {
+		t.Error("accepted negative ε")
+	}
+	b, err := NewBitMean(0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.EstimateMean(5, 0); err == nil {
+		t.Error("accepted zero reports")
+	}
+	if _, err := b.EstimateMean(11, 10); err == nil {
+		t.Error("accepted more ones than reports")
+	}
+}
+
+func TestBitMeanUnbiased(t *testing.T) {
+	rng := stat.NewRand(60)
+	b, err := NewBitMean(100, 300, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Population with known mean 180.
+	const n = 400_000
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = stat.Uniform(rng, 120, 240)
+	}
+	est, err := b.EstimateFromValues(rng, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-180) > 2 {
+		t.Errorf("estimated mean = %v, want ≈180", est)
+	}
+}
+
+func TestBitMeanErrorShrinksWithEpsilon(t *testing.T) {
+	rng := stat.NewRand(61)
+	const n = 60_000
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = stat.Uniform(rng, 0, 1)
+	}
+	errAt := func(eps float64) float64 {
+		var total float64
+		const trials = 8
+		for tr := 0; tr < trials; tr++ {
+			b, err := NewBitMean(0, 1, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := b.EstimateFromValues(rng, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += math.Abs(est - 0.5)
+		}
+		return total / trials
+	}
+	low, high := errAt(0.2), errAt(4)
+	if high >= low {
+		t.Errorf("error should shrink with ε: %v (ε=0.2) vs %v (ε=4)", low, high)
+	}
+}
+
+// TestBitMeanSatisfiesLDP: the report distribution's odds ratio between the
+// two extreme inputs equals e^ε.
+func TestBitMeanSatisfiesLDP(t *testing.T) {
+	rng := stat.NewRand(62)
+	eps := 1.0
+	b, err := NewBitMean(0, 1, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400_000
+	count := func(v float64) float64 {
+		ones := 0
+		for i := 0; i < n; i++ {
+			if b.Privatize(rng, v) {
+				ones++
+			}
+		}
+		return float64(ones) / n
+	}
+	pHi, pLo := count(1), count(0)
+	ratio := pHi / pLo
+	if ratio > math.Exp(eps)*1.05 {
+		t.Errorf("P[1|hi]/P[1|lo] = %v exceeds e^ε = %v", ratio, math.Exp(eps))
+	}
+	ratio0 := (1 - pLo) / (1 - pHi)
+	if ratio0 > math.Exp(eps)*1.05 {
+		t.Errorf("P[0|lo]/P[0|hi] = %v exceeds e^ε = %v", ratio0, math.Exp(eps))
+	}
+}
+
+func TestBitMeanClampsOutOfRange(t *testing.T) {
+	rng := stat.NewRand(63)
+	b, _ := NewBitMean(0, 1, 2)
+	// Way-out-of-range values behave like the endpoints, not NaN/panic.
+	for i := 0; i < 1000; i++ {
+		b.Privatize(rng, -1e9)
+		b.Privatize(rng, 1e9)
+	}
+}

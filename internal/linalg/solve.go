@@ -1,0 +1,225 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite reports that Cholesky factorization failed because
+// the matrix is not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// ErrSingular reports a (numerically) singular system.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// Cholesky computes the lower-triangular factor L with a = L·Lᵀ for a
+// symmetric positive-definite matrix. Only the lower triangle of a is read.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}
+
+// SolveLower solves L·x = b for lower-triangular L by forward substitution.
+func SolveLower(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveLower dimension mismatch: %d vs %d", n, len(b))
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		if row[i] == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// SolveUpper solves U·x = b for upper-triangular U by back substitution.
+func SolveUpper(u *Matrix, b []float64) ([]float64, error) {
+	n := u.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveUpper dimension mismatch: %d vs %d", n, len(b))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := u.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		if row[i] == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// SolveSPD solves a·x = b for symmetric positive-definite a via Cholesky.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	y, err := SolveLower(l, b)
+	if err != nil {
+		return nil, err
+	}
+	return SolveUpper(l.T(), y)
+}
+
+// QR holds the compact Householder QR factorization of an m×n matrix with
+// m >= n: R is the n×n upper-triangular factor and qtb applies Qᵀ to vectors.
+type QR struct {
+	v []float64 // stacked Householder vectors (m per column)
+	r *Matrix   // n×n upper triangular
+	m int
+	n int
+}
+
+// QRFactor computes the Householder QR factorization of a (m×n, m >= n).
+func QRFactor(a *Matrix) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("linalg: QRFactor requires rows >= cols, got %dx%d", m, n)
+	}
+	work := a.Clone()
+	qr := &QR{v: make([]float64, m*n), m: m, n: n}
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k.
+		col := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			col[i-k] = work.At(i, k)
+		}
+		alpha := Norm2(col)
+		if col[0] > 0 {
+			alpha = -alpha
+		}
+		if alpha == 0 {
+			return nil, ErrSingular
+		}
+		v := qr.v[k*m : (k+1)*m]
+		for i := range v {
+			v[i] = 0
+		}
+		v[k] = col[0] - alpha
+		for i := k + 1; i < m; i++ {
+			v[i] = work.At(i, k)
+		}
+		vnorm := Norm2(v[k:])
+		if vnorm == 0 {
+			return nil, ErrSingular
+		}
+		for i := k; i < m; i++ {
+			v[i] /= vnorm
+		}
+		// Apply H = I − 2vvᵀ to the trailing submatrix.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i] * work.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				work.Set(i, j, work.At(i, j)-dot*v[i])
+			}
+		}
+	}
+	qr.r = NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			qr.r.Set(i, j, work.At(i, j))
+		}
+	}
+	return qr, nil
+}
+
+// applyQT overwrites b with Qᵀ·b.
+func (qr *QR) applyQT(b []float64) {
+	for k := 0; k < qr.n; k++ {
+		v := qr.v[k*qr.m : (k+1)*qr.m]
+		var dot float64
+		for i := k; i < qr.m; i++ {
+			dot += v[i] * b[i]
+		}
+		dot *= 2
+		for i := k; i < qr.m; i++ {
+			b[i] -= dot * v[i]
+		}
+	}
+}
+
+// Solve returns the least-squares solution x minimizing ‖a·x − b‖₂ using the
+// factorization.
+func (qr *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != qr.m {
+		return nil, fmt.Errorf("linalg: QR solve dimension mismatch: %d vs %d", qr.m, len(b))
+	}
+	work := make([]float64, qr.m)
+	copy(work, b)
+	qr.applyQT(work)
+	return SolveUpper(qr.r, work[:qr.n])
+}
+
+// LeastSquares solves min ‖a·x − b‖₂. It first tries the numerically stable
+// QR path; if the design matrix is rank deficient it retries on the normal
+// equations with a small Tikhonov ridge (damping 1e-10·trace/n) so callers
+// always receive a usable solution on degenerate workloads.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("linalg: LeastSquares dimension mismatch: %d rows vs %d observations", a.Rows, len(b))
+	}
+	if qr, err := QRFactor(a); err == nil {
+		if x, err := qr.Solve(b); err == nil {
+			return x, nil
+		}
+	}
+	// Rank-deficient fallback: damped normal equations.
+	g := a.Gram()
+	var trace float64
+	for i := 0; i < g.Rows; i++ {
+		trace += g.At(i, i)
+	}
+	ridge := 1e-10 * trace / float64(g.Rows)
+	if ridge == 0 {
+		ridge = 1e-12
+	}
+	for i := 0; i < g.Rows; i++ {
+		g.Set(i, i, g.At(i, i)+ridge)
+	}
+	atb, err := a.T().MulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	return SolveSPD(g, atb)
+}

@@ -1,0 +1,86 @@
+package market
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"share/internal/stat"
+)
+
+func TestIntegerAllocationExactCases(t *testing.T) {
+	cases := []struct {
+		name string
+		chi  []float64
+		n    int
+		want []int
+	}{
+		{"even split", []float64{1, 1, 1, 1}, 8, []int{2, 2, 2, 2}},
+		{"proportional", []float64{1, 3}, 8, []int{2, 6}},
+		{"remainders to largest frac", []float64{1.5, 1.5, 1}, 4, []int{2, 1, 1}},
+		{"zero n", []float64{1, 2}, 0, []int{0, 0}},
+		{"all zero chi", []float64{0, 0}, 5, []int{0, 0}},
+		{"single seller", []float64{3.7}, 10, []int{10}},
+		{"negative chi ignored", []float64{-1, 2}, 4, []int{0, 4}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := IntegerAllocation(c.chi, c.n)
+			if len(got) != len(c.want) {
+				t.Fatalf("length %d, want %d", len(got), len(c.want))
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Errorf("alloc = %v, want %v", got, c.want)
+					break
+				}
+			}
+		})
+	}
+}
+
+// Properties: the integer allocation always sums to n (when any χ is
+// positive), never goes negative, and stays within 1 of the exact fractional
+// share.
+func TestIntegerAllocationProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := stat.NewRand(seed)
+		m := 1 + rng.Intn(50)
+		n := rng.Intn(10_000)
+		chi := make([]float64, m)
+		anyPositive := false
+		for i := range chi {
+			chi[i] = rng.Float64() * 100
+			if chi[i] > 0 {
+				anyPositive = true
+			}
+		}
+		got := IntegerAllocation(chi, n)
+		total := 0
+		var chiSum float64
+		for _, c := range chi {
+			if c > 0 {
+				chiSum += c
+			}
+		}
+		for i, g := range got {
+			if g < 0 {
+				return false
+			}
+			total += g
+			if chiSum > 0 && chi[i] > 0 {
+				exact := chi[i] * float64(n) / chiSum
+				if math.Abs(float64(g)-exact) > 1+1e-9 {
+					return false
+				}
+			}
+		}
+		if !anyPositive || n == 0 {
+			return total == 0
+		}
+		return total == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,430 @@
+// Package market implements the complete data trading dynamics of
+// Algorithm 1: parameter collection, strategy decision via the three-stage
+// Stackelberg-Nash game, the data transaction (integer allocation, local
+// differential privacy, compensations), product production (training the
+// regression product, Shapley-based weight updates), and the product
+// transaction — plus the multi-round loop with dummy-buyer warm-up that the
+// paper uses to stabilize dataset weights before measuring (§6.1).
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"share/internal/core"
+	"share/internal/dataset"
+	"share/internal/ldp"
+	"share/internal/product"
+	"share/internal/shapley"
+	"share/internal/translog"
+	"share/internal/valuation"
+)
+
+// Seller is one registered data seller: her privacy sensitivity λ and her
+// raw dataset Dᵢ (assumed large enough for any allocation, per the paper's
+// market assumptions; RunRound degrades gracefully by sampling with
+// replacement if an allocation exceeds the dataset).
+type Seller struct {
+	// ID labels the seller in ledgers and logs.
+	ID string
+	// Lambda is her privacy sensitivity λᵢ > 0.
+	Lambda float64
+	// Data is her raw dataset Dᵢ.
+	Data *dataset.Dataset
+}
+
+// WeightUpdate configures how the broker refreshes dataset weights after
+// production (§5.2 gives ω' = 0.2ω + 0.8·SV as the example rule).
+type WeightUpdate struct {
+	// Retain is the weight kept on the old value (paper example: 0.2).
+	Retain float64
+	// Permutations is the Monte Carlo permutation count for the seller
+	// Shapley computation (paper: 100).
+	Permutations int
+	// TruncateTol enables truncated Monte Carlo when positive.
+	TruncateTol float64
+	// Workers fans the permutations out across a worker pool when > 1
+	// (0 or 1 = sequential). Only the OLS product supports the parallel
+	// path; other builders fall back to sequential.
+	Workers int
+}
+
+// Config assembles the market's fixed machinery.
+type Config struct {
+	// Cost is the broker's translog cost model.
+	Cost translog.Params
+	// Product manufactures and scores the data product each round; nil
+	// defaults to the paper's OLS linear-regression product. Alternative
+	// builders (product.Logistic, product.MeanVector) realize the paper's
+	// "product form is not restricted" claim.
+	Product product.Builder
+	// Mechanism perturbs sold data under LDP; nil defaults to a Laplace
+	// mechanism calibrated per-dataset from the sellers' pooled bounds.
+	Mechanism ldp.Mechanism
+	// TestSet scores manufactured products (clean, held-out data).
+	TestSet *dataset.Dataset
+	// Update configures Shapley weight refreshing; a nil Update disables
+	// it (weights stay fixed — the paper's "without Shapley" efficiency
+	// mode).
+	Update *WeightUpdate
+	// Seed seeds the market's private random source.
+	Seed int64
+}
+
+// Market is a running data market with one broker and m registered sellers.
+type Market struct {
+	cost      translog.Params
+	product   product.Builder
+	mechanism ldp.Mechanism
+	testSet   *dataset.Dataset
+	update    *WeightUpdate
+	sellers   []*Seller
+	weights   []float64
+	rng       *rand.Rand
+	ledger    []*Transaction
+	costLog   []translog.Observation
+}
+
+// Timings breaks a transaction's wall time into Algorithm 1's phases.
+type Timings struct {
+	// Strategy covers the Stackelberg-Nash solve (Lines 6–7).
+	Strategy time.Duration
+	// DataTransaction covers allocation, LDP and compensation (Lines 8–14).
+	DataTransaction time.Duration
+	// Production covers model training (Line 16).
+	Production time.Duration
+	// WeightUpdate covers Shapley valuation and the weight refresh
+	// (Line 17); zero when updates are disabled.
+	WeightUpdate time.Duration
+	// Total is the whole round.
+	Total time.Duration
+}
+
+// Transaction is one ledger entry: the equilibrium profile, realized
+// payments, the manufactured product's metrics, and the updated weights.
+type Transaction struct {
+	// Round is the 1-based transaction index.
+	Round int
+	// Product names the builder that manufactured this round's product.
+	Product string
+	// Profile is the equilibrium strategy profile that governed the trade.
+	Profile *core.Profile
+	// Pieces is the integer per-seller data-piece allocation (sums to N).
+	Pieces []int
+	// Epsilons are the per-seller LDP budgets implied by τᵢ (Eq. 10).
+	Epsilons []float64
+	// Compensations are p^D·q^D_i paid to each seller.
+	Compensations []float64
+	// Payment is p^M·q^M paid by the buyer.
+	Payment float64
+	// ManufacturingCost is C(N, v) for this round.
+	ManufacturingCost float64
+	// Metrics scores the manufactured product on the clean test set;
+	// Metrics.Performance is the realized counterpart of the demanded v.
+	Metrics product.Report
+	// Shapley holds the per-seller Shapley values when weight updates ran.
+	Shapley []float64
+	// Weights is the broker's weight vector after any update.
+	Weights []float64
+	// Timings records per-phase durations.
+	Timings Timings
+}
+
+// New builds a market over the given sellers. Every seller needs a positive
+// λ and a non-empty dataset; cfg.TestSet must be non-empty.
+func New(sellers []*Seller, cfg Config) (*Market, error) {
+	if len(sellers) == 0 {
+		return nil, errors.New("market: no sellers")
+	}
+	if cfg.TestSet == nil || cfg.TestSet.Len() == 0 {
+		return nil, errors.New("market: missing test set for product scoring")
+	}
+	for i, s := range sellers {
+		if s == nil {
+			return nil, fmt.Errorf("market: seller %d is nil", i)
+		}
+		if !(s.Lambda > 0) {
+			return nil, fmt.Errorf("market: seller %q has invalid λ=%g", s.ID, s.Lambda)
+		}
+		if s.Data == nil || s.Data.Len() == 0 {
+			return nil, fmt.Errorf("market: seller %q has no data", s.ID)
+		}
+	}
+	mech := cfg.Mechanism
+	if mech == nil {
+		var err error
+		mech, err = defaultMechanism(sellers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Update != nil {
+		if cfg.Update.Retain < 0 || cfg.Update.Retain > 1 {
+			return nil, fmt.Errorf("market: weight-update retain factor %g outside [0,1]", cfg.Update.Retain)
+		}
+		if cfg.Update.Permutations <= 0 {
+			cfg.Update.Permutations = 100
+		}
+	}
+	builder := cfg.Product
+	if builder == nil {
+		builder = product.OLS{}
+	}
+	return &Market{
+		cost:      cfg.Cost,
+		product:   builder,
+		mechanism: mech,
+		testSet:   cfg.TestSet,
+		update:    cfg.Update,
+		sellers:   sellers,
+		weights:   core.UniformWeights(len(sellers)),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// defaultMechanism calibrates a Laplace mechanism to the pooled bounds of
+// all sellers' data, covering every attribute of the record — the features
+// AND the target (a seller protecting a row protects the whole row).
+func defaultMechanism(sellers []*Seller) (ldp.Mechanism, error) {
+	k := sellers[0].Data.NumFeatures()
+	lo := make([]float64, k+1)
+	hi := make([]float64, k+1)
+	first := true
+	for _, s := range sellers {
+		for i, row := range s.Data.X {
+			for j, v := range row {
+				if first || v < lo[j] {
+					lo[j] = v
+				}
+				if first || v > hi[j] {
+					hi[j] = v
+				}
+			}
+			y := s.Data.Y[i]
+			if first || y < lo[k] {
+				lo[k] = y
+			}
+			if first || y > hi[k] {
+				hi[k] = y
+			}
+			first = false
+		}
+	}
+	for j := range lo {
+		if !(lo[j] < hi[j]) {
+			hi[j] = lo[j] + 1 // constant column: any width works
+		}
+	}
+	b, err := ldp.NewBounds(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("market: calibrating default mechanism: %w", err)
+	}
+	return ldp.NewLaplace(b), nil
+}
+
+// M returns the number of registered sellers.
+func (m *Market) M() int { return len(m.sellers) }
+
+// Weights returns a copy of the broker's current dataset weights.
+func (m *Market) Weights() []float64 { return append([]float64(nil), m.weights...) }
+
+// SetWeights replaces the broker's weights (length must match the seller
+// count and every weight must be positive).
+func (m *Market) SetWeights(w []float64) error {
+	if len(w) != len(m.sellers) {
+		return fmt.Errorf("market: %d weights for %d sellers", len(w), len(m.sellers))
+	}
+	for i, x := range w {
+		if !(x > 0) {
+			return fmt.Errorf("market: weight %d must be positive, got %g", i, x)
+		}
+	}
+	m.weights = append([]float64(nil), w...)
+	return nil
+}
+
+// Ledger returns the recorded transactions in order.
+func (m *Market) Ledger() []*Transaction { return m.ledger }
+
+// CostObservations returns the (N, v, cost) records accumulated across
+// rounds — the raw material for refitting the broker's translog parameters
+// (the parameter-fitting extension).
+func (m *Market) CostObservations() []translog.Observation {
+	return append([]translog.Observation(nil), m.costLog...)
+}
+
+// game assembles the core game for a buyer against the market's current
+// state.
+func (m *Market) game(buyer core.Buyer) *core.Game {
+	lambdas := make([]float64, len(m.sellers))
+	for i, s := range m.sellers {
+		lambdas[i] = s.Lambda
+	}
+	return &core.Game{
+		Buyer:   buyer,
+		Broker:  core.Broker{Cost: m.cost, Weights: append([]float64(nil), m.weights...)},
+		Sellers: core.Sellers{Lambda: lambdas},
+	}
+}
+
+// RunRound executes Algorithm 1 for one buyer with the market's configured
+// product and appends the transaction to the ledger.
+func (m *Market) RunRound(buyer core.Buyer) (*Transaction, error) {
+	return m.RunRoundWith(buyer, nil)
+}
+
+// RunRoundWith executes Algorithm 1 manufacturing this round's product with
+// the given builder (nil = the market's configured product). The game and
+// prices are product-agnostic; only manufacturing, scoring, and the Shapley
+// weight update change. This lets one market serve regression buyers and
+// aggregate-statistics buyers side by side.
+func (m *Market) RunRoundWith(buyer core.Buyer, builder product.Builder) (*Transaction, error) {
+	if builder == nil {
+		builder = m.product
+	}
+	start := time.Now()
+	g := m.game(buyer)
+
+	// Strategy Decision (Lines 6–7).
+	t0 := time.Now()
+	profile, err := g.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("market: strategy decision: %w", err)
+	}
+	tx := &Transaction{
+		Round:   len(m.ledger) + 1,
+		Profile: profile,
+	}
+	tx.Timings.Strategy = time.Since(t0)
+
+	// Data Transaction (Lines 8–14).
+	t0 = time.Now()
+	n := int(buyer.N + 0.5)
+	tx.Pieces = IntegerAllocation(profile.Chi, n)
+	tx.Epsilons = make([]float64, m.M())
+	tx.Compensations = make([]float64, m.M())
+	chunks := make([]*dataset.Dataset, m.M())
+	for i, s := range m.sellers {
+		tx.Epsilons[i] = ldp.EpsilonForFidelity(profile.Tau[i])
+		chunks[i] = m.sellData(s, tx.Pieces[i], tx.Epsilons[i])
+		qi := profile.Chi[i] * profile.Tau[i]
+		tx.Compensations[i] = profile.PD * qi
+	}
+	tx.Timings.DataTransaction = time.Since(t0)
+
+	// Product Production (Line 16).
+	t0 = time.Now()
+	joined, err := dataset.Concat(chunks...)
+	if err != nil {
+		return nil, fmt.Errorf("market: assembling manufacturing dataset: %w", err)
+	}
+	tx.Metrics, err = builder.Build(joined, m.testSet)
+	if err != nil {
+		return nil, fmt.Errorf("market: manufacturing %s product: %w", builder.Name(), err)
+	}
+	tx.Product = builder.Name()
+	tx.ManufacturingCost = g.ManufacturingCost()
+	m.costLog = append(m.costLog, translog.Observation{N: buyer.N, V: buyer.V, Cost: tx.ManufacturingCost})
+	tx.Timings.Production = time.Since(t0)
+
+	// Weight update via Shapley (Line 17).
+	if m.update != nil {
+		t0 = time.Now()
+		var sv []float64
+		var err error
+		if _, isOLS := builder.(product.OLS); m.update.Workers > 1 && isOLS {
+			sv, err = valuation.SellerShapleyParallel(chunks, m.testSet,
+				m.update.Permutations, m.update.TruncateTol,
+				int64(tx.Round)*1_000_003, m.update.Workers)
+		} else {
+			sv, err = valuation.SellerShapleyFor(builder, chunks, m.testSet, m.update.Permutations, m.update.TruncateTol, m.rng)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("market: Shapley weight update: %w", err)
+		}
+		tx.Shapley = sv
+		norm := shapley.Normalize(sv)
+		for i := range m.weights {
+			m.weights[i] = m.update.Retain*m.weights[i] + (1-m.update.Retain)*norm[i]
+		}
+		tx.Timings.WeightUpdate = time.Since(t0)
+	}
+	tx.Weights = m.Weights()
+
+	// Product Transaction (Line 19).
+	tx.Payment = profile.PM * profile.QM
+	tx.Timings.Total = time.Since(start)
+	m.ledger = append(m.ledger, tx)
+	return tx, nil
+}
+
+// sellData picks `pieces` rows from the seller's dataset (random without
+// replacement; with replacement if the dataset is smaller than the
+// allocation) and perturbs each full record — features and target — under
+// ε-LDP. Mechanisms calibrated for features-only bounds (k attributes) are
+// honored by leaving the target untouched, preserving custom-mechanism
+// configurations.
+func (m *Market) sellData(s *Seller, pieces int, eps float64) *dataset.Dataset {
+	out := &dataset.Dataset{Features: s.Data.Features, Target: s.Data.Target}
+	if pieces <= 0 {
+		return out
+	}
+	var idx []int
+	if pieces <= s.Data.Len() {
+		perm := m.rng.Perm(s.Data.Len())
+		idx = perm[:pieces]
+	} else {
+		idx = make([]int, pieces)
+		for i := range idx {
+			idx[i] = m.rng.Intn(s.Data.Len())
+		}
+	}
+	k := s.Data.NumFeatures()
+	fullRecord := mechanismAttrs(m.mechanism) != k
+	out.X = make([][]float64, 0, pieces)
+	out.Y = make([]float64, 0, pieces)
+	record := make([]float64, k+1)
+	for _, i := range idx {
+		if fullRecord {
+			copy(record, s.Data.X[i])
+			record[k] = s.Data.Y[i]
+			perturbed := m.mechanism.Perturb(m.rng, record, eps)
+			out.X = append(out.X, perturbed[:k:k])
+			out.Y = append(out.Y, perturbed[k])
+		} else {
+			out.X = append(out.X, m.mechanism.Perturb(m.rng, s.Data.X[i], eps))
+			out.Y = append(out.Y, s.Data.Y[i])
+		}
+	}
+	return out
+}
+
+// mechanismAttrs reports the attribute count a bounded mechanism was
+// calibrated for, or -1 when unknown.
+func mechanismAttrs(mech ldp.Mechanism) int {
+	type sized interface{ Attrs() int }
+	if s, ok := mech.(sized); ok {
+		return s.Attrs()
+	}
+	return -1
+}
+
+// Warmup runs the dummy-buyer iterations of §6.1: it executes `iters`
+// transactions for the given buyer to let the Shapley-driven weights
+// stabilize, then truncates those rounds from the ledger (they are
+// calibration, not trades). It requires weight updates to be enabled.
+func (m *Market) Warmup(buyer core.Buyer, iters int) error {
+	if m.update == nil {
+		return errors.New("market: warm-up requires weight updates to be enabled")
+	}
+	base := len(m.ledger)
+	for i := 0; i < iters; i++ {
+		if _, err := m.RunRound(buyer); err != nil {
+			return fmt.Errorf("market: warm-up round %d: %w", i+1, err)
+		}
+	}
+	m.ledger = m.ledger[:base]
+	return nil
+}

@@ -1,0 +1,92 @@
+package market
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"share/internal/translog"
+)
+
+// Snapshot is the serializable state of a market between sessions: the
+// broker's learned weights, the transaction ledger, and the accumulated
+// cost observations. Seller data and configuration are not serialized —
+// they are reconstructed by the caller (data files are owned by sellers,
+// not the broker) — so restoring requires a market built over the same
+// seller roster.
+type Snapshot struct {
+	// Version guards the wire format.
+	Version int `json:"version"`
+	// SellerIDs records the roster the snapshot belongs to, in order.
+	SellerIDs []string `json:"seller_ids"`
+	// Weights is the broker's weight vector.
+	Weights []float64 `json:"weights"`
+	// Ledger holds the executed transactions.
+	Ledger []*Transaction `json:"ledger"`
+	// CostLog holds the (N, v, cost) observations for translog refitting.
+	CostLog []translog.Observation `json:"cost_log"`
+}
+
+// snapshotVersion is the current wire-format version.
+const snapshotVersion = 1
+
+// Snapshot captures the market's mutable state.
+func (m *Market) Snapshot() *Snapshot {
+	ids := make([]string, len(m.sellers))
+	for i, s := range m.sellers {
+		ids[i] = s.ID
+	}
+	return &Snapshot{
+		Version:   snapshotVersion,
+		SellerIDs: ids,
+		Weights:   m.Weights(),
+		Ledger:    append([]*Transaction(nil), m.ledger...),
+		CostLog:   append([]translog.Observation(nil), m.costLog...),
+	}
+}
+
+// Save writes the market's snapshot as JSON.
+func (m *Market) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m.Snapshot()); err != nil {
+		return fmt.Errorf("market: saving snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore applies a snapshot to a market built over the same seller roster
+// (IDs must match in order). It replaces the weights, ledger and cost log.
+func (m *Market) Restore(s *Snapshot) error {
+	if s == nil {
+		return errors.New("market: nil snapshot")
+	}
+	if s.Version != snapshotVersion {
+		return fmt.Errorf("market: unsupported snapshot version %d", s.Version)
+	}
+	if len(s.SellerIDs) != len(m.sellers) {
+		return fmt.Errorf("market: snapshot has %d sellers, market has %d", len(s.SellerIDs), len(m.sellers))
+	}
+	for i, id := range s.SellerIDs {
+		if m.sellers[i].ID != id {
+			return fmt.Errorf("market: seller %d is %q in the snapshot but %q in the market", i, id, m.sellers[i].ID)
+		}
+	}
+	if err := m.SetWeights(s.Weights); err != nil {
+		return fmt.Errorf("market: restoring weights: %w", err)
+	}
+	m.ledger = append([]*Transaction(nil), s.Ledger...)
+	m.costLog = append([]translog.Observation(nil), s.CostLog...)
+	return nil
+}
+
+// Load reads a snapshot written by Save.
+func Load(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("market: loading snapshot: %w", err)
+	}
+	return &s, nil
+}

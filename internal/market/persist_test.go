@@ -1,0 +1,86 @@
+package market
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	mkt, buyer := testMarket(t, 5, &WeightUpdate{Retain: 0.2, Permutations: 5}, 20)
+	for i := 0; i < 2; i++ {
+		if _, err := mkt.RunRound(buyer); err != nil {
+			t.Fatalf("round: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := mkt.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	snap, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if snap.Version != 1 || len(snap.Ledger) != 2 || len(snap.Weights) != 5 {
+		t.Fatalf("snapshot malformed: %+v", snap)
+	}
+
+	// Restore into a fresh market over the same roster.
+	fresh, _ := testMarket(t, 5, &WeightUpdate{Retain: 0.2, Permutations: 5}, 20)
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	fw, ow := fresh.Weights(), mkt.Weights()
+	for i := range fw {
+		if math.Abs(fw[i]-ow[i]) > 1e-15 {
+			t.Errorf("weight %d: restored %v, want %v", i, fw[i], ow[i])
+		}
+	}
+	if len(fresh.Ledger()) != 2 || len(fresh.CostObservations()) != 2 {
+		t.Error("ledger or cost log not restored")
+	}
+	// The restored market continues numbering where the snapshot left off.
+	tx, err := fresh.RunRound(buyer)
+	if err != nil {
+		t.Fatalf("post-restore round: %v", err)
+	}
+	if tx.Round != 3 {
+		t.Errorf("post-restore round number = %d, want 3", tx.Round)
+	}
+}
+
+func TestRestoreRejectsMismatchedRoster(t *testing.T) {
+	mkt, _ := testMarket(t, 4, nil, 21)
+	snap := mkt.Snapshot()
+
+	other, _ := testMarket(t, 5, nil, 22)
+	if err := other.Restore(snap); err == nil {
+		t.Error("accepted a different seller count")
+	}
+
+	// Same size, different IDs.
+	snap2 := mkt.Snapshot()
+	snap2.SellerIDs[0] = "imposter"
+	if err := mkt.Restore(snap2); err == nil {
+		t.Error("accepted a mismatched seller ID")
+	}
+
+	// Version guard.
+	snap3 := mkt.Snapshot()
+	snap3.Version = 99
+	if err := mkt.Restore(snap3); err == nil {
+		t.Error("accepted an unknown version")
+	}
+
+	if err := mkt.Restore(nil); err == nil {
+		t.Error("accepted a nil snapshot")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{broken")); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+}

@@ -1,0 +1,134 @@
+package market
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"share/internal/core"
+	"share/internal/dataset"
+	"share/internal/product"
+	"share/internal/stat"
+	"share/internal/translog"
+)
+
+// buildMarketWithProduct assembles a small market with the given product
+// builder and near-zero privacy sensitivities so the traded data is clean
+// enough for the product to be meaningful.
+func buildMarketWithProduct(t *testing.T, b product.Builder, seed int64) (*Market, core.Buyer) {
+	t.Helper()
+	rng := stat.NewRand(seed)
+	full := dataset.SyntheticCCPP(1300, rng)
+	train, test := full.Split(1000)
+	chunks, err := dataset.PartitionEqual(train, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sellers := make([]*Seller, 4)
+	for i := range sellers {
+		sellers[i] = &Seller{ID: fmt.Sprintf("S%d", i), Lambda: 1e-9, Data: chunks[i]}
+	}
+	mkt, err := New(sellers, Config{
+		Cost:    translog.PaperDefaults(),
+		Product: b,
+		TestSet: test,
+		Update:  &WeightUpdate{Retain: 0.2, Permutations: 5},
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	buyer := core.PaperBuyer()
+	buyer.N = 400
+	return mkt, buyer
+}
+
+func TestRunRoundWithLogisticProduct(t *testing.T) {
+	rng := stat.NewRand(40)
+	ref := dataset.SyntheticCCPP(2000, rng)
+	thr := product.MedianThreshold(ref)
+	mkt, buyer := buildMarketWithProduct(t, product.Logistic{Threshold: thr}, 41)
+	tx, err := mkt.RunRound(buyer)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	// Clean data (λ→0 clamps τ at 1) → the classifier should clearly beat
+	// chance on the median split.
+	if tx.Metrics.Performance < 0.8 {
+		t.Errorf("logistic product accuracy = %v on clean data", tx.Metrics.Performance)
+	}
+	if _, ok := tx.Metrics.Detail["logloss"]; !ok {
+		t.Error("logistic detail missing")
+	}
+	if tx.Shapley == nil {
+		t.Error("builder-generic Shapley update did not run")
+	}
+}
+
+func TestRunRoundWithMeanVectorProduct(t *testing.T) {
+	mkt, buyer := buildMarketWithProduct(t, product.MeanVector{}, 42)
+	tx, err := mkt.RunRound(buyer)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	if tx.Metrics.Performance < 0.9 {
+		t.Errorf("mean-vector fidelity = %v on clean data", tx.Metrics.Performance)
+	}
+	if _, ok := tx.Metrics.Detail["mean_normalized_error"]; !ok {
+		t.Error("mean-vector detail missing")
+	}
+}
+
+func TestDefaultProductIsOLS(t *testing.T) {
+	mkt, buyer := testMarket(t, 4, nil, 43)
+	tx, err := mkt.RunRound(buyer)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	if _, ok := tx.Metrics.Detail["explained_variance"]; !ok {
+		t.Errorf("default product should be OLS; detail = %v", tx.Metrics.Detail)
+	}
+}
+
+func TestRunRoundParallelShapley(t *testing.T) {
+	mkt, buyer := testMarket(t, 8, &WeightUpdate{Retain: 0.2, Permutations: 12, Workers: 4}, 44)
+	tx, err := mkt.RunRound(buyer)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	if tx.Shapley == nil {
+		t.Fatal("parallel Shapley path recorded no values")
+	}
+	var sum float64
+	for _, w := range tx.Weights {
+		if w <= 0 {
+			t.Errorf("non-positive weight %v", w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum = %v", sum)
+	}
+}
+
+func TestRunRoundWithOverridesProduct(t *testing.T) {
+	mkt, buyer := testMarket(t, 4, nil, 45)
+	tx, err := mkt.RunRoundWith(buyer, product.MeanVector{})
+	if err != nil {
+		t.Fatalf("RunRoundWith: %v", err)
+	}
+	if tx.Product != "mean-vector" {
+		t.Errorf("recorded product = %q", tx.Product)
+	}
+	// A later plain round reverts to the configured default.
+	tx, err = mkt.RunRound(buyer)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	if tx.Product != "ols-regression" {
+		t.Errorf("default product = %q", tx.Product)
+	}
+	if len(mkt.Ledger()) != 2 {
+		t.Errorf("ledger = %d", len(mkt.Ledger()))
+	}
+}

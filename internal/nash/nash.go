@@ -1,0 +1,213 @@
+// Package nash provides a generic numerical Nash equilibrium solver for
+// continuous one-dimensional-strategy games: iterated best response with a
+// golden-section inner maximizer and damped updates.
+//
+// Share uses it two ways. First, as the cross-validation oracle: the
+// analytic Stage-3 equilibria (Eq. 20 and Eq. 23/24) must agree with the
+// numerical equilibrium of the true profit functions, and the test suite
+// checks that they do. Second, as the production solver for "complicated
+// cases" (§5.1.1) — privacy-loss forms with no closed-form best response —
+// where neither the direct derivation nor the mean-field shortcut applies.
+package nash
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"share/internal/numeric"
+)
+
+// Payoff evaluates player i's payoff when she plays x and everyone plays
+// strategies (strategies[i] is ignored in favor of x). Implementations must
+// not retain or mutate strategies.
+type Payoff func(i int, x float64, strategies []float64) float64
+
+// Game describes an m-player simultaneous game with interval strategy
+// spaces.
+type Game struct {
+	// Players is the number of players m.
+	Players int
+	// Lo and Hi bound each player's strategy space [Lo[i], Hi[i]]. Nil
+	// slices default to [0, 1] for every player.
+	Lo, Hi []float64
+	// Payoff is the common payoff oracle.
+	Payoff Payoff
+}
+
+// Options tune the solver; the zero value gives sensible defaults.
+type Options struct {
+	// MaxIter bounds the number of best-response sweeps (default 500).
+	MaxIter int
+	// Tol is the convergence tolerance on the strategy max-norm change per
+	// sweep (default 1e-9).
+	Tol float64
+	// Damping in (0, 1] blends old and new strategies each sweep
+	// (default 0.5); values below 1 stabilize oscillating responses.
+	Damping float64
+	// InnerTol is the golden-section tolerance for each best response
+	// (default 1e-11).
+	InnerTol float64
+	// Start optionally seeds the initial strategy profile; nil starts at
+	// the midpoint of each strategy interval.
+	Start []float64
+}
+
+// Result reports the computed equilibrium.
+type Result struct {
+	// Strategies is the equilibrium strategy profile.
+	Strategies []float64
+	// Payoffs are the equilibrium payoffs.
+	Payoffs []float64
+	// Iterations is the number of best-response sweeps performed.
+	Iterations int
+	// Residual is the largest payoff improvement any player could still
+	// achieve by a unilateral deviation (estimated with one final sweep).
+	Residual float64
+}
+
+// ErrNotConverged reports that iterated best response failed to settle
+// within the iteration budget — typically a game with no pure-strategy
+// equilibrium or a cycling response map needing stronger damping.
+var ErrNotConverged = errors.New("nash: best-response iteration did not converge")
+
+func (g *Game) bounds() (lo, hi []float64, err error) {
+	if g.Players <= 0 {
+		return nil, nil, fmt.Errorf("nash: invalid player count %d", g.Players)
+	}
+	lo, hi = g.Lo, g.Hi
+	if lo == nil {
+		lo = make([]float64, g.Players)
+	}
+	if hi == nil {
+		hi = make([]float64, g.Players)
+		for i := range hi {
+			hi[i] = 1
+		}
+	}
+	if len(lo) != g.Players || len(hi) != g.Players {
+		return nil, nil, fmt.Errorf("nash: bounds length mismatch: %d players, %d/%d bounds", g.Players, len(lo), len(hi))
+	}
+	for i := range lo {
+		if !(lo[i] < hi[i]) {
+			return nil, nil, fmt.Errorf("nash: player %d has empty strategy space [%g, %g]", i, lo[i], hi[i])
+		}
+	}
+	return lo, hi, nil
+}
+
+// Solve computes a pure-strategy Nash equilibrium by damped iterated best
+// response. For games with strictly concave payoffs in own strategy (all of
+// Share's seller games), a sufficiently damped iteration is a contraction
+// and converges to the unique equilibrium. When the iteration fails to
+// settle at the requested damping — strong aggregate coupling makes the
+// undamped best-response map unstable for many-player Cournot-style games —
+// Solve automatically retries with progressively halved damping before
+// giving up.
+func (g *Game) Solve(opt Options) (*Result, error) {
+	lo, hi, err := g.bounds()
+	if err != nil {
+		return nil, err
+	}
+	if g.Payoff == nil {
+		return nil, errors.New("nash: nil payoff function")
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 500
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-9
+	}
+	if opt.Damping <= 0 || opt.Damping > 1 {
+		opt.Damping = 0.5
+	}
+	if opt.InnerTol <= 0 {
+		opt.InnerTol = 1e-11
+	}
+	if opt.Start != nil && len(opt.Start) != g.Players {
+		return nil, fmt.Errorf("nash: start profile has %d entries for %d players", len(opt.Start), g.Players)
+	}
+
+	damping := opt.Damping
+	const maxBackoffs = 7
+	for attempt := 0; attempt <= maxBackoffs; attempt++ {
+		res, ok := g.solveOnce(opt, lo, hi, damping)
+		if ok {
+			return res, nil
+		}
+		damping /= 2
+	}
+	return nil, ErrNotConverged
+}
+
+// solveOnce runs one damped best-response iteration to convergence or the
+// iteration budget.
+func (g *Game) solveOnce(opt Options, lo, hi []float64, damping float64) (*Result, bool) {
+	s := make([]float64, g.Players)
+	if opt.Start != nil {
+		for i, x := range opt.Start {
+			s[i] = numeric.Clamp(x, lo[i], hi[i])
+		}
+	} else {
+		for i := range s {
+			s[i] = (lo[i] + hi[i]) / 2
+		}
+	}
+
+	res := &Result{}
+	// Lower damping needs proportionally more sweeps to cover the same
+	// contraction distance.
+	budget := int(float64(opt.MaxIter) * (opt.Damping / damping))
+	for iter := 1; iter <= budget; iter++ {
+		var maxDelta float64
+		for i := 0; i < g.Players; i++ {
+			best := numeric.GoldenMax(func(x float64) float64 {
+				return g.Payoff(i, x, s)
+			}, lo[i], hi[i], opt.InnerTol)
+			next := (1-damping)*s[i] + damping*best
+			if d := math.Abs(next - s[i]); d > maxDelta {
+				maxDelta = d
+			}
+			s[i] = next
+		}
+		res.Iterations = iter
+		if maxDelta < opt.Tol {
+			res.Strategies = s
+			res.Payoffs, res.Residual = g.audit(s, lo, hi, opt.InnerTol)
+			return res, true
+		}
+	}
+	return nil, false
+}
+
+// audit computes equilibrium payoffs and the largest remaining unilateral
+// improvement.
+func (g *Game) audit(s, lo, hi []float64, innerTol float64) (payoffs []float64, residual float64) {
+	payoffs = make([]float64, g.Players)
+	for i := range payoffs {
+		cur := g.Payoff(i, s[i], s)
+		payoffs[i] = cur
+		best := numeric.GoldenMax(func(x float64) float64 {
+			return g.Payoff(i, x, s)
+		}, lo[i], hi[i], innerTol)
+		if gain := g.Payoff(i, best, s) - cur; gain > residual {
+			residual = gain
+		}
+	}
+	return payoffs, residual
+}
+
+// VerifyEquilibrium reports the largest payoff any player could gain from a
+// unilateral deviation away from strategies — zero (up to tolerance) iff the
+// profile is a Nash equilibrium.
+func (g *Game) VerifyEquilibrium(strategies []float64) (float64, error) {
+	lo, hi, err := g.bounds()
+	if err != nil {
+		return 0, err
+	}
+	if len(strategies) != g.Players {
+		return 0, fmt.Errorf("nash: profile has %d entries for %d players", len(strategies), g.Players)
+	}
+	_, residual := g.audit(strategies, lo, hi, 1e-11)
+	return residual, nil
+}

@@ -1,0 +1,118 @@
+package numeric
+
+import "math"
+
+// invPhi is 1/φ, the inverse golden ratio used by golden-section search.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenMax maximizes a unimodal function f on the closed interval [a, b]
+// using golden-section search and returns the maximizing abscissa. The search
+// shrinks the bracket by the inverse golden ratio each step, needing one
+// function evaluation per iteration. tol is the absolute tolerance on the
+// bracket width; pass 0 for DefaultTol (note golden-section cannot do better
+// than ~sqrt(machine epsilon) in x, so tol is floored at 1e-10).
+func GoldenMax(f func(float64) float64, a, b, tol float64) float64 {
+	if tol <= 0 || tol < 1e-10 {
+		tol = 1e-10
+	}
+	if a > b {
+		a, b = b, a
+	}
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// GoldenMin minimizes a unimodal function on [a, b]; it is GoldenMax applied
+// to -f.
+func GoldenMin(f func(float64) float64, a, b, tol float64) float64 {
+	return GoldenMax(func(x float64) float64 { return -f(x) }, a, b, tol)
+}
+
+// Derivative estimates f'(x) by central differences with step h; pass h <= 0
+// for an automatic step scaled to x (cube root of machine epsilon, the
+// accuracy-optimal choice for central differences).
+func Derivative(f func(float64) float64, x, h float64) float64 {
+	if h <= 0 {
+		h = 6.055e-6 * (1 + math.Abs(x)) // cbrt(eps) ≈ 6.055e-6
+	}
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// SecondDerivative estimates f”(x) by the three-point central stencil.
+// Pass h <= 0 for an automatic step (fourth root of machine epsilon).
+func SecondDerivative(f func(float64) float64, x, h float64) float64 {
+	if h <= 0 {
+		h = 1.221e-4 * (1 + math.Abs(x)) // eps^(1/4) ≈ 1.221e-4
+	}
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}
+
+// Linspace returns n evenly spaced points from a to b inclusive. n must be at
+// least 2; n == 1 returns just a.
+func Linspace(a, b float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{a}
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b
+	return out
+}
+
+// Logspace returns n points spaced evenly on a log scale between a and b
+// inclusive (both must be positive).
+func Logspace(a, b float64, n int) []float64 {
+	pts := Linspace(math.Log(a), math.Log(b), n)
+	for i, p := range pts {
+		pts[i] = math.Exp(p)
+	}
+	if n >= 1 {
+		pts[0] = a
+	}
+	if n >= 2 {
+		pts[n-1] = b
+	}
+	return pts
+}
+
+// AlmostEqual reports whether a and b are equal within absolute tolerance
+// absTol or relative tolerance relTol (whichever is looser).
+func AlmostEqual(a, b, absTol, relTol float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= absTol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= relTol*scale
+}

@@ -1,0 +1,221 @@
+// Package numeric provides the scalar numerical routines Share depends on:
+// root finding, one-dimensional maximization, numerical differentiation, and
+// polynomial solving. The Go standard library ships no numerical toolkit, so
+// this package implements the classical algorithms (bisection, Newton, Brent,
+// golden-section search) from scratch on float64.
+//
+// All routines are deterministic and allocation-free on the hot path; they are
+// used both by the analytic equilibrium derivations in internal/core (to
+// verify first-order conditions) and by the generic Nash solver in
+// internal/nash (as the inner best-response optimizer).
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Common errors returned by the root finders.
+var (
+	// ErrNoBracket reports that the supplied interval does not bracket a
+	// sign change of the target function.
+	ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+	// ErrMaxIterations reports that the iteration budget was exhausted
+	// before the convergence tolerance was met.
+	ErrMaxIterations = errors.New("numeric: maximum iterations exceeded")
+	// ErrZeroDerivative reports that Newton's method encountered a
+	// vanishing derivative and cannot continue.
+	ErrZeroDerivative = errors.New("numeric: derivative vanished during Newton iteration")
+)
+
+// DefaultTol is the default absolute convergence tolerance used when a caller
+// passes a non-positive tolerance.
+const DefaultTol = 1e-12
+
+// DefaultMaxIter is the default iteration budget for the iterative solvers.
+const DefaultMaxIter = 200
+
+// Bisect finds a root of f in [a, b] by bisection. It requires f(a) and f(b)
+// to have opposite signs and converges linearly but unconditionally. tol is
+// the absolute tolerance on the bracket width; pass 0 for DefaultTol.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	for i := 0; i < 10_000; i++ {
+		mid := a + (b-a)/2
+		fm := f(mid)
+		if fm == 0 || (b-a)/2 < tol {
+			return mid, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = mid, fm
+		} else {
+			b = mid
+		}
+	}
+	return 0, ErrMaxIterations
+}
+
+// Newton finds a root of f starting from x0 using Newton-Raphson iteration
+// with the analytic derivative df. It converges quadratically near simple
+// roots. tol bounds |f(x)|; pass 0 for DefaultTol.
+func Newton(f, df func(float64) float64, x0, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	x := x0
+	for i := 0; i < DefaultMaxIter; i++ {
+		fx := f(x)
+		if math.Abs(fx) < tol {
+			return x, nil
+		}
+		d := df(x)
+		if d == 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return 0, ErrZeroDerivative
+		}
+		step := fx / d
+		x -= step
+		if math.Abs(step) < tol*(1+math.Abs(x)) {
+			return x, nil
+		}
+	}
+	return 0, ErrMaxIterations
+}
+
+// Brent finds a root of f in the bracketing interval [a, b] using Brent's
+// method, which combines bisection, secant steps and inverse quadratic
+// interpolation. It is the workhorse root finder: superlinear when the
+// function cooperates, never worse than bisection when it does not.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for i := 0; i < 10_000; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*math.SmallestNonzeroFloat64*math.Abs(b) + tol/2
+		xm := (c - b) / 2
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				// Secant step.
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				// Inverse quadratic interpolation.
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			min1 := 3*xm*q - math.Abs(tol1*q)
+			min2 := math.Abs(e * q)
+			if 2*p < math.Min(min1, min2) {
+				e, d = d, p/q
+			} else {
+				d, e = xm, xm
+			}
+		} else {
+			d, e = xm, xm
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else {
+			b += math.Copysign(tol1, xm)
+		}
+		fb = f(b)
+		if math.Signbit(fb) == math.Signbit(fc) {
+			c, fc = a, fa
+			d, e = b-a, b-a
+		}
+	}
+	return 0, ErrMaxIterations
+}
+
+// SolveQuadratic returns the real roots of ax²+bx+c = 0 in ascending order.
+// It returns 0, 1 or 2 roots; a == 0 degrades gracefully to the linear case.
+// The computation uses the numerically stable citardauq formulation to avoid
+// catastrophic cancellation when b² >> 4ac.
+func SolveQuadratic(a, b, c float64) []float64 {
+	if a == 0 {
+		if b == 0 {
+			return nil
+		}
+		return []float64{-c / b}
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return nil
+	}
+	if disc == 0 {
+		return []float64{-b / (2 * a)}
+	}
+	sq := math.Sqrt(disc)
+	// q has the sign of b to keep b+sign(b)·sq away from cancellation.
+	q := -(b + math.Copysign(sq, b)) / 2
+	r1, r2 := q/a, c/q
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	return []float64{r1, r2}
+}
+
+// FixedPoint iterates x ← g(x) with damping factor damp in (0, 1] until
+// successive iterates differ by less than tol, returning the fixed point.
+// Damping (x ← (1−damp)·x + damp·g(x)) stabilizes oscillatory maps such as
+// simultaneous best-response updates.
+func FixedPoint(g func(float64) float64, x0, damp, tol float64, maxIter int) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	if damp <= 0 || damp > 1 {
+		damp = 1
+	}
+	x := x0
+	for i := 0; i < maxIter; i++ {
+		next := (1-damp)*x + damp*g(x)
+		if math.Abs(next-x) < tol*(1+math.Abs(next)) {
+			return next, nil
+		}
+		x = next
+	}
+	return x, ErrMaxIterations
+}

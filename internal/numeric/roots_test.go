@@ -1,0 +1,175 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectFindsSimpleRoot(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	root, err := Bisect(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Errorf("Bisect root = %v, want √2 = %v", root, math.Sqrt2)
+	}
+}
+
+func TestBisectExactEndpoints(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if root, err := Bisect(f, 0, 1, 0); err != nil || root != 0 {
+		t.Errorf("Bisect with f(a)=0: root=%v err=%v, want 0, nil", root, err)
+	}
+	if root, err := Bisect(f, -1, 0, 0); err != nil || root != 0 {
+		t.Errorf("Bisect with f(b)=0: root=%v err=%v, want 0, nil", root, err)
+	}
+}
+
+func TestBisectRejectsNonBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 0); err == nil {
+		t.Error("Bisect accepted an interval with no sign change")
+	}
+}
+
+func TestNewtonQuadraticConvergence(t *testing.T) {
+	f := func(x float64) float64 { return x*x*x - 8 }
+	df := func(x float64) float64 { return 3 * x * x }
+	root, err := Newton(f, df, 3, 1e-13)
+	if err != nil {
+		t.Fatalf("Newton: %v", err)
+	}
+	if math.Abs(root-2) > 1e-10 {
+		t.Errorf("Newton root = %v, want 2", root)
+	}
+}
+
+func TestNewtonZeroDerivative(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	df := func(x float64) float64 { return 2 * x }
+	if _, err := Newton(f, df, 0, 0); err == nil {
+		t.Error("Newton accepted a vanishing derivative at the start point")
+	}
+}
+
+func TestBrentAgainstKnownRoots(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"sqrt2", func(x float64) float64 { return x*x - 2 }, 0, 2, math.Sqrt2},
+		{"cosx-x", func(x float64) float64 { return math.Cos(x) - x }, 0, 1, 0.7390851332151607},
+		{"cubic", func(x float64) float64 { return (x - 1) * (x - 4) * (x + 5) }, 0, 2, 1},
+		{"exp", func(x float64) float64 { return math.Exp(x) - 3 }, 0, 2, math.Log(3)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			root, err := Brent(c.f, c.a, c.b, 1e-13)
+			if err != nil {
+				t.Fatalf("Brent: %v", err)
+			}
+			if math.Abs(root-c.want) > 1e-9 {
+				t.Errorf("Brent root = %v, want %v", root, c.want)
+			}
+		})
+	}
+}
+
+func TestBrentRejectsNonBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 }, 0, 1, 0); err == nil {
+		t.Error("Brent accepted an interval with no sign change")
+	}
+}
+
+func TestSolveQuadraticCases(t *testing.T) {
+	cases := []struct {
+		a, b, c float64
+		want    []float64
+	}{
+		{1, 0, -4, []float64{-2, 2}},
+		{1, -2, 1, []float64{1}},
+		{1, 0, 1, nil},
+		{0, 2, -4, []float64{2}},
+		{0, 0, 1, nil},
+		{2, -10, 12, []float64{2, 3}},
+	}
+	for _, c := range cases {
+		got := SolveQuadratic(c.a, c.b, c.c)
+		if len(got) != len(c.want) {
+			t.Errorf("SolveQuadratic(%g,%g,%g) = %v, want %v", c.a, c.b, c.c, got, c.want)
+			continue
+		}
+		for i := range got {
+			if math.Abs(got[i]-c.want[i]) > 1e-9 {
+				t.Errorf("SolveQuadratic(%g,%g,%g)[%d] = %v, want %v", c.a, c.b, c.c, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// Property: any real roots returned by SolveQuadratic satisfy the equation,
+// and they are sorted ascending.
+func TestSolveQuadraticProperty(t *testing.T) {
+	prop := func(a, b, c float64) bool {
+		// Confine coefficients to a sane range.
+		a = math.Mod(a, 100)
+		b = math.Mod(b, 100)
+		c = math.Mod(c, 100)
+		roots := SolveQuadratic(a, b, c)
+		prev := math.Inf(-1)
+		for _, r := range roots {
+			if r < prev {
+				return false
+			}
+			prev = r
+			val := a*r*r + b*r + c
+			scale := math.Abs(a*r*r) + math.Abs(b*r) + math.Abs(c) + 1
+			if math.Abs(val) > 1e-7*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveQuadraticNoCancellation(t *testing.T) {
+	// b² >> 4ac: naive formula loses the small root to cancellation.
+	roots := SolveQuadratic(1, -1e8, 1)
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2", len(roots))
+	}
+	small := roots[0]
+	if math.Abs(small-1e-8) > 1e-15 {
+		t.Errorf("small root = %v, want 1e-8 (catastrophic cancellation?)", small)
+	}
+}
+
+func TestFixedPointConverges(t *testing.T) {
+	// x = cos(x) has the Dottie fixed point.
+	got, err := FixedPoint(math.Cos, 1, 1, 1e-12, 500)
+	if err != nil {
+		t.Fatalf("FixedPoint: %v", err)
+	}
+	if math.Abs(got-0.7390851332151607) > 1e-9 {
+		t.Errorf("FixedPoint = %v, want Dottie number", got)
+	}
+}
+
+func TestFixedPointDampingStabilizesOscillation(t *testing.T) {
+	// x ← 3.2 − x oscillates forever undamped; damping converges to 1.6.
+	g := func(x float64) float64 { return 3.2 - x }
+	got, err := FixedPoint(g, 0, 0.5, 1e-12, 500)
+	if err != nil {
+		t.Fatalf("FixedPoint with damping: %v", err)
+	}
+	if math.Abs(got-1.6) > 1e-9 {
+		t.Errorf("FixedPoint = %v, want 1.6", got)
+	}
+}

@@ -1,0 +1,165 @@
+// Package plot renders experiment series as ASCII line charts for terminals
+// and Markdown reports. It is deliberately small: fixed-size character
+// canvas, linear or log x scaling, one glyph per series, a legend, and
+// axis labels — enough to eyeball every figure of the paper without leaving
+// the shell.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Glyphs assigns one plotting character per series, in order.
+var Glyphs = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Options configure a chart.
+type Options struct {
+	// Width and Height are the canvas size in characters (defaults 72×20).
+	Width, Height int
+	// LogX plots the x axis on a log₁₀ scale (all x must be positive).
+	LogX bool
+	// Title is printed above the chart.
+	Title string
+	// XLabel annotates the x axis.
+	XLabel string
+}
+
+// Line is one named series of (x, y) points.
+type Line struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Render draws the lines onto one shared canvas and returns it as a string.
+// Series with mismatched Xs/Ys lengths or no finite points are skipped with
+// a note in the legend.
+func Render(lines []Line, opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 72
+	}
+	if opt.Height <= 0 {
+		opt.Height = 20
+	}
+
+	// Collect finite points and global ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	usable := make([]bool, len(lines))
+	for li, l := range lines {
+		if len(l.Xs) != len(l.Ys) || len(l.Xs) == 0 {
+			continue
+		}
+		any := false
+		for i := range l.Xs {
+			x, y := l.Xs[i], l.Ys[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			if opt.LogX && x <= 0 {
+				continue
+			}
+			xv := x
+			if opt.LogX {
+				xv = math.Log10(x)
+			}
+			xmin, xmax = math.Min(xmin, xv), math.Max(xmax, xv)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+			any = true
+		}
+		usable[li] = any
+	}
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	if math.IsInf(xmin, 1) {
+		b.WriteString("(no plottable points)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	// Paint the canvas.
+	canvas := make([][]rune, opt.Height)
+	for r := range canvas {
+		canvas[r] = []rune(strings.Repeat(" ", opt.Width))
+	}
+	for li, l := range lines {
+		if !usable[li] {
+			continue
+		}
+		glyph := Glyphs[li%len(Glyphs)]
+		for i := range l.Xs {
+			x, y := l.Xs[i], l.Ys[i]
+			if !finite(x) || !finite(y) || (opt.LogX && x <= 0) {
+				continue
+			}
+			xv := x
+			if opt.LogX {
+				xv = math.Log10(x)
+			}
+			col := int(math.Round((xv - xmin) / (xmax - xmin) * float64(opt.Width-1)))
+			row := opt.Height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(opt.Height-1)))
+			if col >= 0 && col < opt.Width && row >= 0 && row < opt.Height {
+				canvas[row][col] = glyph
+			}
+		}
+	}
+
+	// Emit with a y-axis gutter.
+	for r, rowRunes := range canvas {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%11.4g", ymax)
+		case opt.Height - 1:
+			label = fmt.Sprintf("%11.4g", ymin)
+		default:
+			label = strings.Repeat(" ", 11)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(rowRunes))
+	}
+	b.WriteString(strings.Repeat(" ", 12) + "+" + strings.Repeat("-", opt.Width) + "\n")
+	lo, hi := xmin, xmax
+	if opt.LogX {
+		lo, hi = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	axis := fmt.Sprintf("%.4g", lo)
+	right := fmt.Sprintf("%.4g", hi)
+	pad := opt.Width - len(axis) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s%s%s%s", strings.Repeat(" ", 13), axis, strings.Repeat(" ", pad), right)
+	if opt.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s%s)", opt.XLabel, logSuffix(opt.LogX))
+	}
+	b.WriteString("\n")
+
+	// Legend.
+	for li, l := range lines {
+		glyph := Glyphs[li%len(Glyphs)]
+		status := ""
+		if !usable[li] {
+			status = " (no data)"
+		}
+		fmt.Fprintf(&b, "%13c %s%s\n", glyph, l.Name, status)
+	}
+	return b.String()
+}
+
+func logSuffix(logX bool) string {
+	if logX {
+		return ", log scale"
+	}
+	return ""
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -1,0 +1,103 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	out := Render([]Line{
+		{Name: "linear", Xs: []float64{0, 1, 2, 3}, Ys: []float64{0, 1, 2, 3}},
+	}, Options{Title: "test chart", XLabel: "x", Width: 40, Height: 10})
+	if !strings.Contains(out, "test chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "linear") {
+		t.Error("missing legend entry")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no points plotted")
+	}
+	if !strings.Contains(out, "(x)") {
+		t.Error("missing x label")
+	}
+	// The max y value appears in the gutter.
+	if !strings.Contains(out, "3") {
+		t.Error("missing y range")
+	}
+}
+
+func TestRenderMultipleSeriesDistinctGlyphs(t *testing.T) {
+	out := Render([]Line{
+		{Name: "a", Xs: []float64{0, 1}, Ys: []float64{0, 1}},
+		{Name: "b", Xs: []float64{0, 1}, Ys: []float64{1, 0}},
+	}, Options{Width: 30, Height: 8})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("expected two glyph kinds:\n%s", out)
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	out := Render([]Line{
+		{Name: "runtime", Xs: []float64{10, 100, 1000, 10000}, Ys: []float64{1, 2, 3, 4}},
+	}, Options{LogX: true, XLabel: "m", Width: 40, Height: 8})
+	if !strings.Contains(out, "log scale") {
+		t.Error("missing log-scale annotation")
+	}
+	if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+		t.Errorf("missing x range label:\n%s", out)
+	}
+}
+
+func TestRenderDegenerateInputs(t *testing.T) {
+	// No points at all.
+	out := Render([]Line{{Name: "empty"}}, Options{})
+	if !strings.Contains(out, "no plottable points") {
+		t.Errorf("expected empty-chart notice, got:\n%s", out)
+	}
+	// NaN/Inf points are skipped, not plotted.
+	nan := Render([]Line{
+		{Name: "bad", Xs: []float64{0, 1, 2}, Ys: []float64{1, nanF(), 2}},
+	}, Options{Width: 20, Height: 5})
+	if strings.Contains(nan, "no plottable points") {
+		t.Error("finite points should still plot")
+	}
+	// Constant y (zero range) must not divide by zero.
+	flat := Render([]Line{
+		{Name: "flat", Xs: []float64{0, 1, 2}, Ys: []float64{5, 5, 5}},
+	}, Options{Width: 20, Height: 5})
+	if !strings.Contains(flat, "*") {
+		t.Errorf("flat series should plot:\n%s", flat)
+	}
+	// Mismatched lengths are skipped with a note.
+	mis := Render([]Line{
+		{Name: "skew", Xs: []float64{1, 2}, Ys: []float64{1}},
+		{Name: "ok", Xs: []float64{1, 2}, Ys: []float64{1, 2}},
+	}, Options{Width: 20, Height: 5})
+	if !strings.Contains(mis, "skew (no data)") {
+		t.Errorf("mismatched series should be flagged:\n%s", mis)
+	}
+	// Log-x with non-positive x drops those points only.
+	lg := Render([]Line{
+		{Name: "mixed", Xs: []float64{-1, 0, 10, 100}, Ys: []float64{1, 2, 3, 4}},
+	}, Options{LogX: true, Width: 20, Height: 5})
+	if strings.Contains(lg, "no plottable points") {
+		t.Error("positive-x points should survive log mode")
+	}
+}
+
+func TestRenderDefaultDimensions(t *testing.T) {
+	out := Render([]Line{
+		{Name: "a", Xs: []float64{0, 1}, Ys: []float64{0, 1}},
+	}, Options{})
+	lines := strings.Split(out, "\n")
+	// 20 canvas rows + axis + x labels + legend.
+	if len(lines) < 22 {
+		t.Errorf("default canvas too small: %d lines", len(lines))
+	}
+}
+
+func nanF() float64 {
+	var zero float64
+	return zero / zero
+}

@@ -1,0 +1,80 @@
+package product
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"share/internal/dataset"
+)
+
+// Histogram is an aggregate-statistics product: the distribution of the
+// target variable over k equal-width bins (e.g. "how often does the plant
+// produce 420–440 MW?"). Performance is 1 − total-variation distance between
+// the histogram of the purchased data and the clean test set's — 1 for a
+// perfect reproduction, 0 for disjoint distributions.
+//
+// Bin edges come from the clean test set so the comparison is well-defined
+// even when LDP noise pushes purchased values outside the physical range
+// (they land in the edge bins).
+type Histogram struct {
+	// Bins is the bin count (0 → 10).
+	Bins int
+}
+
+// Name implements Builder.
+func (h Histogram) Name() string { return "target-histogram" }
+
+// Build implements Builder.
+func (h Histogram) Build(train, test *dataset.Dataset) (Report, error) {
+	if test.Len() == 0 {
+		return Report{}, errors.New("product: empty test set")
+	}
+	bins := h.Bins
+	if bins <= 0 {
+		bins = 10
+	}
+	if train.Len() == 0 {
+		return Report{Performance: 0, Detail: map[string]float64{}}, nil
+	}
+	lo, hi := test.Y[0], test.Y[0]
+	for _, y := range test.Y {
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	if !(lo < hi) {
+		return Report{}, fmt.Errorf("product: degenerate target range [%g, %g]", lo, hi)
+	}
+	truth := histogram(test.Y, lo, hi, bins)
+	est := histogram(train.Y, lo, hi, bins)
+	var tv float64
+	detail := make(map[string]float64, bins+1)
+	for j := 0; j < bins; j++ {
+		tv += math.Abs(truth[j] - est[j])
+		detail[fmt.Sprintf("bin_%02d_err", j)] = est[j] - truth[j]
+	}
+	tv /= 2
+	detail["total_variation"] = tv
+	return Report{Performance: clamp01(1 - tv), Detail: detail}, nil
+}
+
+// histogram bins values into k equal-width bins over [lo, hi], clamping
+// out-of-range values into the edge bins, and returns bin frequencies.
+func histogram(ys []float64, lo, hi float64, k int) []float64 {
+	counts := make([]float64, k)
+	width := (hi - lo) / float64(k)
+	for _, y := range ys {
+		j := int((y - lo) / width)
+		if j < 0 {
+			j = 0
+		}
+		if j >= k {
+			j = k - 1
+		}
+		counts[j]++
+	}
+	for j := range counts {
+		counts[j] /= float64(len(ys))
+	}
+	return counts
+}

@@ -1,0 +1,96 @@
+package regress
+
+import (
+	"share/internal/dataset"
+	"share/internal/linalg"
+)
+
+// Incremental accumulates the sufficient statistics of an OLS fit — the Gram
+// matrix XᵀX and moment vector Xᵀy over the design with intercept — so rows
+// can be added one at a time and a model re-solved in O(k³) regardless of how
+// many rows have been seen. Monte Carlo data-point Shapley scans permutation
+// prefixes; with this accumulator each prefix extension costs O(k²) to
+// absorb and O(k³) to refit, instead of refitting from scratch in O(n·k²).
+type Incremental struct {
+	k    int // features (excluding intercept)
+	n    int // rows absorbed
+	gram *linalg.Matrix
+	xty  []float64
+}
+
+// NewIncremental creates an accumulator for k-feature rows.
+func NewIncremental(k int) *Incremental {
+	return &Incremental{
+		k:    k,
+		gram: linalg.NewMatrix(k+1, k+1),
+		xty:  make([]float64, k+1),
+	}
+}
+
+// N returns the number of rows absorbed so far.
+func (inc *Incremental) N() int { return inc.n }
+
+// Add absorbs one observation (x, y).
+func (inc *Incremental) Add(x []float64, y float64) {
+	// Augmented row is (1, x...); update upper triangle then mirror on
+	// Solve. We update the full matrix directly — k is small in Share.
+	aug := make([]float64, inc.k+1)
+	aug[0] = 1
+	copy(aug[1:], x)
+	for i := 0; i <= inc.k; i++ {
+		ai := aug[i]
+		if ai == 0 {
+			continue
+		}
+		row := inc.gram.Row(i)
+		for j := 0; j <= inc.k; j++ {
+			row[j] += ai * aug[j]
+		}
+		inc.xty[i] += ai * y
+	}
+	inc.n++
+}
+
+// AddDataset absorbs every row of d.
+func (inc *Incremental) AddDataset(d *dataset.Dataset) {
+	for i, row := range d.X {
+		inc.Add(row, d.Y[i])
+	}
+}
+
+// Reset clears the accumulator for reuse without reallocating.
+func (inc *Incremental) Reset() {
+	for i := range inc.gram.Data {
+		inc.gram.Data[i] = 0
+	}
+	for i := range inc.xty {
+		inc.xty[i] = 0
+	}
+	inc.n = 0
+}
+
+// Solve returns the OLS model for the absorbed rows. With fewer rows than
+// parameters the normal equations are singular; a small ridge keeps the
+// solve defined so Shapley prefix scans work from the first row.
+func (inc *Incremental) Solve() (*Model, error) {
+	if inc.n == 0 {
+		return nil, ErrEmptyTrainingSet
+	}
+	g := inc.gram.Clone()
+	var trace float64
+	for i := 0; i <= inc.k; i++ {
+		trace += g.At(i, i)
+	}
+	ridge := 1e-10 * trace / float64(inc.k+1)
+	if ridge <= 0 {
+		ridge = 1e-12
+	}
+	for i := 0; i <= inc.k; i++ {
+		g.Set(i, i, g.At(i, i)+ridge)
+	}
+	beta, err := linalg.SolveSPD(g, inc.xty)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Intercept: beta[0], Coef: beta[1:]}, nil
+}

@@ -1,0 +1,61 @@
+package shapley_test
+
+import (
+	"fmt"
+
+	"share/internal/shapley"
+	"share/internal/stat"
+)
+
+// The classic glove game: two players hold left gloves, one holds a right
+// glove; only a pair has value. The right-glove holder captures 2/3 of the
+// surplus — scarcity is rewarded.
+func ExampleExact() {
+	u := func(coalition []int) float64 {
+		var left, right int
+		for _, p := range coalition {
+			if p == 2 {
+				right++
+			} else {
+				left++
+			}
+		}
+		if left >= 1 && right >= 1 {
+			return 1
+		}
+		return 0
+	}
+	sv, err := shapley.Exact(3, u)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("left:  %.4f\n", sv[0])
+	fmt.Printf("left:  %.4f\n", sv[1])
+	fmt.Printf("right: %.4f\n", sv[2])
+	// Output:
+	// left:  0.1667
+	// left:  0.1667
+	// right: 0.6667
+}
+
+// Monte Carlo estimation preserves the efficiency axiom exactly: values sum
+// to the grand coalition's utility.
+func ExampleMonteCarlo() {
+	contrib := []float64{2, 3, 5}
+	u := func(coalition []int) float64 {
+		var s float64
+		for _, p := range coalition {
+			s += contrib[p]
+		}
+		return s
+	}
+	sv, err := shapley.MonteCarlo(3, u, 200, stat.NewRand(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("sum = %.1f\n", sv[0]+sv[1]+sv[2])
+	// Output:
+	// sum = 10.0
+}

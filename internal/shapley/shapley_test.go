@@ -1,0 +1,277 @@
+package shapley
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"share/internal/stat"
+)
+
+// additiveUtility returns a utility where each player contributes a fixed
+// amount independently — Shapley values equal the contributions exactly.
+func additiveUtility(contrib []float64) Utility {
+	return func(coalition []int) float64 {
+		var s float64
+		for _, i := range coalition {
+			s += contrib[i]
+		}
+		return s
+	}
+}
+
+func TestExactAdditiveGame(t *testing.T) {
+	contrib := []float64{1, 2, 3, 4}
+	sv, err := Exact(4, additiveUtility(contrib))
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	for i, want := range contrib {
+		if math.Abs(sv[i]-want) > 1e-12 {
+			t.Errorf("SV[%d] = %v, want %v", i, sv[i], want)
+		}
+	}
+}
+
+func TestExactGloveGame(t *testing.T) {
+	// Classic glove game: players 0,1 own left gloves, player 2 a right
+	// glove; a pair is worth 1. Known Shapley values: (1/6, 1/6, 2/3).
+	u := func(coalition []int) float64 {
+		var left, right int
+		for _, p := range coalition {
+			if p == 2 {
+				right++
+			} else {
+				left++
+			}
+		}
+		if left >= 1 && right >= 1 {
+			return 1
+		}
+		return 0
+	}
+	sv, err := Exact(3, u)
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	want := []float64{1.0 / 6, 1.0 / 6, 2.0 / 3}
+	for i := range want {
+		if math.Abs(sv[i]-want[i]) > 1e-12 {
+			t.Errorf("glove SV[%d] = %v, want %v", i, sv[i], want[i])
+		}
+	}
+}
+
+func TestExactRejectsBadInput(t *testing.T) {
+	if _, err := Exact(0, additiveUtility(nil)); err == nil {
+		t.Error("Exact accepted zero players")
+	}
+	if _, err := Exact(31, additiveUtility(make([]float64, 31))); err == nil {
+		t.Error("Exact accepted 31 players")
+	}
+}
+
+// Efficiency axiom: Shapley values sum to v(grand) − v(∅).
+func TestExactEfficiencyProperty(t *testing.T) {
+	rng := stat.NewRand(1)
+	prop := func(seed int64) bool {
+		r := stat.NewRand(seed)
+		m := 2 + r.Intn(6)
+		// Random supermodular-ish utility: value of a coalition is a random
+		// but fixed function of its bitmask.
+		vals := make([]float64, 1<<uint(m))
+		for i := range vals {
+			vals[i] = r.Float64() * 10
+		}
+		vals[0] = r.Float64() // arbitrary v(∅)
+		u := func(coalition []int) float64 {
+			mask := 0
+			for _, p := range coalition {
+				mask |= 1 << uint(p)
+			}
+			return vals[mask]
+		}
+		sv, err := Exact(m, u)
+		if err != nil {
+			return false
+		}
+		var total float64
+		for _, v := range sv {
+			total += v
+		}
+		want := vals[len(vals)-1] - vals[0]
+		return math.Abs(total-want) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Symmetry axiom: interchangeable players receive equal values.
+func TestExactSymmetry(t *testing.T) {
+	// Players 0 and 1 are symmetric (both contribute 5); player 2
+	// contributes 1.
+	sv, err := Exact(3, additiveUtility([]float64{5, 5, 1}))
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	if math.Abs(sv[0]-sv[1]) > 1e-12 {
+		t.Errorf("symmetric players got %v and %v", sv[0], sv[1])
+	}
+}
+
+// Null player axiom: a player who never changes the utility gets zero.
+func TestExactNullPlayer(t *testing.T) {
+	sv, err := Exact(4, additiveUtility([]float64{3, 0, 2, 7}))
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	if math.Abs(sv[1]) > 1e-12 {
+		t.Errorf("null player received %v", sv[1])
+	}
+}
+
+func TestMonteCarloConvergesToExact(t *testing.T) {
+	rng := stat.NewRand(42)
+	u := func(coalition []int) float64 {
+		// Superadditive: quadratic in coalition size plus member identity.
+		var s float64
+		for _, p := range coalition {
+			s += float64(p + 1)
+		}
+		return s + float64(len(coalition)*len(coalition))
+	}
+	exact, err := Exact(5, u)
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	mc, err := MonteCarlo(5, u, 20_000, rng)
+	if err != nil {
+		t.Fatalf("MonteCarlo: %v", err)
+	}
+	for i := range exact {
+		if math.Abs(mc[i]-exact[i]) > 0.15 {
+			t.Errorf("MC SV[%d] = %v, exact %v", i, mc[i], exact[i])
+		}
+	}
+}
+
+func TestMonteCarloEfficiency(t *testing.T) {
+	// The permutation estimator preserves efficiency exactly per
+	// permutation, hence exactly in the average.
+	rng := stat.NewRand(7)
+	contrib := []float64{2, 4, 6}
+	u := additiveUtility(contrib)
+	sv, err := MonteCarlo(3, u, 50, rng)
+	if err != nil {
+		t.Fatalf("MonteCarlo: %v", err)
+	}
+	var total float64
+	for _, v := range sv {
+		total += v
+	}
+	if math.Abs(total-12) > 1e-9 {
+		t.Errorf("MC efficiency violated: sum = %v, want 12", total)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	u := additiveUtility([]float64{1})
+	if _, err := MonteCarlo(0, u, 10, stat.NewRand(1)); err == nil {
+		t.Error("accepted zero players")
+	}
+	if _, err := MonteCarlo(1, u, 0, stat.NewRand(1)); err == nil {
+		t.Error("accepted zero permutations")
+	}
+	if _, err := MonteCarlo(1, u, 10, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+}
+
+func TestTruncatedMonteCarloSkipsTail(t *testing.T) {
+	// Utility saturates once any two players are present; truncation should
+	// cut most evaluations while matching plain MC closely.
+	rng := stat.NewRand(9)
+	var calls int
+	u := func(coalition []int) float64 {
+		calls++
+		if len(coalition) >= 2 {
+			return 1
+		}
+		return float64(len(coalition)) * 0.4
+	}
+	m := 30
+	calls = 0
+	if _, err := TruncatedMonteCarlo(m, u, 50, 1e-9, rng); err != nil {
+		t.Fatalf("TruncatedMonteCarlo: %v", err)
+	}
+	truncCalls := calls
+	calls = 0
+	if _, err := MonteCarlo(m, u, 50, rng); err != nil {
+		t.Fatalf("MonteCarlo: %v", err)
+	}
+	fullCalls := calls
+	if truncCalls >= fullCalls/2 {
+		t.Errorf("truncation saved too little: %d vs %d calls", truncCalls, fullCalls)
+	}
+}
+
+func TestTruncatedMatchesExactOnSaturatingGame(t *testing.T) {
+	rng := stat.NewRand(11)
+	u := func(coalition []int) float64 {
+		if len(coalition) >= 1 {
+			return 1
+		}
+		return 0
+	}
+	// Every player's SV is 1/m by symmetry.
+	m := 6
+	sv, err := TruncatedMonteCarlo(m, u, 5000, 1e-12, rng)
+	if err != nil {
+		t.Fatalf("TruncatedMonteCarlo: %v", err)
+	}
+	for i, v := range sv {
+		if math.Abs(v-1.0/6) > 0.03 {
+			t.Errorf("SV[%d] = %v, want 1/6", i, v)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	// Ordering preserved, all positive, sums to 1.
+	out := Normalize([]float64{1, 3, 2})
+	if !(out[1] > out[2] && out[2] > out[0]) {
+		t.Errorf("Normalize lost ordering: %v", out)
+	}
+	var total float64
+	for _, v := range out {
+		if v <= 0 {
+			t.Errorf("non-positive weight: %v", out)
+		}
+		total += v
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("Normalize sum = %v", total)
+	}
+	// Negative inputs still produce positive weights with order preserved.
+	out = Normalize([]float64{-5, 1})
+	if out[0] <= 0 || out[1] <= out[0] {
+		t.Errorf("Normalize on negatives = %v", out)
+	}
+	// Constant input degrades to uniform.
+	out = Normalize([]float64{-1, -1, -1})
+	for _, v := range out {
+		if math.Abs(v-1.0/3) > 1e-9 {
+			t.Errorf("constant Normalize = %v, want uniform", out)
+		}
+	}
+	// Tiny spreads still differentiate (no floor collapse): values a hair
+	// apart must not normalize to uniform.
+	out = Normalize([]float64{1e-9, 3e-9})
+	if math.Abs(out[1]-out[0]) < 0.1 {
+		t.Errorf("tiny-spread Normalize collapsed: %v", out)
+	}
+	if Normalize(nil) != nil {
+		t.Error("Normalize(nil) should be nil")
+	}
+}

@@ -1,0 +1,182 @@
+// Package sim runs multi-round market simulations: a stream of buyers with
+// randomized demands arrives at one market (the paper's "buyers orientate
+// the market in turn" assumption, §4.1), each triggering a full round of
+// Algorithm 1. The simulator tracks the time series the market operator
+// cares about — prices, profits, realized product performance, weight
+// concentration — and summarizes them, turning the single-round mechanism
+// into the "natural and scalable way for data trading" the paper's
+// conclusion envisions.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"share/internal/core"
+	"share/internal/market"
+	"share/internal/stat"
+)
+
+// BuyerDistribution randomizes the per-round buyer. Zero-valued bounds fall
+// back to the paper defaults (fixed value, no randomization).
+type BuyerDistribution struct {
+	// NLo, NHi bound the demanded data quantity (uniform integer draw).
+	NLo, NHi float64
+	// VLo, VHi bound the demanded performance.
+	VLo, VHi float64
+	// Theta1Lo, Theta1Hi bound the dataset-quality concern.
+	Theta1Lo, Theta1Hi float64
+	// Rho1Lo, Rho1Hi bound the dataset-quality sensitivity.
+	Rho1Lo, Rho1Hi float64
+	// Rho2 is fixed (it never moves the equilibrium).
+	Rho2 float64
+}
+
+// Draw samples one buyer.
+func (d BuyerDistribution) Draw(rng *rand.Rand) core.Buyer {
+	b := core.PaperBuyer()
+	if d.NHi > d.NLo && d.NLo > 0 {
+		b.N = math.Floor(stat.Uniform(rng, d.NLo, d.NHi))
+	}
+	if d.VHi > d.VLo && d.VLo > 0 {
+		b.V = stat.Uniform(rng, d.VLo, d.VHi)
+	}
+	if d.Theta1Hi > d.Theta1Lo && d.Theta1Lo > 0 {
+		b.Theta1 = stat.Uniform(rng, d.Theta1Lo, d.Theta1Hi)
+		b.Theta2 = 1 - b.Theta1
+	}
+	if d.Rho1Hi > d.Rho1Lo && d.Rho1Lo > 0 {
+		b.Rho1 = stat.Uniform(rng, d.Rho1Lo, d.Rho1Hi)
+	}
+	if d.Rho2 > 0 {
+		b.Rho2 = d.Rho2
+	}
+	return b
+}
+
+// RoundStats is one simulated round's observables.
+type RoundStats struct {
+	Round          int
+	Buyer          core.Buyer
+	ProductPrice   float64
+	DataPrice      float64
+	Payment        float64
+	BrokerProfit   float64
+	BuyerProfit    float64
+	SellerRevenue  float64
+	Performance    float64
+	WeightEntropy  float64 // Shannon entropy of ω (nats); falls as weights concentrate
+	TopSellerShare float64 // largest single weight
+}
+
+// Result is a whole simulation run.
+type Result struct {
+	Rounds []RoundStats
+	// Totals across the run.
+	TotalPayments, TotalBrokerProfit, TotalSellerRevenue float64
+}
+
+// Summary condenses a column of the round series.
+type Summary struct {
+	Mean, Min, Max, Last float64
+}
+
+// Run executes `rounds` buyer arrivals against mkt, drawing each buyer from
+// dist with rng.
+func Run(mkt *market.Market, dist BuyerDistribution, rounds int, rng *rand.Rand) (*Result, error) {
+	if mkt == nil {
+		return nil, errors.New("sim: nil market")
+	}
+	if rounds <= 0 {
+		return nil, fmt.Errorf("sim: invalid round count %d", rounds)
+	}
+	if rng == nil {
+		return nil, errors.New("sim: nil random source")
+	}
+	res := &Result{Rounds: make([]RoundStats, 0, rounds)}
+	for r := 1; r <= rounds; r++ {
+		buyer := dist.Draw(rng)
+		tx, err := mkt.RunRound(buyer)
+		if err != nil {
+			return nil, fmt.Errorf("sim: round %d: %w", r, err)
+		}
+		var sellerRev float64
+		for _, c := range tx.Compensations {
+			sellerRev += c
+		}
+		rs := RoundStats{
+			Round:          r,
+			Buyer:          buyer,
+			ProductPrice:   tx.Profile.PM,
+			DataPrice:      tx.Profile.PD,
+			Payment:        tx.Payment,
+			BrokerProfit:   tx.Profile.BrokerProfit,
+			BuyerProfit:    tx.Profile.BuyerProfit,
+			SellerRevenue:  sellerRev,
+			Performance:    tx.Metrics.Performance,
+			WeightEntropy:  entropy(tx.Weights),
+			TopSellerShare: maxOf(tx.Weights),
+		}
+		res.Rounds = append(res.Rounds, rs)
+		res.TotalPayments += rs.Payment
+		res.TotalBrokerProfit += rs.BrokerProfit
+		res.TotalSellerRevenue += rs.SellerRevenue
+	}
+	return res, nil
+}
+
+// Summarize reduces one observable across the run.
+func (r *Result) Summarize(pick func(RoundStats) float64) Summary {
+	if len(r.Rounds) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		Min: math.Inf(1),
+		Max: math.Inf(-1),
+	}
+	var sum float64
+	for _, rs := range r.Rounds {
+		v := pick(rs)
+		sum += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+		s.Last = v
+	}
+	s.Mean = sum / float64(len(r.Rounds))
+	return s
+}
+
+// entropy returns the Shannon entropy (nats) of a weight vector, treating
+// it as a distribution (normalized defensively).
+func entropy(w []float64) float64 {
+	var total float64
+	for _, x := range w {
+		if x > 0 {
+			total += x
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	var h float64
+	for _, x := range w {
+		if x <= 0 {
+			continue
+		}
+		p := x / total
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+func maxOf(w []float64) float64 {
+	var m float64
+	for _, x := range w {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

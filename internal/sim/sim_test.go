@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"share/internal/dataset"
+	"share/internal/market"
+	"share/internal/stat"
+	"share/internal/translog"
+)
+
+func simMarket(t *testing.T, m int, update *market.WeightUpdate, seed int64) *market.Market {
+	t.Helper()
+	rng := stat.NewRand(seed)
+	full := dataset.SyntheticCCPP(m*60+300, rng)
+	train, test := full.Split(m * 60)
+	chunks, err := dataset.PartitionEqual(train, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sellers := make([]*market.Seller, m)
+	for i := range sellers {
+		sellers[i] = &market.Seller{
+			ID:     fmt.Sprintf("S%d", i),
+			Lambda: stat.UniformOpen(rng, 0.1, 0.9),
+			Data:   chunks[i],
+		}
+	}
+	mkt, err := market.New(sellers, market.Config{
+		Cost:    translog.PaperDefaults(),
+		TestSet: test,
+		Update:  update,
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mkt
+}
+
+func TestRunProducesConsistentSeries(t *testing.T) {
+	mkt := simMarket(t, 6, &market.WeightUpdate{Retain: 0.2, Permutations: 5}, 1)
+	dist := BuyerDistribution{NLo: 100, NHi: 300, VLo: 0.5, VHi: 0.9, Theta1Lo: 0.3, Theta1Hi: 0.7}
+	res, err := Run(mkt, dist, 8, stat.NewRand(2))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Rounds) != 8 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	var paySum float64
+	for i, rs := range res.Rounds {
+		if rs.Round != i+1 {
+			t.Errorf("round numbering: %d at index %d", rs.Round, i)
+		}
+		if rs.ProductPrice <= 0 || rs.DataPrice <= 0 {
+			t.Errorf("round %d: non-positive prices", rs.Round)
+		}
+		if rs.Buyer.N < 100 || rs.Buyer.N > 300 {
+			t.Errorf("round %d: demand %v outside distribution", rs.Round, rs.Buyer.N)
+		}
+		if rs.WeightEntropy <= 0 || rs.WeightEntropy > math.Log(6)+1e-9 {
+			t.Errorf("round %d: entropy %v outside (0, ln 6]", rs.Round, rs.WeightEntropy)
+		}
+		if rs.TopSellerShare <= 0 || rs.TopSellerShare > 1 {
+			t.Errorf("round %d: top share %v", rs.Round, rs.TopSellerShare)
+		}
+		paySum += rs.Payment
+	}
+	if math.Abs(paySum-res.TotalPayments) > 1e-9 {
+		t.Errorf("payment total %v != sum %v", res.TotalPayments, paySum)
+	}
+	// Market ledger mirrors the simulation.
+	if len(mkt.Ledger()) != 8 {
+		t.Errorf("ledger = %d", len(mkt.Ledger()))
+	}
+}
+
+func TestWeightConcentrationUnderUpdates(t *testing.T) {
+	// With Shapley updates the weight entropy should move (learning);
+	// without, it is frozen at ln(m).
+	frozen := simMarket(t, 5, nil, 3)
+	res, err := Run(frozen, BuyerDistribution{}, 3, stat.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(5)
+	for _, rs := range res.Rounds {
+		if math.Abs(rs.WeightEntropy-want) > 1e-9 {
+			t.Errorf("frozen market entropy = %v, want ln 5 = %v", rs.WeightEntropy, want)
+		}
+	}
+
+	learning := simMarket(t, 5, &market.WeightUpdate{Retain: 0.2, Permutations: 5}, 5)
+	res, err = Run(learning, BuyerDistribution{}, 3, stat.NewRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rounds[2].WeightEntropy-want) < 1e-12 {
+		t.Error("learning market entropy never moved")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	res := &Result{Rounds: []RoundStats{
+		{Payment: 1}, {Payment: 3}, {Payment: 2},
+	}}
+	s := res.Summarize(func(r RoundStats) float64 { return r.Payment })
+	if s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Last != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	empty := (&Result{}).Summarize(func(r RoundStats) float64 { return 0 })
+	if empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	mkt := simMarket(t, 3, nil, 7)
+	if _, err := Run(nil, BuyerDistribution{}, 1, stat.NewRand(1)); err == nil {
+		t.Error("accepted nil market")
+	}
+	if _, err := Run(mkt, BuyerDistribution{}, 0, stat.NewRand(1)); err == nil {
+		t.Error("accepted zero rounds")
+	}
+	if _, err := Run(mkt, BuyerDistribution{}, 1, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+}
+
+func TestBuyerDistributionDefaults(t *testing.T) {
+	rng := stat.NewRand(8)
+	b := BuyerDistribution{}.Draw(rng)
+	if b.N != 500 || b.V != 0.8 {
+		t.Errorf("zero distribution should give paper defaults, got %+v", b)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("drawn buyer invalid: %v", err)
+	}
+	d := BuyerDistribution{Theta1Lo: 0.2, Theta1Hi: 0.8}
+	for i := 0; i < 100; i++ {
+		b := d.Draw(rng)
+		if b.Theta1 < 0.2 || b.Theta1 > 0.8 || math.Abs(b.Theta1+b.Theta2-1) > 1e-12 {
+			t.Fatalf("draw %d: θ = %v/%v", i, b.Theta1, b.Theta2)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package stat provides the random sampling and summary statistics used
+// across Share: Laplace and Gaussian noise sources for the LDP mechanisms,
+// seeded uniform generators for reproducible experiments, and the usual
+// mean/variance/quantile helpers.
+//
+// All randomness flows through *rand.Rand instances supplied by the caller so
+// that every experiment in the paper reproduction is deterministic under a
+// fixed seed.
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRand returns a seeded *rand.Rand. Centralizing construction here keeps
+// the door open for swapping the source (e.g. to math/rand/v2) in one place.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Laplace draws a sample from the Laplace distribution with location mu and
+// scale b > 0 by inverse-CDF sampling.
+func Laplace(rng *rand.Rand, mu, b float64) float64 {
+	// u uniform on (-1/2, 1/2); the open interval avoids log(0).
+	u := rng.Float64() - 0.5
+	for u == 0.5 || u == -0.5 {
+		u = rng.Float64() - 0.5
+	}
+	return mu - b*math.Copysign(math.Log(1-2*math.Abs(u)), u)
+}
+
+// Gaussian draws a sample from N(mu, sigma²).
+func Gaussian(rng *rand.Rand, mu, sigma float64) float64 {
+	return mu + sigma*rng.NormFloat64()
+}
+
+// Uniform draws a sample from the uniform distribution on [lo, hi).
+func Uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + (hi-lo)*rng.Float64()
+}
+
+// UniformOpen draws from the open interval (lo, hi), never returning either
+// endpoint. The paper draws privacy sensitivities λᵢ from (0, 1); an exact
+// zero would make the seller's loss vanish and 1/λ diverge.
+func UniformOpen(rng *rand.Rand, lo, hi float64) float64 {
+	for {
+		v := Uniform(rng, lo, hi)
+		if v != lo {
+			return v
+		}
+	}
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// WeightedMean returns Σwᵢxᵢ / Σwᵢ, or 0 when the weights sum to zero.
+func WeightedMean(xs, ws []float64) float64 {
+	var num, den float64
+	for i, x := range xs {
+		num += ws[i] * x
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Variance returns the population variance of xs (denominator n).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// MinMax returns the minimum and maximum of xs; it panics on an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stat: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It copies and sorts its input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Shuffle permutes the ints in place using rng (Fisher-Yates).
+func Shuffle(rng *rand.Rand, xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Perm returns a random permutation of [0, n) using rng.
+func Perm(rng *rand.Rand, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	Shuffle(rng, p)
+	return p
+}

@@ -1,0 +1,67 @@
+package valuation
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"share/internal/dataset"
+	"share/internal/product"
+	"share/internal/shapley"
+)
+
+// SellerShapleyBuilder estimates per-seller Shapley values for an arbitrary
+// product.Builder: the coalition utility is the performance of the product
+// manufactured from the union of the coalition's chunks. Unlike
+// SellerShapleyTMC it cannot exploit incremental sufficient statistics (the
+// builder is opaque), so each prefix retrains from scratch — use it for
+// non-OLS products and modest seller counts; the market engine picks the
+// incremental path automatically when the product is OLS.
+func SellerShapleyBuilder(chunks []*dataset.Dataset, test *dataset.Dataset, b product.Builder, permutations int, truncateTol float64, rng *rand.Rand) ([]float64, error) {
+	m := len(chunks)
+	if m == 0 {
+		return nil, errors.New("valuation: no seller chunks")
+	}
+	if b == nil {
+		return nil, errors.New("valuation: nil product builder")
+	}
+	if test.Len() == 0 {
+		return nil, errors.New("valuation: empty test set")
+	}
+	if rng == nil {
+		return nil, errors.New("valuation: nil random source")
+	}
+	if permutations <= 0 {
+		permutations = 100
+	}
+
+	utility := func(coalition []int) float64 {
+		parts := make([]*dataset.Dataset, len(coalition))
+		for i, c := range coalition {
+			parts[i] = chunks[c]
+		}
+		joined, err := dataset.Concat(parts...)
+		if err != nil {
+			return 0
+		}
+		rep, err := b.Build(joined, test)
+		if err != nil || math.IsNaN(rep.Performance) {
+			return 0
+		}
+		return rep.Performance
+	}
+	if truncateTol > 0 {
+		return shapley.TruncatedMonteCarlo(m, utility, permutations, truncateTol, rng)
+	}
+	return shapley.MonteCarlo(m, utility, permutations, rng)
+}
+
+// SellerShapley computes Shapley values with the builder-generic path but a
+// dedicated, faster estimator when the builder is the OLS product. It is the
+// single entry point the market engine calls.
+func SellerShapleyFor(b product.Builder, chunks []*dataset.Dataset, test *dataset.Dataset, permutations int, truncateTol float64, rng *rand.Rand) ([]float64, error) {
+	if _, isOLS := b.(product.OLS); isOLS || b == nil {
+		return SellerShapleyTMC(chunks, test, permutations, truncateTol, rng)
+	}
+	return SellerShapleyBuilder(chunks, test, b, permutations, truncateTol, rng)
+}

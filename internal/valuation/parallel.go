@@ -1,0 +1,108 @@
+package valuation
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+
+	"share/internal/dataset"
+	"share/internal/regress"
+	"share/internal/stat"
+)
+
+// SellerShapleyParallel is SellerShapleyTMC with the permutations fanned out
+// across a worker pool. Permutation sampling is embarrassingly parallel —
+// each permutation scan is independent and the estimator just averages them
+// — so the speedup is near-linear until memory bandwidth saturates.
+//
+// Determinism: results depend only on (seed, permutations), not on worker
+// count or scheduling, because each permutation gets its own rand.Rand
+// seeded as seed+perm-index. workers ≤ 0 uses GOMAXPROCS.
+func SellerShapleyParallel(chunks []*dataset.Dataset, test *dataset.Dataset, permutations int, truncateTol float64, seed int64, workers int) ([]float64, error) {
+	m := len(chunks)
+	if m == 0 {
+		return nil, errors.New("valuation: no seller chunks")
+	}
+	if test.Len() == 0 {
+		return nil, errors.New("valuation: empty test set")
+	}
+	if permutations <= 0 {
+		permutations = 100
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > permutations {
+		workers = permutations
+	}
+	k := 0
+	for _, c := range chunks {
+		if c.Len() > 0 {
+			k = c.NumFeatures()
+			break
+		}
+	}
+	if k == 0 {
+		return nil, errors.New("valuation: all seller chunks are empty")
+	}
+
+	// Grand-coalition utility for truncation, computed once up front.
+	var grand float64
+	if truncateTol > 0 {
+		inc := regress.NewIncremental(k)
+		for _, c := range chunks {
+			inc.AddDataset(c)
+		}
+		grand = evalModel(inc, test)
+	}
+
+	// Each permutation writes its own marginal vector; the final reduction
+	// runs in permutation order so the result is bit-for-bit identical for
+	// any worker count (floating-point addition is not associative — a
+	// grouped reduction would drift in the last bits).
+	perPerm := make([][]float64, permutations)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inc := regress.NewIncremental(k)
+			for p := range jobs {
+				rng := stat.NewRand(seed + int64(p))
+				perm := stat.Perm(rng, m)
+				inc.Reset()
+				sum := make([]float64, m)
+				prev := 0.0
+				for _, idx := range perm {
+					inc.AddDataset(chunks[idx])
+					cur := evalModel(inc, test)
+					sum[idx] += cur - prev
+					prev = cur
+					if truncateTol > 0 && math.Abs(grand-cur) <= truncateTol {
+						break
+					}
+				}
+				perPerm[p] = sum
+			}
+		}()
+	}
+	for p := 0; p < permutations; p++ {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+
+	sv := make([]float64, m)
+	for _, part := range perPerm {
+		for i, v := range part {
+			sv[i] += v
+		}
+	}
+	inv := 1 / float64(permutations)
+	for i := range sv {
+		sv[i] *= inv
+	}
+	return sv, nil
+}

@@ -1,0 +1,88 @@
+package valuation
+
+import (
+	"math"
+	"testing"
+
+	"share/internal/dataset"
+	"share/internal/stat"
+)
+
+func TestParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	train, test := cleanAndNoisy(60, 30, 50)
+	chunks, err := dataset.PartitionEqual(train, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []float64
+	for _, workers := range []int{1, 2, 4, 16} {
+		sv, err := SellerShapleyParallel(chunks, test, 40, 0, 77, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if first == nil {
+			first = sv
+			continue
+		}
+		for i := range sv {
+			if sv[i] != first[i] {
+				t.Fatalf("workers=%d changed result at %d: %v vs %v", workers, i, sv[i], first[i])
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSequentialEstimate(t *testing.T) {
+	// Different permutation streams, so only statistical agreement is
+	// expected — both are unbiased estimators of the same values.
+	train, test := cleanAndNoisy(60, 30, 51)
+	chunks, err := dataset.PartitionEqual(train, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SellerShapleyParallel(chunks, test, 400, 0, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := SellerShapleyTMC(chunks, test, 400, 0, stat.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par {
+		if math.Abs(par[i]-seq[i]) > 0.06 {
+			t.Errorf("seller %d: parallel %v vs sequential %v", i, par[i], seq[i])
+		}
+	}
+}
+
+func TestParallelTruncationStillRanks(t *testing.T) {
+	clean, test := cleanAndNoisy(30, 0, 52)
+	noisy, _ := cleanAndNoisy(0, 60, 53)
+	parts, err := dataset.PartitionEqual(noisy, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := append([]*dataset.Dataset{clean}, parts...)
+	sv, err := SellerShapleyParallel(chunks, test, 60, 0.01, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv[0] <= sv[1] || sv[0] <= sv[2] {
+		t.Errorf("ranking lost under parallel truncation: %v", sv)
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	_, test := cleanAndNoisy(5, 0, 54)
+	if _, err := SellerShapleyParallel(nil, test, 10, 0, 1, 2); err == nil {
+		t.Error("accepted no chunks")
+	}
+	train, _ := cleanAndNoisy(4, 0, 55)
+	chunks, _ := dataset.PartitionEqual(train, 2)
+	if _, err := SellerShapleyParallel(chunks, &dataset.Dataset{}, 10, 0, 1, 2); err == nil {
+		t.Error("accepted empty test set")
+	}
+	if _, err := SellerShapleyParallel([]*dataset.Dataset{{}, {}}, test, 10, 0, 1, 2); err == nil {
+		t.Error("accepted all-empty chunks")
+	}
+}
