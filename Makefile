@@ -15,15 +15,18 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+# Race-detector run, vet first: the concurrency in internal/parallel and the
+# sweep harnesses must stay clean under both.
+race: vet
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every evaluation figure (full scale, ~30 s) into bench_out_full/.
+# Regenerate every evaluation figure (full scale, ~30 s) into bench_out_full/,
+# plus BENCH.json with the solver/sweep performance probes.
 figures:
-	$(GO) run ./cmd/share-bench -out bench_out_full -report
+	$(GO) run ./cmd/share-bench -out bench_out_full -report -bench
 
 # Fast smoke regeneration (~5 s) into bench_out/.
 figures-quick:

@@ -60,6 +60,25 @@ func BenchmarkSolveM10000(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveCachedM10000 is the Precompute + SolveValidated fast path:
+// for a fixed seller population the per-solve cost drops from O(m)
+// (validation plus aggregate passes) to O(m) with no sqrt/division work —
+// in practice several times faster at m=10000. Results are bit-identical
+// to Solve (see core.TestSolveCachedBitIdentical).
+func BenchmarkSolveCachedM10000(b *testing.B) {
+	g := benchGame(b, 10000)
+	if err := g.Precompute(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.SolveValidated(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Fig. 2: effectiveness sweeps ---
 
 func BenchmarkFig2a(b *testing.B) {
@@ -86,6 +105,25 @@ func BenchmarkFig2c(b *testing.B) {
 		if _, err := experiments.Fig2c(g, 0, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFig2Sweep compares a full Fig. 2(a) deviation sweep on one worker
+// against the package default (GOMAXPROCS workers). Output is byte-identical
+// either way (TestParallelSweepsMatchSequential); only wall-clock differs.
+func BenchmarkFig2Sweep(b *testing.B) {
+	defer experiments.SetWorkers(0)
+	for name, workers := range map[string]int{"sequential": 1, "parallel": 0} {
+		b.Run(name, func(b *testing.B) {
+			g := benchGame(b, 2000)
+			experiments.SetWorkers(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig2a(g, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -190,6 +228,44 @@ func BenchmarkStage3NumericNash(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Jacobi vs Gauss-Seidel best-response schedules on the Stage-3 seller game:
+// Jacobi evaluates all m golden-section best responses against the previous
+// profile concurrently (and so scales with cores); Gauss-Seidel updates in
+// place. Both converge to the same equilibrium (nash tests).
+func benchNashSweep(b *testing.B, m int, opt nash.Options) {
+	b.Helper()
+	g := benchGame(b, m)
+	pd := 0.02
+	start := g.Stage3Tau(pd)
+	ng := &nash.Game{
+		Players: g.M(),
+		Payoff: func(i int, x float64, s []float64) float64 {
+			tau := append([]float64(nil), s...)
+			tau[i] = x
+			return g.SellerProfit(i, pd, tau)
+		},
+	}
+	opt.Start = start
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ng.Solve(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNashGaussSeidelM50(b *testing.B) {
+	benchNashSweep(b, 50, nash.Options{})
+}
+
+func BenchmarkNashJacobiM50(b *testing.B) {
+	benchNashSweep(b, 50, nash.Options{Sweep: nash.Jacobi})
+}
+
+func BenchmarkNashJacobiM200(b *testing.B) {
+	benchNashSweep(b, 200, nash.Options{Sweep: nash.Jacobi})
 }
 
 // Ablation 3: Share's Nash selection vs broker-driven baselines.

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"share/internal/core"
+	"share/internal/experiments"
+	"share/internal/nash"
+	"share/internal/stat"
+)
+
+// benchEntry is one probe's result in BENCH.json.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchReport is the BENCH.json document: machine-readable performance
+// numbers for the solver fast path, the parallel sweep engine and the Jacobi
+// Nash sweep, plus headline speedup ratios.
+type benchReport struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Workers    int                `json:"workers"`
+	Benchmarks []benchEntry       `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+// writeBenchJSON runs the performance probes via testing.Benchmark and writes
+// BENCH.json into outDir. workers is the sweep fan-out to probe against the
+// sequential baseline (≤0 → GOMAXPROCS, the internal/parallel convention).
+func writeBenchJSON(outDir string, workers int, seed int64) error {
+	rep := &benchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Speedups:   map[string]float64{},
+	}
+	record := func(name string, w int, r testing.BenchmarkResult) benchEntry {
+		e := benchEntry{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			Workers:     w,
+			Iterations:  r.N,
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		log.Printf("bench %-24s %12.0f ns/op  (%d iterations)", name, e.NsPerOp, r.N)
+		return e
+	}
+
+	// Core solver: plain Solve vs the Precompute + SolveValidated fast path
+	// (bit-identical output; see core's cache tests).
+	gSolve := core.PaperGame(10000, stat.NewRand(seed))
+	plain := record("solve_m10000", 1, testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gSolve.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	gCached := core.PaperGame(10000, stat.NewRand(seed))
+	if err := gCached.Precompute(); err != nil {
+		return err
+	}
+	cached := record("solve_m10000_cached", 1, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gCached.SolveValidated(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rep.Speedups["solve_m10000_cached"] = plain.NsPerOp / cached.NsPerOp
+
+	// Figure sweep engine, two comparisons on the Fig. 2(a) deviation grid:
+	//
+	//  1. uncached vs cached — the same grid evaluated point by point
+	//     through the pre-caching API (Stage3Tau recomputing the O(m) sqrt
+	//     aggregates and EvaluateProfile copying tau, exactly what every
+	//     sweep did before Precompute existed) vs the production Fig2a
+	//     harness on one worker. Machine-independent: the algorithmic win
+	//     of the solver cache for figure sweeps.
+	//  2. sequential vs parallel — Fig2a on one worker vs the requested
+	//     fan-out. Output is byte-identical either way (the experiments
+	//     package's TestParallelSweepsMatchSequential); only wall-clock
+	//     differs, and only multi-core machines show a gap.
+	defer experiments.SetWorkers(0)
+	gFig := core.PaperGame(2000, stat.NewRand(seed))
+	uncached := record("fig2a_sweep_uncached", 1, testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := gFig.Solve()
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo, hi := 0.2*p.PM, 2.0*p.PM
+			for k := 0; k < experiments.DeviationPoints; k++ {
+				x := lo + (hi-lo)*float64(k)/float64(experiments.DeviationPoints-1)
+				pd := gFig.Stage2PD(x)
+				gFig.EvaluateProfile(x, pd, gFig.Stage3Tau(pd))
+			}
+		}
+	}))
+	fig2a := func(w int) testing.BenchmarkResult {
+		experiments.SetWorkers(w)
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig2a(gFig, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Fig2a precomputes gFig on first call, so the uncached probe above had
+	// to run first, while the game still had no snapshot.
+	seq := record("fig2a_sweep_sequential", 1, fig2a(1))
+	par := record("fig2a_sweep_parallel", workers, fig2a(workers))
+	rep.Speedups["fig2a_sweep_cached"] = uncached.NsPerOp / seq.NsPerOp
+	rep.Speedups["fig2a_sweep_parallel"] = seq.NsPerOp / par.NsPerOp
+
+	// Nash best-response schedules on the Stage-3 seller game.
+	gNash := core.PaperGame(50, stat.NewRand(seed))
+	pd := 0.02
+	start := gNash.Stage3Tau(pd)
+	ng := &nash.Game{
+		Players: gNash.M(),
+		Payoff: func(i int, x float64, s []float64) float64 {
+			tau := append([]float64(nil), s...)
+			tau[i] = x
+			return gNash.SellerProfit(i, pd, tau)
+		},
+	}
+	nashBench := func(opt nash.Options) testing.BenchmarkResult {
+		opt.Start = start
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ng.Solve(opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	gs := record("nash_gauss_seidel_m50", 1, nashBench(nash.Options{}))
+	jc := record("nash_jacobi_m50", workers, nashBench(nash.Options{Sweep: nash.Jacobi, Workers: workers}))
+	rep.Speedups["nash_jacobi_m50"] = gs.NsPerOp / jc.NsPerOp
+
+	path := filepath.Join(outDir, "BENCH.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	log.Printf("wrote %s (speedups: cached solve %.2fx, fig2a sweep %.2fx, jacobi %.2fx)",
+		path, rep.Speedups["solve_m10000_cached"],
+		rep.Speedups["fig2a_sweep_parallel"], rep.Speedups["nash_jacobi_m50"])
+	return nil
+}

@@ -13,12 +13,17 @@
 //
 // Usage:
 //
-//	share-bench [-out DIR] [-fig NAME] [-seed N] [-m N] [-quick] [-plot]
+//	share-bench [-out DIR] [-fig NAME] [-seed N] [-m N] [-workers N] [-quick] [-plot] [-bench]
 //
 // -fig selects a single figure ("2a", "3", "7", "mf", "ablation", "vcg",
 // "welfare", "2c-emp", "avn"); the default "all" regenerates everything.
 // -quick shrinks the Fig. 3 corpus and m sweep for a fast smoke run;
 // -plot additionally renders each figure as an ASCII chart.
+// -workers sets the sweep fan-out (0 = GOMAXPROCS, 1 = sequential); every
+// figure CSV is byte-identical regardless of the setting — workers only
+// change wall-clock. -bench additionally runs the performance probes and
+// writes BENCH.json (ns/op, allocs/op and headline speedups for the cached
+// solver, the parallel sweep engine and the Jacobi Nash sweep).
 package main
 
 import (
@@ -41,26 +46,34 @@ func main() {
 	log.SetPrefix("share-bench: ")
 
 	var (
-		outDir = flag.String("out", "bench_out", "output directory for CSV files")
-		fig    = flag.String("fig", "all", "figure to regenerate (2a,2b,2c,3,3a,3b,4..8,mf,ablation,avn,all)")
-		seed   = flag.Int64("seed", experiments.DefaultSeed, "random seed")
-		m      = flag.Int("m", core.PaperM, "number of sellers for the analytic figures")
-		quick  = flag.Bool("quick", false, "shrink the efficiency sweep for a fast run")
-		warm   = flag.Bool("warmup", false, "derive weights via dummy-buyer warm-up (slower, closer to §6.1)")
-		plots  = flag.Bool("plot", false, "render each figure as an ASCII chart on stdout")
-		report = flag.Bool("report", false, "also write REPORT.md embedding every figure as an ASCII chart")
+		outDir  = flag.String("out", "bench_out", "output directory for CSV files")
+		fig     = flag.String("fig", "all", "figure to regenerate (2a,2b,2c,3,3a,3b,4..8,mf,ablation,avn,all)")
+		seed    = flag.Int64("seed", experiments.DefaultSeed, "random seed")
+		m       = flag.Int("m", core.PaperM, "number of sellers for the analytic figures")
+		quick   = flag.Bool("quick", false, "shrink the efficiency sweep for a fast run")
+		warm    = flag.Bool("warmup", false, "derive weights via dummy-buyer warm-up (slower, closer to §6.1)")
+		plots   = flag.Bool("plot", false, "render each figure as an ASCII chart on stdout")
+		report  = flag.Bool("report", false, "also write REPORT.md embedding every figure as an ASCII chart")
+		workers = flag.Int("workers", 0, "sweep fan-out width (0 = GOMAXPROCS, 1 = sequential; output is identical)")
+		bench   = flag.Bool("bench", false, "run performance probes and write BENCH.json")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatalf("creating %s: %v", *outDir, err)
 	}
-	if err := run(*outDir, strings.ToLower(*fig), *seed, *m, *quick, *warm, *plots, *report); err != nil {
+	experiments.SetWorkers(*workers)
+	if err := run(*outDir, strings.ToLower(*fig), *seed, *m, *workers, *quick, *warm, *plots, *report); err != nil {
 		log.Fatal(err)
+	}
+	if *bench {
+		if err := writeBenchJSON(*outDir, *workers, *seed); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 
-func run(outDir, fig string, seed int64, m int, quick, warm, plots, report bool) error {
+func run(outDir, fig string, seed int64, m, workers int, quick, warm, plots, report bool) error {
 	var reported []*experiments.Series
 	want := func(names ...string) bool {
 		if fig == "all" {
@@ -130,7 +143,7 @@ func run(outDir, fig string, seed int64, m int, quick, warm, plots, report bool)
 
 	// Fig. 3 — efficiency.
 	if want("3", "3a", "3b", "fig3") {
-		opt := experiments.Fig3Options{Seed: seed}
+		opt := experiments.Fig3Options{Seed: seed, Workers: workers}
 		if quick {
 			opt.Sizes = []int{5, 10, 20, 50, 100, 200, 500}
 			opt.CorpusRows = 100_000

@@ -16,6 +16,10 @@
 //	-product        ols | logistic | mean | histogram (default ols)
 //	-snapshot PATH  save the market snapshot JSON on exit
 //	-seed int       random seed
+//	-workers int    fan the Shapley weight update across n workers (>1).
+//	                Output is independent of the worker count; note the
+//	                parallel estimator draws its own per-round permutation
+//	                stream, so results differ from the sequential (≤1) one's
 package main
 
 import (
@@ -48,15 +52,16 @@ func main() {
 		prod     = flag.String("product", "ols", "product form: ols | logistic | mean | histogram")
 		snapshot = flag.String("snapshot", "", "save the market snapshot JSON here on exit")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "Shapley weight-update workers (>1 fans out; output independent of count)")
 	)
 	flag.Parse()
 
-	if err := run(*m, *rounds, *nLo, *nHi, *vLo, *vHi, *thLo, *thHi, *prod, *snapshot, *seed); err != nil {
+	if err := run(*m, *rounds, *nLo, *nHi, *vLo, *vHi, *thLo, *thHi, *prod, *snapshot, *seed, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(m, rounds int, nLo, nHi, vLo, vHi, thLo, thHi float64, prod, snapshot string, seed int64) error {
+func run(m, rounds int, nLo, nHi, vLo, vHi, thLo, thHi float64, prod, snapshot string, seed int64, workers int) error {
 	rng := stat.NewRand(seed)
 
 	// Assemble the market over synthetic CCPP data.
@@ -82,7 +87,7 @@ func run(m, rounds int, nLo, nHi, vLo, vHi, thLo, thHi float64, prod, snapshot s
 		Cost:    translog.PaperDefaults(),
 		Product: builder,
 		TestSet: test,
-		Update:  &market.WeightUpdate{Retain: 0.2, Permutations: 15, TruncateTol: 0.005},
+		Update:  &market.WeightUpdate{Retain: 0.2, Permutations: 15, TruncateTol: 0.005, Workers: workers},
 		Seed:    seed,
 	})
 	if err != nil {

@@ -101,10 +101,94 @@ func (s Sellers) Validate() error {
 }
 
 // Game is one transaction's complete parameterization.
+//
+// Sweeps re-solve thousands of games whose sellers never change; Precompute
+// snapshots the seller-side aggregates so those solves skip the O(m) passes
+// (see Precompute for the mutation contract).
 type Game struct {
 	Buyer   Buyer
 	Broker  Broker
 	Sellers Sellers
+
+	// agg is the seller-aggregate snapshot established by Precompute and
+	// dropped by Invalidate / the Set* mutators. Nil means "no snapshot";
+	// every path then recomputes from the slices, as before.
+	agg *sellerAgg
+}
+
+// sellerAgg caches everything Solve needs that depends only on the seller
+// side (ω, λ): the Stage 1–2 aggregates and the per-seller √(ωᵢλᵢ) factors
+// of the Stage 3 closed form. The first-element pointers and length guard
+// against the snapshot outliving a slice replacement (g.Broker.Weights =
+// other) or truncation; in-place element writes cannot be detected and must
+// go through SetLambda/SetWeight or be followed by Invalidate.
+type sellerAgg struct {
+	lambdaPtr, weightPtr *float64
+	m                    int
+
+	sumInvLambda float64   // Σ 1/λᵢ
+	sumSqrtWL    float64   // Σ √(ωⱼ/λⱼ)
+	sqrtWL       []float64 // √(ωᵢλᵢ), read-only once built (shared by clones)
+}
+
+// Precompute validates the game and snapshots the seller-side aggregates,
+// making subsequent Solve calls O(1) in the Stage 1–2 work (Validate and the
+// aggregate passes are skipped while the snapshot stays valid). All sums run
+// in seller order, so cached and uncached solves are bit-for-bit identical.
+//
+// Contract: the snapshot survives Clone and any Buyer/Cost mutation (those
+// never enter the cached aggregates). Mutating λ or ω must go through
+// SetLambda/SetWeight, or be followed by Invalidate — replacing or
+// truncating the slices is detected automatically, element writes are not.
+func (g *Game) Precompute() error {
+	g.agg = nil
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	m := g.M()
+	a := &sellerAgg{
+		lambdaPtr: &g.Sellers.Lambda[0],
+		weightPtr: &g.Broker.Weights[0],
+		m:         m,
+		sqrtWL:    make([]float64, m),
+	}
+	for _, l := range g.Sellers.Lambda {
+		a.sumInvLambda += 1 / l
+	}
+	for j, w := range g.Broker.Weights {
+		a.sumSqrtWL += math.Sqrt(w / g.Sellers.Lambda[j])
+		a.sqrtWL[j] = math.Sqrt(w * g.Sellers.Lambda[j])
+	}
+	g.agg = a
+	return nil
+}
+
+// Invalidate drops the Precompute snapshot. Call it after writing seller
+// fields directly (g.Sellers.Lambda[i] = x) on a precomputed game.
+func (g *Game) Invalidate() { g.agg = nil }
+
+// SetLambda sets λᵢ and invalidates the precomputed snapshot.
+func (g *Game) SetLambda(i int, v float64) {
+	g.Sellers.Lambda[i] = v
+	g.agg = nil
+}
+
+// SetWeight sets ωᵢ and invalidates the precomputed snapshot.
+func (g *Game) SetWeight(i int, v float64) {
+	g.Broker.Weights[i] = v
+	g.agg = nil
+}
+
+// cached returns the Precompute snapshot if it is still valid for the
+// game's current slices, nil otherwise.
+func (g *Game) cached() *sellerAgg {
+	a := g.agg
+	if a == nil || a.m == 0 ||
+		a.m != len(g.Sellers.Lambda) || a.m != len(g.Broker.Weights) ||
+		a.lambdaPtr != &g.Sellers.Lambda[0] || a.weightPtr != &g.Broker.Weights[0] {
+		return nil
+	}
+	return a
 }
 
 // M returns the number of sellers.
@@ -129,8 +213,12 @@ func (g *Game) Validate() error {
 }
 
 // Clone returns a deep copy of the game (weights and sensitivities copied).
+// A valid Precompute snapshot carries over — the clone's seller data is
+// identical — which is what makes cloned sweeps over buyer parameters O(1)
+// per solve. The sqrtWL vector is shared read-only; mutating the clone's
+// sellers through SetLambda/SetWeight detaches it.
 func (g *Game) Clone() *Game {
-	return &Game{
+	c := &Game{
 		Buyer: g.Buyer,
 		Broker: Broker{
 			Cost:    g.Broker.Cost,
@@ -138,11 +226,21 @@ func (g *Game) Clone() *Game {
 		},
 		Sellers: Sellers{Lambda: append([]float64(nil), g.Sellers.Lambda...)},
 	}
+	if a := g.cached(); a != nil {
+		ac := *a
+		ac.lambdaPtr = &c.Sellers.Lambda[0]
+		ac.weightPtr = &c.Broker.Weights[0]
+		c.agg = &ac
+	}
+	return c
 }
 
 // SumInvLambda returns S = Σ 1/λᵢ, the aggregate privacy elasticity that the
-// Stage 1 and Stage 2 closed forms depend on.
+// Stage 1 and Stage 2 closed forms depend on. O(1) after Precompute.
 func (g *Game) SumInvLambda() float64 {
+	if a := g.cached(); a != nil {
+		return a.sumInvLambda
+	}
 	var s float64
 	for _, l := range g.Sellers.Lambda {
 		s += 1 / l
@@ -151,8 +249,11 @@ func (g *Game) SumInvLambda() float64 {
 }
 
 // SumSqrtWeightOverLambda returns Σ √(ωⱼ/λⱼ), the aggregate appearing in the
-// Stage 3 closed form (Eq. 20).
+// Stage 3 closed form (Eq. 20). O(1) after Precompute.
 func (g *Game) SumSqrtWeightOverLambda() float64 {
+	if a := g.cached(); a != nil {
+		return a.sumSqrtWL
+	}
 	var s float64
 	for j, w := range g.Broker.Weights {
 		s += math.Sqrt(w / g.Sellers.Lambda[j])

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"share/internal/nash"
+	"share/internal/stat"
+)
+
+// TestJacobiMatchesGaussSeidelOnStage3Game cross-checks the two
+// best-response schedules on the paper's actual Stage-3 seller game at the
+// equilibrium data price: both must converge, agree with each other, and
+// agree with the Eq. 20 closed form. This is the "cross-check both converge
+// to the same equilibrium" guarantee for the Jacobi fast path.
+func TestJacobiMatchesGaussSeidelOnStage3Game(t *testing.T) {
+	const m = 25
+	g := PaperGame(m, stat.NewRand(20240601))
+	p, err := g.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	pd := p.PD
+	analytic := g.Stage3Tau(pd)
+	ng := &nash.Game{
+		Players: m,
+		Payoff: func(i int, x float64, s []float64) float64 {
+			tau := append([]float64(nil), s...)
+			tau[i] = x
+			return g.SellerProfit(i, pd, tau)
+		},
+	}
+	gs, err := ng.Solve(nash.Options{Start: analytic})
+	if err != nil {
+		t.Fatalf("Gauss-Seidel: %v", err)
+	}
+	for _, workers := range []int{1, 0} {
+		jc, err := ng.Solve(nash.Options{Start: analytic, Sweep: nash.Jacobi, Workers: workers})
+		if err != nil {
+			t.Fatalf("Jacobi workers=%d: %v", workers, err)
+		}
+		for i := range gs.Strategies {
+			if d := math.Abs(gs.Strategies[i] - jc.Strategies[i]); d > 1e-6 {
+				t.Errorf("workers=%d seller %d: Gauss-Seidel τ=%v vs Jacobi τ=%v (Δ=%v)",
+					workers, i, gs.Strategies[i], jc.Strategies[i], d)
+			}
+			if d := math.Abs(jc.Strategies[i] - analytic[i]); d > 1e-5 {
+				t.Errorf("workers=%d seller %d: Jacobi τ=%v vs Eq. 20 τ=%v (Δ=%v)",
+					workers, i, jc.Strategies[i], analytic[i], d)
+			}
+		}
+		if jc.Residual > 1e-7 {
+			t.Errorf("workers=%d: Jacobi equilibrium residual %v", workers, jc.Residual)
+		}
+	}
+}

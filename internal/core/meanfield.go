@@ -154,6 +154,7 @@ func (g *Game) ScaleWeightsForBound(pD float64) error {
 	for i := range g.Broker.Weights {
 		g.Broker.Weights[i] *= scale
 	}
+	g.Invalidate()
 	return nil
 }
 

@@ -86,6 +86,37 @@ func (g *Game) SellerProfit(i int, pD float64, tau []float64) float64 {
 	return pD*q - g.Sellers.Lambda[i]*q*q
 }
 
+// DeviationProfits evaluates the buyer's and broker's profits plus the first
+// len(sellerProfits) sellers' profits at an arbitrary profile (pM, pD, tau)
+// without materializing a Profile — the allocation-free evaluator behind the
+// Fig. 2 deviation sweeps, which re-evaluate thousands of profiles but read
+// only a handful of fields from each. Every arithmetic expression and the
+// qD accumulation order match EvaluateProfile exactly, so the returned
+// values are bit-identical to the corresponding Profile fields.
+func (g *Game) DeviationProfits(pM, pD float64, tau []float64, sellerProfits []float64) (buyerProfit, brokerProfit float64) {
+	var denom float64
+	for j, t := range tau {
+		denom += g.Broker.Weights[j] * t
+	}
+	var qD float64
+	if denom > 0 {
+		for i, t := range tau {
+			c := g.Buyer.N * g.Broker.Weights[i] * t / denom
+			q := c * t
+			qD += q
+			if i < len(sellerProfits) {
+				sellerProfits[i] = pD*q - g.Sellers.Lambda[i]*q*q
+			}
+		}
+	} else {
+		for i := range sellerProfits {
+			sellerProfits[i] = 0
+		}
+	}
+	qM := g.ProductQuality(qD)
+	return g.Utility(qD) - pM*qM, pM*qM - g.ManufacturingCost() - pD*qD
+}
+
 // SellerProfits evaluates every seller's profit in one pass (one allocation
 // computation instead of m).
 func (g *Game) SellerProfits(pD float64, tau []float64) []float64 {

@@ -15,14 +15,37 @@ import (
 // each seller's profit is monotonically increasing on [0, 1] and is maximized
 // at the right endpoint (equilibrium analysis in §5.1.4).
 func (g *Game) Stage3Tau(pD float64) []float64 {
+	return g.Stage3TauInto(pD, make([]float64, g.M()))
+}
+
+// Stage3TauInto is Stage3Tau writing into dst (length ≥ m), for sweep hot
+// paths that reuse a per-worker buffer instead of allocating per call. It
+// returns dst[:m]; values are bit-identical to Stage3Tau's.
+func (g *Game) Stage3TauInto(pD float64, dst []float64) []float64 {
 	sum := g.SumSqrtWeightOverLambda()
-	tau := make([]float64, g.M())
+	tau := dst[:g.M()]
 	if pD <= 0 {
+		for i := range tau {
+			tau[i] = 0
+		}
+		return tau
+	}
+	// The Precompute snapshot supplies √(ωᵢλᵢ) directly; the expression is
+	// otherwise evaluated with the exact same operations, so cached and
+	// uncached fidelities are bit-for-bit identical.
+	twoN := 2 * g.Buyer.N
+	if agg := g.cached(); agg != nil {
+		for i := range tau {
+			t := pD / (twoN * agg.sqrtWL[i]) * sum
+			if t > 1 {
+				t = 1
+			}
+			tau[i] = t
+		}
 		return tau
 	}
 	for i := range tau {
-		wi, li := g.Broker.Weights[i], g.Sellers.Lambda[i]
-		t := pD / (2 * g.Buyer.N * math.Sqrt(wi*li)) * sum
+		t := pD / (twoN * math.Sqrt(g.Broker.Weights[i]*g.Sellers.Lambda[i])) * sum
 		if t > 1 {
 			t = 1
 		}
@@ -111,28 +134,45 @@ type Profile struct {
 // arbitrary strategy profile (p^M, p^D, τ). It is the workhorse behind both
 // Solve and the unilateral-deviation experiments of Fig. 2.
 func (g *Game) EvaluateProfile(pM, pD float64, tau []float64) *Profile {
-	chi := g.Allocation(tau)
+	return g.EvaluateProfileOwned(pM, pD, append([]float64(nil), tau...))
+}
+
+// EvaluateProfileOwned is EvaluateProfile taking ownership of tau — the
+// caller must not use the slice afterwards (it becomes Profile.Tau). The
+// solve path and the deviation sweeps hand over slices they just built,
+// skipping an O(m) copy per evaluation. The allocation, quality and profit
+// passes are fused into one loop; every arithmetic expression and
+// accumulation order matches the Allocation / SellerQuality / SellerProfits
+// definitions, so results are bit-identical to evaluating them separately.
+func (g *Game) EvaluateProfileOwned(pM, pD float64, tau []float64) *Profile {
+	chi := make([]float64, len(tau))
+	profits := make([]float64, len(tau))
+	var denom float64
+	for j, t := range tau {
+		denom += g.Broker.Weights[j] * t
+	}
 	var qD float64
-	for i, t := range tau {
-		qD += SellerQuality(chi[i], t)
+	if denom > 0 {
+		for i, t := range tau {
+			c := g.Buyer.N * g.Broker.Weights[i] * t / denom
+			chi[i] = c
+			q := c * t
+			qD += q
+			profits[i] = pD*q - g.Sellers.Lambda[i]*q*q
+		}
 	}
 	qM := g.ProductQuality(qD)
-	p := &Profile{
+	return &Profile{
 		PM:            pM,
 		PD:            pD,
-		Tau:           append([]float64(nil), tau...),
+		Tau:           tau,
 		Chi:           chi,
 		QD:            qD,
 		QM:            qM,
 		BuyerProfit:   g.Utility(qD) - pM*qM,
 		BrokerProfit:  pM*qM - g.ManufacturingCost() - pD*qD,
-		SellerProfits: make([]float64, len(tau)),
+		SellerProfits: profits,
 	}
-	for i, t := range tau {
-		q := SellerQuality(chi[i], t)
-		p.SellerProfits[i] = pD*q - g.Sellers.Lambda[i]*q*q
-	}
-	return p
 }
 
 // Solve runs the full backward induction (§5.1): Stage 3 yields the sellers'
@@ -140,15 +180,41 @@ func (g *Game) EvaluateProfile(pM, pD float64, tau []float64) *Profile {
 // optimal price value; substituting back produces the complete optimal
 // strategy profile ⟨p^M*, p^D*, τ*⟩ — the Stackelberg-Nash Equilibrium
 // (Thm. 5.2 proves it exists and is unique).
+//
+// Validation contract: parameters are validated once per construction or
+// mutation, not once per solve. Without a Precompute snapshot Solve runs the
+// full O(m) Validate as before; with a valid snapshot the seller side was
+// already validated by Precompute and only the (O(1), freely mutable) buyer
+// parameters are re-checked. Direct writes to λ/ω on a precomputed game must
+// go through SetLambda/SetWeight or be followed by Invalidate.
 func (g *Game) Solve() (*Profile, error) {
-	if err := g.Validate(); err != nil {
+	if g.cached() == nil {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	} else if err := g.Buyer.Validate(); err != nil {
 		return nil, err
 	}
+	return g.solve()
+}
+
+// SolveValidated is Solve minus all validation — the fast path for sweeps
+// that re-solve one validated game thousands of times. Contract: the caller
+// guarantees Validate would pass (e.g. Precompute returned nil and no
+// mutation followed); behaviour on an invalid game is undefined. Combined
+// with Precompute, the per-solve overhead of Stages 1–2 drops from O(m)
+// to O(1); results are bit-for-bit identical to Solve.
+func (g *Game) SolveValidated() (*Profile, error) {
+	return g.solve()
+}
+
+// solve is the shared backward-induction body of Solve and SolveValidated.
+func (g *Game) solve() (*Profile, error) {
 	pm, err := g.Stage1PM()
 	if err != nil {
 		return nil, err
 	}
 	pd := g.Stage2PD(pm)
 	tau := g.Stage3Tau(pd)
-	return g.EvaluateProfile(pm, pd, tau), nil
+	return g.EvaluateProfileOwned(pm, pd, tau), nil
 }

@@ -64,7 +64,7 @@ func (g *Game) Misreport(i int, factor float64) (*MisreportOutcome, error) {
 	trueLambda := g.Sellers.Lambda[i]
 
 	reported := g.Clone()
-	reported.Sellers.Lambda[i] = factor * trueLambda
+	reported.SetLambda(i, factor*trueLambda)
 	lied, err := reported.Solve()
 	if err != nil {
 		return nil, err

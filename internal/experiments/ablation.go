@@ -7,6 +7,7 @@ import (
 	"share/internal/baseline"
 	"share/internal/core"
 	"share/internal/nash"
+	"share/internal/parallel"
 	"share/internal/stat"
 )
 
@@ -67,20 +68,29 @@ func VCGComparison(sizes []int, seed int64) (*Series, error) {
 	if seed == 0 {
 		seed = DefaultSeed
 	}
-	rng := stat.NewRand(seed)
 	s := &Series{
 		Name:    "vcg",
 		Title:   "Share (Nash) vs VCG procurement at equal quality",
 		XLabel:  "m",
 		Columns: []string{"max_quality_gap", "payment_ratio"},
 	}
-	for _, m := range sizes {
-		g := core.PaperGame(m, rng)
+	// Each market size owns its rand.Rand seeded as seed+index (the
+	// worker-pool convention), so the λ draws — and therefore the rows —
+	// are independent of both the worker count and the other sizes.
+	rows, err := parallel.Map(Workers(), len(sizes), func(i int) ([]float64, error) {
+		m := sizes[i]
+		g := core.PaperGame(m, stat.NewRand(seed+int64(i)))
 		cmp, err := baseline.CompareVCG(g)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: vcg m=%d: %w", m, err)
 		}
-		s.Add(float64(m), cmp.MaxQualityGap, cmp.PaymentRatio)
+		return []float64{cmp.MaxQualityGap, cmp.PaymentRatio}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range sizes {
+		s.Add(float64(m), rows[i]...)
 	}
 	return s, nil
 }
@@ -96,7 +106,14 @@ func AnalyticVsNumeric(g *core.Game, prices []float64) (*Series, error) {
 		XLabel:  "pD",
 		Columns: []string{"max_tau_gap", "residual"},
 	}
-	for _, pd := range prices {
+	if err := g.Precompute(); err != nil {
+		return nil, err
+	}
+	// Each price point runs its own full best-response iteration against
+	// the shared (read-only) game, so the points fan out across the
+	// package worker pool.
+	rows, err := parallel.Map(Workers(), len(prices), func(idx int) ([]float64, error) {
+		pd := prices[idx]
 		analytic := g.Stage3Tau(pd)
 		ng := &nash.Game{
 			Players: g.M(),
@@ -116,7 +133,13 @@ func AnalyticVsNumeric(g *core.Game, prices []float64) (*Series, error) {
 				gap = d
 			}
 		}
-		s.Add(pd, gap, res.Residual)
+		return []float64{gap, res.Residual}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pd := range prices {
+		s.Add(pd, rows[i]...)
 	}
 	return s, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"share/internal/core"
 	"share/internal/numeric"
+	"share/internal/parallel"
 )
 
 // Fig. 2 — effectiveness: each subplot perturbs one participant's strategy
@@ -15,14 +16,41 @@ import (
 // functions (the broker's profit visibly grows with p^M and the sellers'
 // with p^D, which only happens under re-reaction); when a seller deviates,
 // her rivals hold their equilibrium fidelities (the Nash condition).
+//
+// Every grid point is independent, so the sweeps fan out across the
+// package worker pool (SetWorkers); rows are assembled in grid order and
+// each point is a pure function of the game, so output is byte-identical
+// for any worker count.
 
 // DeviationPoints is the number of x samples per Fig. 2 sweep.
 const DeviationPoints = 41
 
+// fig2Sweep evaluates point(x, tau) for every grid x concurrently and
+// assembles the series rows in grid order. Each worker owns one reusable
+// m-length tau buffer (the point closures overwrite it fully per call), so
+// the sweep's hot loop is allocation-free apart from the small output rows.
+func fig2Sweep(s *Series, m int, xs []float64, point func(x float64, tau []float64) []float64) (*Series, error) {
+	rows := make([][]float64, len(xs))
+	scratch := make([][]float64, parallel.Resolve(Workers(), len(xs)))
+	parallel.ForWorker(Workers(), len(xs), func(w, i int) {
+		if scratch[w] == nil {
+			scratch[w] = make([]float64, m)
+		}
+		rows[i] = point(xs[i], scratch[w])
+	})
+	for i, x := range xs {
+		s.Add(x, rows[i]...)
+	}
+	return s, nil
+}
+
 // Fig2a sweeps the product price p^M across [lo, hi]·p^M* (defaults 0.2–2
 // when lo/hi are 0) and records Φ (buyer), Ω (broker) and Ψ₁ (seller S₁).
 func Fig2a(g *core.Game, lo, hi float64) (*Series, error) {
-	p, err := g.Solve()
+	if err := g.Precompute(); err != nil {
+		return nil, err
+	}
+	p, err := g.SolveValidated()
 	if err != nil {
 		return nil, err
 	}
@@ -38,19 +66,22 @@ func Fig2a(g *core.Game, lo, hi float64) (*Series, error) {
 		XLabel:  "pM",
 		Columns: []string{"buyer", "broker", "seller1"},
 	}
-	for _, x := range numeric.Linspace(lo*p.PM, hi*p.PM, DeviationPoints) {
+	return fig2Sweep(s, g.M(), numeric.Linspace(lo*p.PM, hi*p.PM, DeviationPoints), func(x float64, tau []float64) []float64 {
 		pd := g.Stage2PD(x)
-		tau := g.Stage3Tau(pd)
-		prof := g.EvaluateProfile(x, pd, tau)
-		s.Add(x, prof.BuyerProfit, prof.BrokerProfit, prof.SellerProfits[0])
-	}
-	return s, nil
+		g.Stage3TauInto(pd, tau)
+		var sp [1]float64
+		buyer, broker := g.DeviationProfits(x, pd, tau, sp[:])
+		return []float64{buyer, broker, sp[0]}
+	})
 }
 
 // Fig2b sweeps the data price p^D across [lo, hi]·p^D* with p^M fixed at the
 // equilibrium and sellers re-reacting, recording Φ, Ω and Ψ₁.
 func Fig2b(g *core.Game, lo, hi float64) (*Series, error) {
-	p, err := g.Solve()
+	if err := g.Precompute(); err != nil {
+		return nil, err
+	}
+	p, err := g.SolveValidated()
 	if err != nil {
 		return nil, err
 	}
@@ -66,19 +97,22 @@ func Fig2b(g *core.Game, lo, hi float64) (*Series, error) {
 		XLabel:  "pD",
 		Columns: []string{"buyer", "broker", "seller1"},
 	}
-	for _, x := range numeric.Linspace(lo*p.PD, hi*p.PD, DeviationPoints) {
-		tau := g.Stage3Tau(x)
-		prof := g.EvaluateProfile(p.PM, x, tau)
-		s.Add(x, prof.BuyerProfit, prof.BrokerProfit, prof.SellerProfits[0])
-	}
-	return s, nil
+	return fig2Sweep(s, g.M(), numeric.Linspace(lo*p.PD, hi*p.PD, DeviationPoints), func(x float64, tau []float64) []float64 {
+		g.Stage3TauInto(x, tau)
+		var sp [1]float64
+		buyer, broker := g.DeviationProfits(p.PM, x, tau, sp[:])
+		return []float64{buyer, broker, sp[0]}
+	})
 }
 
 // Fig2c sweeps seller S₁'s fidelity τ₁ across [lo, hi]·τ₁* with all other
 // strategies fixed at equilibrium, recording Φ, Ω, Ψ₁ and Ψ₂ (S₂ shows the
 // dilution effect: with m large, τ₁'s influence on rivals is negligible).
 func Fig2c(g *core.Game, lo, hi float64) (*Series, error) {
-	p, err := g.Solve()
+	if err := g.Precompute(); err != nil {
+		return nil, err
+	}
+	p, err := g.SolveValidated()
 	if err != nil {
 		return nil, err
 	}
@@ -94,13 +128,15 @@ func Fig2c(g *core.Game, lo, hi float64) (*Series, error) {
 		XLabel:  "tau1",
 		Columns: []string{"buyer", "broker", "seller1", "seller2"},
 	}
-	tau := append([]float64(nil), p.Tau...)
-	for _, x := range numeric.Linspace(lo*p.Tau[0], min2(1, hi*p.Tau[0]), DeviationPoints) {
+	return fig2Sweep(s, g.M(), numeric.Linspace(lo*p.Tau[0], min2(1, hi*p.Tau[0]), DeviationPoints), func(x float64, tau []float64) []float64 {
+		// The worker's scratch becomes the deviated profile: equilibrium
+		// fidelities with seller 1 moved to x.
+		copy(tau, p.Tau)
 		tau[0] = x
-		prof := g.EvaluateProfile(p.PM, p.PD, tau)
-		s.Add(x, prof.BuyerProfit, prof.BrokerProfit, prof.SellerProfits[0], prof.SellerProfits[1])
-	}
-	return s, nil
+		var sp [2]float64
+		buyer, broker := g.DeviationProfits(p.PM, p.PD, tau, sp[:])
+		return []float64{buyer, broker, sp[0], sp[1]}
+	})
 }
 
 func min2(a, b float64) float64 {

@@ -37,6 +37,11 @@ type Fig3Options struct {
 	ShapleyPermutations int
 	// Seed seeds the run (0 → DefaultSeed).
 	Seed int64
+	// Workers is the fan-out width for the Shapley weight update inside
+	// each measured round (the m sweep itself stays sequential — it is a
+	// timing figure). n > 1 fans out across n workers; anything else runs
+	// the estimator sequentially (the market.WeightUpdate convention).
+	Workers int
 }
 
 func (o *Fig3Options) defaults() {
@@ -111,6 +116,7 @@ func Fig3(opt Fig3Options) (withShapley, withoutShapley *Series, err error) {
 		upd := &market.WeightUpdate{
 			Retain:       0.2,
 			Permutations: opt.ShapleyPermutations,
+			Workers:      opt.Workers,
 		}
 		tx, err = runOnce(sellers, test, upd, buyer, opt.Seed)
 		if err != nil {

@@ -39,6 +39,10 @@ func MeanFieldError(pD float64, sizes []int, seed int64) (*Series, error) {
 			"dd_seconds", "mf_seconds",
 		},
 	}
+	// This table stays sequential regardless of SetWorkers: the dd_seconds /
+	// mf_seconds columns are wall-clock measurements, and sharing cores
+	// across sizes would contaminate them (and the shared rng draws games
+	// in size order).
 	for _, m := range sizes {
 		g := core.PaperGame(m, rng)
 		price := pD

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"share/internal/core"
+	"share/internal/stat"
+)
+
+// TestParallelSweepsMatchSequential is the determinism contract of the sweep
+// engine: every deterministic figure's CSV must be byte-identical whether the
+// grid runs on one worker or many. (The timing figures — Fig. 3 and the
+// mean-field table — are excluded by design; their columns are wall-clock
+// measurements.)
+func TestParallelSweepsMatchSequential(t *testing.T) {
+	defer SetWorkers(0)
+
+	// Each entry rebuilds its game from the seed so the two passes start
+	// from identical state.
+	figures := map[string]func() (*Series, error){
+		"fig2a": func() (*Series, error) {
+			return Fig2a(core.PaperGame(10, stat.NewRand(DefaultSeed)), 0, 0)
+		},
+		"fig2b": func() (*Series, error) {
+			return Fig2b(core.PaperGame(10, stat.NewRand(DefaultSeed)), 0, 0)
+		},
+		"fig2c": func() (*Series, error) {
+			return Fig2c(core.PaperGame(10, stat.NewRand(DefaultSeed)), 0, 0)
+		},
+		"fig4a": func() (*Series, error) {
+			s, _, err := Fig4(core.PaperGame(6, stat.NewRand(DefaultSeed)))
+			return s, err
+		},
+		"fig4b": func() (*Series, error) {
+			_, p, err := Fig4(core.PaperGame(6, stat.NewRand(DefaultSeed)))
+			return p, err
+		},
+		"fig5a": func() (*Series, error) {
+			s, _, err := Fig5(core.PaperGame(6, stat.NewRand(DefaultSeed)))
+			return s, err
+		},
+		"fig6a": func() (*Series, error) {
+			s, _, err := Fig6(core.PaperGame(6, stat.NewRand(DefaultSeed)))
+			return s, err
+		},
+		"fig7a": func() (*Series, error) {
+			s, _, err := Fig7(core.PaperGame(6, stat.NewRand(DefaultSeed)))
+			return s, err
+		},
+		"fig7b": func() (*Series, error) {
+			_, p, err := Fig7(core.PaperGame(6, stat.NewRand(DefaultSeed)))
+			return p, err
+		},
+		"fig8a": func() (*Series, error) {
+			s, _, err := Fig8(core.PaperGame(6, stat.NewRand(DefaultSeed)))
+			return s, err
+		},
+		"welfare": func() (*Series, error) {
+			g := core.PaperGame(6, stat.NewRand(DefaultSeed))
+			return WelfareSweep(g, []float64{0.5, 1, 2})
+		},
+		"vcg": func() (*Series, error) {
+			return VCGComparison([]int{5, 10, 20}, DefaultSeed)
+		},
+		"avn": func() (*Series, error) {
+			g := core.PaperGame(10, stat.NewRand(DefaultSeed))
+			return AnalyticVsNumeric(g, []float64{0.5, 1, 1.5, 2})
+		},
+	}
+
+	render := func(name string, run func() (*Series, error)) []byte {
+		t.Helper()
+		s, err := run()
+		if err != nil {
+			t.Fatalf("%s (workers=%d): %v", name, Workers(), err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", name, err)
+		}
+		return buf.Bytes()
+	}
+
+	for name, run := range figures {
+		t.Run(name, func(t *testing.T) {
+			SetWorkers(1)
+			seq := render(name, run)
+			SetWorkers(8)
+			par := render(name, run)
+			if !bytes.Equal(seq, par) {
+				t.Fatalf("%s: CSV differs between workers=1 and workers=8\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					name, seq, par)
+			}
+		})
+	}
+}

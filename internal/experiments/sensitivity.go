@@ -5,6 +5,7 @@ import (
 
 	"share/internal/core"
 	"share/internal/numeric"
+	"share/internal/parallel"
 )
 
 // Figs. 4–8 — parameter sensitivity: each harness sweeps one parameter of
@@ -12,9 +13,15 @@ import (
 // equilibrium strategies (subplot a) and the profits (subplot b). Reproduction
 // criteria per figure are listed in DESIGN.md §3.
 
-// sweep re-solves the game for each x after modify(g, x) and emits two
-// series: strategies (pM, pD, tau1, tau2) and profits (buyer, broker,
-// seller1, seller2).
+// sweep re-solves the game for each x after modify(gx, x) on a clone and
+// emits two series: strategies (pM, pD, tau1, tau2) and profits (buyer,
+// broker, seller1, seller2). Grid points are independent (each owns its
+// clone), so they fan out across the package worker pool; rows are
+// assembled in grid order, keeping output byte-identical for any worker
+// count. The shared game is precomputed once so buyer-parameter sweeps
+// (Figs. 4–6) inherit the O(1) seller aggregates in every clone; the
+// seller sweeps (Figs. 7–8) invalidate per point through the SetWeight /
+// SetLambda mutators.
 func sweep(name, title, xlabel string, g *core.Game, xs []float64, modify func(*core.Game, float64)) (strategies, profits *Series, err error) {
 	strategies = &Series{
 		Name: name + "a", Title: title + " (strategies)", XLabel: xlabel,
@@ -24,15 +31,29 @@ func sweep(name, title, xlabel string, g *core.Game, xs []float64, modify func(*
 		Name: name + "b", Title: title + " (profits)", XLabel: xlabel,
 		Columns: []string{"buyer", "broker", "seller1", "seller2"},
 	}
-	for _, x := range xs {
+	if err := g.Precompute(); err != nil {
+		return nil, nil, fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	type point struct{ strat, prof [4]float64 }
+	pts, err := parallel.Map(Workers(), len(xs), func(i int) (point, error) {
+		x := xs[i]
 		gx := g.Clone()
 		modify(gx, x)
 		p, err := gx.Solve()
 		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: %s at %s=%g: %w", name, xlabel, x, err)
+			return point{}, fmt.Errorf("experiments: %s at %s=%g: %w", name, xlabel, x, err)
 		}
-		strategies.Add(x, p.PM, p.PD, p.Tau[0], p.Tau[1])
-		profits.Add(x, p.BuyerProfit, p.BrokerProfit, p.SellerProfits[0], p.SellerProfits[1])
+		return point{
+			strat: [4]float64{p.PM, p.PD, p.Tau[0], p.Tau[1]},
+			prof:  [4]float64{p.BuyerProfit, p.BrokerProfit, p.SellerProfits[0], p.SellerProfits[1]},
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, x := range xs {
+		strategies.Add(x, pts[i].strat[:]...)
+		profits.Add(x, pts[i].prof[:]...)
 	}
 	return strategies, profits, nil
 }
@@ -75,7 +96,7 @@ func Fig6(g *core.Game) (strategies, profits *Series, err error) {
 func Fig7(g *core.Game) (strategies, profits *Series, err error) {
 	return sweep("fig7", "Effect of ω₁", "omega1", g,
 		numeric.Linspace(0.1, 0.6, 11),
-		func(gx *core.Game, x float64) { gx.Broker.Weights[0] = x })
+		func(gx *core.Game, x float64) { gx.SetWeight(0, x) })
 }
 
 // Fig8 sweeps seller S₁'s privacy sensitivity λ₁ over [0.1, 0.9]. Expected:
@@ -84,5 +105,5 @@ func Fig7(g *core.Game) (strategies, profits *Series, err error) {
 func Fig8(g *core.Game) (strategies, profits *Series, err error) {
 	return sweep("fig8", "Effect of λ₁", "lambda1", g,
 		numeric.Linspace(0.1, 0.9, 17),
-		func(gx *core.Game, x float64) { gx.Sellers.Lambda[0] = x })
+		func(gx *core.Game, x float64) { gx.SetLambda(0, x) })
 }

@@ -5,6 +5,7 @@ import (
 
 	"share/internal/core"
 	"share/internal/nash"
+	"share/internal/parallel"
 )
 
 // Welfare analysis (extension): how much social welfare does the
@@ -97,7 +98,9 @@ func Welfare(g *core.Game) (*WelfareResult, error) {
 
 // WelfareSweep tabulates the price of anarchy as the buyer's data-quality
 // sensitivity ρ₁ grows — the regime where the market's underprovision of
-// fidelity is most visible.
+// fidelity is most visible. Each ρ₁ grid point (an SNE solve plus a full
+// planner ascent) is independent and owns its clone, so the sweep fans out
+// across the package worker pool with rows assembled in grid order.
 func WelfareSweep(g *core.Game, rho1s []float64) (*Series, error) {
 	s := &Series{
 		Name:    "welfare",
@@ -105,14 +108,24 @@ func WelfareSweep(g *core.Game, rho1s []float64) (*Series, error) {
 		XLabel:  "rho1",
 		Columns: []string{"welfare_sne", "welfare_planner", "poa"},
 	}
-	for _, r := range rho1s {
+	if err := g.Precompute(); err != nil {
+		return nil, fmt.Errorf("experiments: welfare: %w", err)
+	}
+	rows, err := parallel.Map(Workers(), len(rho1s), func(i int) ([]float64, error) {
+		r := rho1s[i]
 		gx := g.Clone()
 		gx.Buyer.Rho1 = r
 		res, err := Welfare(gx)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: welfare at ρ₁=%g: %w", r, err)
 		}
-		s.Add(r, res.SNE, res.Planner, res.PriceOfAnarchy)
+		return []float64{res.SNE, res.Planner, res.PriceOfAnarchy}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rho1s {
+		s.Add(r, rows[i]...)
 	}
 	return s, nil
 }

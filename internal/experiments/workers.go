@@ -1,0 +1,28 @@
+package experiments
+
+import "sync/atomic"
+
+// sweepWorkers is the package-wide fan-out width for the figure harnesses.
+// Every grid point in the Fig. 2 deviation curves, the Fig. 4–8 sensitivity
+// sweeps and the extension tables is independent, so the harnesses hand the
+// grid to internal/parallel with this worker count.
+//
+// Determinism: the worker count never changes any figure's content — each
+// grid point owns its output row (and, where randomness is involved, its
+// own stat.NewRand(seed+index)), and rows are assembled in grid order. CSV
+// output is byte-identical for any setting; see TestParallelSweepsMatchSequential.
+//
+// The two timing figures (Fig. 3 and the Theorem 5.1 mean-field table)
+// deliberately keep their outer loops sequential — they *measure* runtime,
+// and fanning the measured rounds out across cores would contaminate the
+// numbers. Fig. 3 instead parallelizes inside the measured round (the
+// Shapley weight update) via Fig3Options.Workers.
+var sweepWorkers atomic.Int32
+
+// SetWorkers sets the fan-out width for all sweep harnesses: 1 runs grids
+// sequentially, n > 1 uses n workers, and n ≤ 0 selects GOMAXPROCS (the
+// internal/parallel convention). The default is 0.
+func SetWorkers(n int) { sweepWorkers.Store(int32(n)) }
+
+// Workers reports the current fan-out setting (see SetWorkers).
+func Workers() int { return int(sweepWorkers.Load()) }

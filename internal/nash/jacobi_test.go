@@ -1,0 +1,165 @@
+package nash
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestOptionsZeroValueDefaults: the zero Options must solve a well-behaved
+// game with the documented defaults (500 sweeps, tol 1e-9, damping 0.5,
+// Gauss-Seidel schedule) — callers throughout the repo rely on it.
+func TestOptionsZeroValueDefaults(t *testing.T) {
+	g := &Game{
+		Players: 3,
+		Payoff: func(i int, x float64, s []float64) float64 {
+			return -(x - 0.25) * (x - 0.25) // dominant strategy 0.25 on [0,1]
+		},
+	}
+	res, err := g.Solve(Options{})
+	if err != nil {
+		t.Fatalf("Solve(zero Options): %v", err)
+	}
+	for i, x := range res.Strategies {
+		if math.Abs(x-0.25) > 1e-6 {
+			t.Errorf("player %d: strategy %v, want 0.25", i, x)
+		}
+	}
+	if res.Iterations <= 0 || res.Iterations > 500 {
+		t.Errorf("iterations %d outside the default budget", res.Iterations)
+	}
+	// Nil bounds default to [0, 1]; the midpoint start keeps strategies in
+	// range throughout.
+	for i, x := range res.Strategies {
+		if x < 0 || x > 1 {
+			t.Errorf("player %d: strategy %v outside the default [0,1] space", i, x)
+		}
+	}
+}
+
+// TestErrNotConvergedOnCyclingResponseMap: continuous matching pennies has
+// no pure-strategy equilibrium — player 0 chases player 1, player 1 flees —
+// so the best-response map cycles at every damping level the backoff tries
+// and Solve must report ErrNotConverged rather than a bogus profile.
+func TestErrNotConvergedOnCyclingResponseMap(t *testing.T) {
+	g := &Game{
+		Players: 2,
+		Payoff: func(i int, x float64, s []float64) float64 {
+			d := x - s[1-i]
+			if i == 0 {
+				return -d * d // matcher
+			}
+			return d * d // mismatcher
+		},
+	}
+	for _, sweep := range []SweepMode{GaussSeidel, Jacobi} {
+		_, err := g.Solve(Options{MaxIter: 25, Sweep: sweep})
+		if !errors.Is(err, ErrNotConverged) {
+			t.Errorf("sweep=%d: err = %v, want ErrNotConverged", sweep, err)
+		}
+	}
+}
+
+func TestUnknownSweepModeRejected(t *testing.T) {
+	g := &Game{Players: 2, Payoff: func(i int, x float64, s []float64) float64 { return -x * x }}
+	if _, err := g.Solve(Options{Sweep: SweepMode(7)}); err == nil {
+		t.Fatal("Solve accepted an unknown sweep mode")
+	}
+}
+
+// TestJacobiMatchesGaussSeidelCournot: both schedules must land on the
+// analytic Cournot equilibrium.
+func TestJacobiMatchesGaussSeidelCournot(t *testing.T) {
+	a, c := 12.0, 3.0
+	g := &Game{
+		Players: 2,
+		Hi:      []float64{12, 12},
+		Payoff: func(i int, x float64, s []float64) float64 {
+			return x*(a-x-s[1-i]) - c*x
+		},
+	}
+	want := (a - c) / 3
+	for _, workers := range []int{1, 4, 0} {
+		res, err := g.Solve(Options{Sweep: Jacobi, Workers: workers})
+		if err != nil {
+			t.Fatalf("Jacobi workers=%d: %v", workers, err)
+		}
+		for i, q := range res.Strategies {
+			if math.Abs(q-want) > 1e-6 {
+				t.Errorf("workers=%d: q[%d] = %v, want %v", workers, i, q, want)
+			}
+		}
+	}
+}
+
+// TestJacobiDeterministicAcrossWorkerCounts: the equilibrium and iteration
+// count must be bit-for-bit independent of the worker count.
+func TestJacobiDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := asymmetricCournot(12)
+	solve := func(workers int) *Result {
+		res, err := g.Solve(Options{Sweep: Jacobi, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	want := solve(1)
+	for _, workers := range []int{2, 8, 0} {
+		got := solve(workers)
+		if got.Iterations != want.Iterations {
+			t.Errorf("workers=%d: %d iterations, want %d", workers, got.Iterations, want.Iterations)
+		}
+		for i := range want.Strategies {
+			if got.Strategies[i] != want.Strategies[i] {
+				t.Errorf("workers=%d: strategy %d = %v, want bit-exact %v",
+					workers, i, got.Strategies[i], want.Strategies[i])
+			}
+		}
+	}
+}
+
+// TestJacobiMatchesGaussSeidelAsymmetric: both schedules must agree on a
+// heterogeneous game where every player's response differs. (The equivalent
+// cross-check on the paper's actual Stage-3 seller game lives in
+// internal/core, which is allowed to import nash — see
+// TestJacobiMatchesGaussSeidelOnStage3Game there.)
+func TestJacobiMatchesGaussSeidelAsymmetric(t *testing.T) {
+	g := asymmetricCournot(8)
+	gs, err := g.Solve(Options{})
+	if err != nil {
+		t.Fatalf("Gauss-Seidel: %v", err)
+	}
+	jc, err := g.Solve(Options{Sweep: Jacobi})
+	if err != nil {
+		t.Fatalf("Jacobi: %v", err)
+	}
+	for i := range gs.Strategies {
+		if d := math.Abs(gs.Strategies[i] - jc.Strategies[i]); d > 1e-6 {
+			t.Errorf("player %d: Gauss-Seidel %v vs Jacobi %v (Δ=%v)",
+				i, gs.Strategies[i], jc.Strategies[i], d)
+		}
+	}
+	if jc.Residual > 1e-7 {
+		t.Errorf("Jacobi equilibrium residual %v", jc.Residual)
+	}
+}
+
+// asymmetricCournot builds an n-firm Cournot game with heterogeneous unit
+// costs, so every player's best response is distinct.
+func asymmetricCournot(n int) *Game {
+	a := 20.0
+	return &Game{
+		Players: n,
+		Hi:      constSlice(n, a),
+		Payoff: func(i int, x float64, s []float64) float64 {
+			total := x
+			for j, q := range s {
+				if j != i {
+					total += q
+				}
+			}
+			c := 1 + 0.2*float64(i)
+			return x*(a-total) - c*x
+		},
+	}
+}

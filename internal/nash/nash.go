@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"share/internal/numeric"
+	"share/internal/parallel"
 )
 
 // Payoff evaluates player i's payoff when she plays x and everyone plays
@@ -35,6 +36,22 @@ type Game struct {
 	Payoff Payoff
 }
 
+// SweepMode selects the best-response schedule within one sweep.
+type SweepMode int
+
+const (
+	// GaussSeidel updates players in index order, each best response seeing
+	// its predecessors' already-updated strategies. Sequential, and usually
+	// the fastest to converge — the default.
+	GaussSeidel SweepMode = iota
+	// Jacobi evaluates all m best responses against the previous profile
+	// and applies them simultaneously. The responses are independent, so
+	// they fan out across a worker pool (Options.Workers); both modes
+	// converge to the same equilibrium on Share's concave seller games,
+	// which the test suite cross-checks.
+	Jacobi
+)
+
 // Options tune the solver; the zero value gives sensible defaults.
 type Options struct {
 	// MaxIter bounds the number of best-response sweeps (default 500).
@@ -51,6 +68,17 @@ type Options struct {
 	// Start optionally seeds the initial strategy profile; nil starts at
 	// the midpoint of each strategy interval.
 	Start []float64
+	// Sweep selects the best-response schedule (default GaussSeidel).
+	Sweep SweepMode
+	// Workers bounds the Jacobi fan-out; ≤ 0 means GOMAXPROCS (the
+	// internal/parallel convention). GaussSeidel is inherently sequential
+	// and ignores it. With more than one worker the Payoff oracle must be
+	// safe for concurrent calls — the "must not retain or mutate
+	// strategies" contract already guarantees this for pure functions.
+	// Results are identical for any worker count: each best response
+	// depends only on the frozen previous profile and lands in its own
+	// slot, applied in index order.
+	Workers int
 }
 
 // Result reports the computed equilibrium.
@@ -127,6 +155,9 @@ func (g *Game) Solve(opt Options) (*Result, error) {
 	if opt.Start != nil && len(opt.Start) != g.Players {
 		return nil, fmt.Errorf("nash: start profile has %d entries for %d players", len(opt.Start), g.Players)
 	}
+	if opt.Sweep != GaussSeidel && opt.Sweep != Jacobi {
+		return nil, fmt.Errorf("nash: unknown sweep mode %d", opt.Sweep)
+	}
 
 	damping := opt.Damping
 	const maxBackoffs = 7
@@ -158,17 +189,39 @@ func (g *Game) solveOnce(opt Options, lo, hi []float64, damping float64) (*Resul
 	// Lower damping needs proportionally more sweeps to cover the same
 	// contraction distance.
 	budget := int(float64(opt.MaxIter) * (opt.Damping / damping))
+	// Jacobi responses all see the frozen previous profile; best[i] is each
+	// player's index-owned slot, reused across sweeps.
+	var best []float64
+	if opt.Sweep == Jacobi {
+		best = make([]float64, g.Players)
+	}
 	for iter := 1; iter <= budget; iter++ {
 		var maxDelta float64
-		for i := 0; i < g.Players; i++ {
-			best := numeric.GoldenMax(func(x float64) float64 {
-				return g.Payoff(i, x, s)
-			}, lo[i], hi[i], opt.InnerTol)
-			next := (1-damping)*s[i] + damping*best
-			if d := math.Abs(next - s[i]); d > maxDelta {
-				maxDelta = d
+		switch opt.Sweep {
+		case Jacobi:
+			parallel.For(opt.Workers, g.Players, func(i int) {
+				best[i] = numeric.GoldenMax(func(x float64) float64 {
+					return g.Payoff(i, x, s)
+				}, lo[i], hi[i], opt.InnerTol)
+			})
+			for i, b := range best {
+				next := (1-damping)*s[i] + damping*b
+				if d := math.Abs(next - s[i]); d > maxDelta {
+					maxDelta = d
+				}
+				s[i] = next
 			}
-			s[i] = next
+		default: // GaussSeidel
+			for i := 0; i < g.Players; i++ {
+				best := numeric.GoldenMax(func(x float64) float64 {
+					return g.Payoff(i, x, s)
+				}, lo[i], hi[i], opt.InnerTol)
+				next := (1-damping)*s[i] + damping*best
+				if d := math.Abs(next - s[i]); d > maxDelta {
+					maxDelta = d
+				}
+				s[i] = next
+			}
 		}
 		res.Iterations = iter
 		if maxDelta < opt.Tol {

@@ -1,0 +1,128 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"share/internal/stat"
+)
+
+func TestResolveConvention(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 100, min(runtime.GOMAXPROCS(0), 100)},
+		{-3, 100, min(runtime.GOMAXPROCS(0), 100)},
+		{4, 2, 2},   // never more workers than jobs
+		{4, 100, 4}, // explicit count respected
+		{7, 0, 1},   // never below 1
+	}
+	for _, c := range cases {
+		if got := Resolve(c.workers, c.n); got != c.want {
+			t.Errorf("Resolve(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 1000
+		counts := make([]int32, n)
+		var mu sync.Mutex
+		For(workers, n, func(i int) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroJobs(t *testing.T) {
+	ran := false
+	For(4, 0, func(int) { ran = true })
+	For(4, -1, func(int) { ran = true })
+	if ran {
+		t.Error("For ran fn with no jobs")
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	const n = 200
+	ids := make([]int, n)
+	ForWorker(3, n, func(worker, i int) { ids[i] = worker })
+	for i, id := range ids {
+		if id < 0 || id >= 3 {
+			t.Fatalf("index %d ran on worker %d, want [0,3)", i, id)
+		}
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts is the package's core guarantee:
+// with per-index seeding, the reduced output is bit-for-bit identical for
+// any worker count.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n, seed = 500, 42
+	run := func(workers int) []float64 {
+		out, err := Map(workers, n, func(i int) (float64, error) {
+			rng := stat.NewRand(seed + int64(i))
+			s := 0.0
+			for k := 0; k < 50; k++ {
+				s += rng.NormFloat64() * rng.Float64()
+			}
+			return s, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, 8, 0} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d = %v, want %v (bit-exact)", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	out, err := Map(8, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapReturnsLowestIndexError: the error is deterministic — the lowest
+// failing index wins regardless of completion order.
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 100, func(i int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return 0, fmt.Errorf("index %d: %w", i, sentinel)
+			}
+			return i, nil
+		})
+		if err == nil || !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+		if got := err.Error(); got != "index 3: boom" {
+			t.Fatalf("workers=%d: err = %q, want lowest failing index 3", workers, got)
+		}
+	}
+}

@@ -3,10 +3,9 @@ package valuation
 import (
 	"errors"
 	"math"
-	"runtime"
-	"sync"
 
 	"share/internal/dataset"
+	"share/internal/parallel"
 	"share/internal/regress"
 	"share/internal/stat"
 )
@@ -30,12 +29,7 @@ func SellerShapleyParallel(chunks []*dataset.Dataset, test *dataset.Dataset, per
 	if permutations <= 0 {
 		permutations = 100
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > permutations {
-		workers = permutations
-	}
+	workers = parallel.Resolve(workers, permutations)
 	k := 0
 	for _, c := range chunks {
 		if c.Len() > 0 {
@@ -57,45 +51,41 @@ func SellerShapleyParallel(chunks []*dataset.Dataset, test *dataset.Dataset, per
 		grand = evalModel(inc, test)
 	}
 
-	// Each permutation writes its own marginal vector; the final reduction
-	// runs in permutation order so the result is bit-for-bit identical for
-	// any worker count (floating-point addition is not associative — a
-	// grouped reduction would drift in the last bits).
-	perPerm := make([][]float64, permutations)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			inc := regress.NewIncremental(k)
-			for p := range jobs {
-				rng := stat.NewRand(seed + int64(p))
-				perm := stat.Perm(rng, m)
-				inc.Reset()
-				sum := make([]float64, m)
-				prev := 0.0
-				for _, idx := range perm {
-					inc.AddDataset(chunks[idx])
-					cur := evalModel(inc, test)
-					sum[idx] += cur - prev
-					prev = cur
-					if truncateTol > 0 && math.Abs(grand-cur) <= truncateTol {
-						break
-					}
-				}
-				perPerm[p] = sum
+	// Each permutation writes into its own row of one pre-zeroed arena (one
+	// allocation for the whole run instead of one marginal vector per
+	// permutation); the final reduction runs in permutation order so the
+	// result is bit-for-bit identical for any worker count (floating-point
+	// addition is not associative — a grouped or per-worker reduction would
+	// drift in the last bits). Each worker keeps one incremental regressor
+	// as scratch, Reset between permutations; each permutation draws from
+	// its own rand.Rand seeded as seed+perm-index, so results depend only
+	// on (seed, permutations).
+	arena := make([]float64, permutations*m)
+	scratch := make([]*regress.Incremental, workers)
+	for w := range scratch {
+		scratch[w] = regress.NewIncremental(k)
+	}
+	parallel.ForWorker(workers, permutations, func(w, p int) {
+		inc := scratch[w]
+		rng := stat.NewRand(seed + int64(p))
+		perm := stat.Perm(rng, m)
+		inc.Reset()
+		sum := arena[p*m : (p+1)*m]
+		prev := 0.0
+		for _, idx := range perm {
+			inc.AddDataset(chunks[idx])
+			cur := evalModel(inc, test)
+			sum[idx] += cur - prev
+			prev = cur
+			if truncateTol > 0 && math.Abs(grand-cur) <= truncateTol {
+				break
 			}
-		}()
-	}
-	for p := 0; p < permutations; p++ {
-		jobs <- p
-	}
-	close(jobs)
-	wg.Wait()
+		}
+	})
 
 	sv := make([]float64, m)
-	for _, part := range perPerm {
+	for p := 0; p < permutations; p++ {
+		part := arena[p*m : (p+1)*m]
 		for i, v := range part {
 			sv[i] += v
 		}
