@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures figures-quick examples clean
+.PHONY: all build vet test race serve-smoke bench figures figures-quick examples clean
 
 all: build vet test
 
@@ -16,9 +16,17 @@ test:
 	$(GO) test ./...
 
 # Race-detector run, vet first: the concurrency in internal/parallel and the
-# sweep harnesses must stay clean under both.
+# sweep harnesses must stay clean under both. The serve-smoke end-to-end
+# pass rides along so the gate also exercises the live server lifecycle
+# (boot, trade, metrics, SIGTERM drain, snapshot restore).
 race: vet
 	$(GO) test -race ./...
+	$(MAKE) serve-smoke
+
+# Boot share-server, run a register/quote/trade/metrics sequence over HTTP,
+# SIGTERM it, and reboot from the persisted snapshot.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

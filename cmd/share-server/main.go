@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	share-server [-addr :8080] [-seed N] [-demo M]
+//	share-server [-addr :8080] [-seed N] [-demo M] [-snapshot market.json]
+//	             [-max-body BYTES] [-trade-timeout D] [-drain D]
 //
 // With -demo M the server pre-registers M synthetic sellers so the market is
 // immediately tradable:
@@ -14,17 +15,27 @@
 //	share-server -demo 10 &
 //	curl -s localhost:8080/v1/quote -d '{"n":200,"v":0.8}'
 //	curl -s localhost:8080/v1/trades -d '{"n":200,"v":0.8}'
+//	curl -s localhost:8080/v1/metrics
+//
+// With -snapshot PATH the server restores its roster, weights and ledger
+// from PATH on boot (when the file exists) and persists them back — via an
+// atomic write-temp-then-rename — on graceful shutdown (SIGINT/SIGTERM) and
+// after every trade, so a crash loses at most the in-flight round.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"share/internal/httpapi"
@@ -36,16 +47,38 @@ func main() {
 	log.SetPrefix("share-server: ")
 
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		seed = flag.Int64("seed", 1, "random seed")
-		demo = flag.Int("demo", 0, "pre-register this many synthetic sellers")
+		addr         = flag.String("addr", ":8080", "listen address")
+		seed         = flag.Int64("seed", 1, "random seed")
+		demo         = flag.Int("demo", 0, "pre-register this many synthetic sellers")
+		snapshot     = flag.String("snapshot", "", "restore market state from this file on boot, persist on shutdown and after each trade")
+		maxBody      = flag.Int64("max-body", 0, "request body cap in bytes (0 = 8 MiB default)")
+		tradeTimeout = flag.Duration("trade-timeout", 0, "server-side deadline per trading round (0 = none)")
+		drain        = flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain window for in-flight requests")
 	)
 	flag.Parse()
 
-	srv := httpapi.NewServer(httpapi.Options{Seed: *seed, Logf: log.Printf})
+	srv := httpapi.NewServer(httpapi.Options{
+		Seed:         *seed,
+		Logf:         log.Printf,
+		MaxBodyBytes: *maxBody,
+		TradeTimeout: *tradeTimeout,
+	})
 	handler := srv.Handler()
 
-	if *demo > 0 {
+	restored := false
+	if *snapshot != "" {
+		switch err := srv.RestoreSnapshot(*snapshot); {
+		case err == nil:
+			log.Printf("restored market state from %s", *snapshot)
+			restored = true
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("no snapshot at %s yet; starting empty", *snapshot)
+		default:
+			log.Fatalf("restoring snapshot: %v", err)
+		}
+	}
+
+	if *demo > 0 && !restored {
 		if err := registerDemoSellers(handler, *demo, *seed); err != nil {
 			log.Fatalf("demo setup: %v", err)
 		}
@@ -54,15 +87,59 @@ func main() {
 
 	httpServer := &http.Server{
 		Addr:         *addr,
-		Handler:      handler,
+		Handler:      withSnapshotAfterTrade(handler, srv, *snapshot),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 5 * time.Minute, // Shapley rounds can take a while
 	}
-	log.Printf("listening on %s", *addr)
-	if err := httpServer.ListenAndServe(); err != nil {
-		log.Println(err)
-		os.Exit(1)
+
+	// Signal-driven lifecycle: serve until SIGINT/SIGTERM, then drain
+	// in-flight requests and persist the market before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal received; draining (up to %s)", *drain)
 	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpServer.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if *snapshot != "" {
+		if err := srv.SaveSnapshot(*snapshot); err != nil {
+			log.Fatalf("saving snapshot: %v", err)
+		}
+		log.Printf("market state saved to %s", *snapshot)
+	}
+	log.Printf("bye")
+}
+
+// withSnapshotAfterTrade persists the market after every successful trade
+// so a crash (as opposed to a graceful shutdown) loses at most the round in
+// flight. Saves are serialized by the server's own write lock.
+func withSnapshotAfterTrade(h http.Handler, srv *httpapi.Server, path string) http.Handler {
+	if path == "" {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(w, r)
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/trades" {
+			if err := srv.SaveSnapshot(path); err != nil {
+				log.Printf("snapshot after trade: %v", err)
+			}
+		}
+	})
 }
 
 // registerDemoSellers seeds the market through its own HTTP surface so the

@@ -14,33 +14,64 @@
 //	POST /v1/trades    run one trading round for a buyer demand
 //	GET  /v1/trades    list executed transactions
 //	GET  /v1/weights   current broker dataset weights
+//	GET  /v1/metrics   request counters, latency quantiles, in-flight gauges
+//
+// Concurrency model: reads are lock-free against an immutable copy-on-write
+// view (see marketView); only registration and trades serialize behind the
+// write mutex. A trade holding the write path for minutes never delays a
+// quote.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"share/internal/core"
 	"share/internal/dataset"
 	"share/internal/market"
+	"share/internal/obs"
 	"share/internal/product"
 	"share/internal/stat"
 	"share/internal/translog"
 )
 
-// Server is the HTTP facade over one market. It serializes all market
-// operations behind a mutex (the market engine itself is single-threaded,
-// matching the paper's one-buyer-at-a-time assumption).
+// defaultMaxBodyBytes caps request bodies when Options.MaxBodyBytes is
+// unset: 8 MiB comfortably fits realistic inline datasets while bounding
+// the memory an abusive payload can pin.
+const defaultMaxBodyBytes = 8 << 20
+
+// Server is the HTTP facade over one market.
+//
+// Locking: writeMu serializes the mutating endpoints (seller registration,
+// trades) and snapshot save/restore. Read-only endpoints never take it —
+// they load the atomically-published marketView. After every successful
+// mutation the writer rebuilds and republishes the view.
 type Server struct {
-	mu      sync.Mutex
+	writeMu sync.Mutex
+	view    atomic.Pointer[marketView]
+
 	cfg     market.Config
-	sellers []*market.Seller
-	mkt     *market.Market
-	logf    func(format string, args ...any)
+	sellers []*market.Seller // guarded by writeMu
+	mkt     *market.Market   // guarded by writeMu
+
+	logf         func(format string, args ...any)
+	metrics      *obs.Registry
+	maxBody      int64
+	tradeTimeout time.Duration
+	reqSeq       atomic.Uint64
+
+	// testHookTradeBuilder, when set, replaces the resolved product builder
+	// on every trade. Tests use it to inject blocking or failing builders;
+	// it is never set in production.
+	testHookTradeBuilder product.Builder
 }
 
 // Options configure a Server.
@@ -58,6 +89,12 @@ type Options struct {
 	Seed int64
 	// Logf receives request-level log lines (nil → log.Printf).
 	Logf func(format string, args ...any)
+	// MaxBodyBytes caps request body size; oversized bodies get 413
+	// (0 → 8 MiB).
+	MaxBodyBytes int64
+	// TradeTimeout bounds one trading round beyond the request's own
+	// context; expired rounds return 504 (0 → no server-side deadline).
+	TradeTimeout time.Duration
 }
 
 // NewServer builds an empty market service: sellers register over HTTP.
@@ -78,29 +115,80 @@ func NewServer(opt Options) *Server {
 	if logf == nil {
 		logf = log.Printf
 	}
+	maxBody := opt.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = defaultMaxBodyBytes
+	}
 	rng := stat.NewRand(opt.Seed + 7)
-	return &Server{
+	s := &Server{
 		cfg: market.Config{
 			Cost:    cost,
 			TestSet: dataset.SyntheticCCPP(testRows, rng),
 			Update:  upd,
 			Seed:    opt.Seed,
 		},
-		logf: logf,
+		logf:         logf,
+		metrics:      obs.NewRegistry(),
+		maxBody:      maxBody,
+		tradeTimeout: opt.TradeTimeout,
 	}
+	// The empty market still has a well-defined view.
+	s.view.Store(&marketView{weights: core.UniformWeights(1)})
+	return s
 }
 
-// Handler returns the routed http.Handler for the service.
+// Metrics exposes the server's observability registry (for embedding or
+// custom exporters).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Handler returns the routed http.Handler for the service. Every route is
+// instrumented: per-endpoint counters/latency/in-flight in the metrics
+// registry, request-ID structured logging, and a request body cap.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/health", s.handleHealth)
-	mux.HandleFunc("POST /v1/sellers", s.handleRegisterSeller)
-	mux.HandleFunc("GET /v1/sellers", s.handleListSellers)
-	mux.HandleFunc("POST /v1/quote", s.handleQuote)
-	mux.HandleFunc("POST /v1/trades", s.handleTrade)
-	mux.HandleFunc("GET /v1/trades", s.handleListTrades)
-	mux.HandleFunc("GET /v1/weights", s.handleWeights)
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("GET /v1/health", s.handleHealth)
+	route("POST /v1/sellers", s.handleRegisterSeller)
+	route("GET /v1/sellers", s.handleListSellers)
+	route("POST /v1/quote", s.handleQuote)
+	route("POST /v1/trades", s.handleTrade)
+	route("GET /v1/trades", s.handleListTrades)
+	route("GET /v1/weights", s.handleWeights)
+	route("GET /v1/metrics", s.handleMetrics)
 	return mux
+}
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request body cap, per-endpoint
+// metrics, and request-ID structured logging.
+func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.metrics.Endpoint(label)
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqSeq.Add(1)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		ep.Begin()
+		start := time.Now()
+		h(sw, r)
+		d := time.Since(start)
+		ep.End(sw.status, d)
+		s.logf("httpapi: req=%d method=%s path=%s status=%d dur=%s remote=%s",
+			id, r.Method, r.URL.Path, sw.status, d.Round(time.Microsecond), r.RemoteAddr)
+	}
 }
 
 // --- wire types ---
@@ -165,29 +253,64 @@ func builderFor(name string, ref *dataset.Dataset) (product.Builder, error) {
 	}
 }
 
-func (d Demand) buyer() core.Buyer {
+// fieldError reports a request field that failed validation, rendered as a
+// field-level 400 message.
+type fieldError struct {
+	field string
+	msg   string
+}
+
+func (e *fieldError) Error() string { return fmt.Sprintf("field %q: %s", e.field, e.msg) }
+
+// buyer maps the demand onto the paper's buyer, validating every supplied
+// field: absent (zero) fields fall back to the paper defaults, present
+// fields must satisfy the model's constraints — θ₁, θ₂ ∈ (0,1) and summing
+// to 1 when both are given, ρ/n/v positive. Sending only one of θ₁/θ₂
+// pins the other to its complement.
+func (d Demand) buyer() (core.Buyer, error) {
 	b := core.PaperBuyer()
-	if d.N > 0 {
+	if d.N != 0 {
+		if !(d.N > 0) {
+			return b, &fieldError{"n", fmt.Sprintf("data quantity must be positive, got %g", d.N)}
+		}
 		b.N = d.N
 	}
-	if d.V > 0 {
+	if d.V != 0 {
+		if !(d.V > 0) {
+			return b, &fieldError{"v", fmt.Sprintf("required performance must be positive, got %g", d.V)}
+		}
 		b.V = d.V
 	}
-	if d.Theta1 > 0 {
-		b.Theta1 = d.Theta1
-		b.Theta2 = 1 - d.Theta1
+	if d.Theta1 != 0 && !(d.Theta1 > 0 && d.Theta1 < 1) {
+		return b, &fieldError{"theta1", fmt.Sprintf("must lie in (0,1), got %g", d.Theta1)}
 	}
-	if d.Theta2 > 0 {
-		b.Theta2 = d.Theta2
-		b.Theta1 = 1 - d.Theta2
+	if d.Theta2 != 0 && !(d.Theta2 > 0 && d.Theta2 < 1) {
+		return b, &fieldError{"theta2", fmt.Sprintf("must lie in (0,1), got %g", d.Theta2)}
 	}
-	if d.Rho1 > 0 {
+	switch {
+	case d.Theta1 != 0 && d.Theta2 != 0:
+		if diff := d.Theta1 + d.Theta2 - 1; diff < -1e-9 || diff > 1e-9 {
+			return b, &fieldError{"theta1", fmt.Sprintf("theta1+theta2 must sum to 1, got %g", d.Theta1+d.Theta2)}
+		}
+		b.Theta1, b.Theta2 = d.Theta1, d.Theta2
+	case d.Theta1 != 0:
+		b.Theta1, b.Theta2 = d.Theta1, 1-d.Theta1
+	case d.Theta2 != 0:
+		b.Theta1, b.Theta2 = 1-d.Theta2, d.Theta2
+	}
+	if d.Rho1 != 0 {
+		if !(d.Rho1 > 0) {
+			return b, &fieldError{"rho1", fmt.Sprintf("must be positive, got %g", d.Rho1)}
+		}
 		b.Rho1 = d.Rho1
 	}
-	if d.Rho2 > 0 {
+	if d.Rho2 != 0 {
+		if !(d.Rho2 > 0) {
+			return b, &fieldError{"rho2", fmt.Sprintf("must be positive, got %g", d.Rho2)}
+		}
 		b.Rho2 = d.Rho2
 	}
-	return b
+	return b, nil
 }
 
 // Quote is the POST /v1/quote response: the equilibrium without a trade.
@@ -227,37 +350,33 @@ type apiError struct {
 // --- handlers ---
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	v := s.view.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"sellers": len(s.sellers),
-		"trades":  s.tradeCount(),
-		"trading": s.mkt != nil,
+		"sellers": len(v.sellers),
+		"trades":  len(v.trades),
+		"trading": v.trading,
 	})
 }
 
-func (s *Server) tradeCount() int {
-	if s.mkt == nil {
-		return 0
-	}
-	return len(s.mkt.Ledger())
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 
 func (s *Server) handleRegisterSeller(w http.ResponseWriter, r *http.Request) {
 	var reg SellerRegistration
 	if err := decodeJSON(r, &reg); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeDecodeError(w, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if s.mkt != nil {
 		writeError(w, http.StatusConflict, errors.New("market already trading; registration is closed"))
 		return
 	}
 	if reg.ID == "" {
-		writeError(w, http.StatusBadRequest, errors.New("seller id is required"))
+		writeError(w, http.StatusBadRequest, &fieldError{"id", "seller id is required"})
 		return
 	}
 	for _, existing := range s.sellers {
@@ -267,7 +386,7 @@ func (s *Server) handleRegisterSeller(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !(reg.Lambda > 0) {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("lambda must be positive, got %g", reg.Lambda))
+		writeError(w, http.StatusBadRequest, &fieldError{"lambda", fmt.Sprintf("must be positive, got %g", reg.Lambda)})
 		return
 	}
 	data, err := s.sellerData(reg)
@@ -276,6 +395,14 @@ func (s *Server) handleRegisterSeller(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.sellers = append(s.sellers, &market.Seller{ID: reg.ID, Lambda: reg.Lambda, Data: data})
+	if err := s.publishView(); err != nil {
+		// Roll the registration back: a roster the game rejects (e.g. a
+		// pathological λ passing the > 0 check but failing validation)
+		// must not be half-admitted.
+		s.sellers = s.sellers[:len(s.sellers)-1]
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	s.logf("httpapi: registered seller %q (%d rows, λ=%g)", reg.ID, data.Len(), reg.Lambda)
 	writeJSON(w, http.StatusCreated, SellerInfo{ID: reg.ID, Lambda: reg.Lambda, Rows: data.Len()})
 }
@@ -301,42 +428,7 @@ func (s *Server) sellerData(reg SellerRegistration) (*dataset.Dataset, error) {
 }
 
 func (s *Server) handleListSellers(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var weights []float64
-	if s.mkt != nil {
-		weights = s.mkt.Weights()
-	}
-	out := make([]SellerInfo, len(s.sellers))
-	for i, sel := range s.sellers {
-		out[i] = SellerInfo{ID: sel.ID, Lambda: sel.Lambda, Rows: sel.Data.Len()}
-		if weights != nil {
-			out[i].Weight = weights[i]
-		} else {
-			out[i].Weight = 1 / float64(len(s.sellers))
-		}
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// game assembles a core.Game for the current seller pool.
-func (s *Server) game(b core.Buyer) (*core.Game, error) {
-	if len(s.sellers) == 0 {
-		return nil, errors.New("no sellers registered")
-	}
-	lambdas := make([]float64, len(s.sellers))
-	for i, sel := range s.sellers {
-		lambdas[i] = sel.Lambda
-	}
-	weights := core.UniformWeights(len(s.sellers))
-	if s.mkt != nil {
-		weights = s.mkt.Weights()
-	}
-	return &core.Game{
-		Buyer:   b,
-		Broker:  core.Broker{Cost: s.cfg.Cost, Weights: weights},
-		Sellers: core.Sellers{Lambda: lambdas},
-	}, nil
+	writeJSON(w, http.StatusOK, s.view.Load().sellers)
 }
 
 func quoteFromProfile(p *core.Profile) Quote {
@@ -353,19 +445,28 @@ func quoteFromProfile(p *core.Profile) Quote {
 	}
 }
 
+// handleQuote solves the game against the published view — no locks, so
+// quotes stay responsive while a trade holds the write path. The clone
+// carries the view's Precompute snapshot: the seller-side aggregates are
+// reused and only the buyer parameters are re-validated per quote.
 func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
 	var d Demand
 	if err := decodeJSON(r, &d); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	b, err := d.buyer()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	g, err := s.game(d.buyer())
-	if err != nil {
-		writeError(w, http.StatusConflict, err)
+	v := s.view.Load()
+	if v.proto == nil {
+		writeError(w, http.StatusConflict, errors.New("no sellers registered"))
 		return
 	}
+	g := v.proto.Clone()
+	g.Buyer = b
 	p, err := g.Solve()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -377,11 +478,16 @@ func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTrade(w http.ResponseWriter, r *http.Request) {
 	var d Demand
 	if err := decodeJSON(r, &d); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	b, err := d.buyer()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if s.mkt == nil {
 		if len(s.sellers) == 0 {
 			writeError(w, http.StatusConflict, errors.New("no sellers registered"))
@@ -399,14 +505,44 @@ func (s *Server) handleTrade(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	tx, err := s.mkt.RunRoundWith(d.buyer(), builder)
+	if s.testHookTradeBuilder != nil {
+		builder = s.testHookTradeBuilder
+	}
+	ctx := r.Context()
+	if s.tradeTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.tradeTimeout)
+		defer cancel()
+	}
+	tx, err := s.mkt.RunRoundContext(ctx, b, builder)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, tradeErrorStatus(err), err)
+		return
+	}
+	if err := s.publishView(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.logf("httpapi: trade %d executed (p^M=%g, p^D=%g, EV=%.4f)",
 		tx.Round, tx.Profile.PM, tx.Profile.PD, tx.Metrics.Performance)
 	writeJSON(w, http.StatusCreated, tradeResult(tx))
+}
+
+// tradeErrorStatus classifies a RunRoundContext failure: demand-caused
+// errors are the client's fault (400), deadline expiry is 504, client
+// disconnection 503, and anything else — product training, valuation — is
+// an internal fault (500).
+func tradeErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, market.ErrDemand):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func tradeResult(tx *market.Transaction) TradeResult {
@@ -427,28 +563,16 @@ func tradeResult(tx *market.Transaction) TradeResult {
 }
 
 func (s *Server) handleListTrades(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.mkt == nil {
+	v := s.view.Load()
+	if v.trades == nil {
 		writeJSON(w, http.StatusOK, []TradeResult{})
 		return
 	}
-	ledger := s.mkt.Ledger()
-	out := make([]TradeResult, len(ledger))
-	for i, tx := range ledger {
-		out[i] = tradeResult(tx)
-	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, v.trades)
 }
 
 func (s *Server) handleWeights(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.mkt == nil {
-		writeJSON(w, http.StatusOK, core.UniformWeights(max(1, len(s.sellers))))
-		return
-	}
-	writeJSON(w, http.StatusOK, s.mkt.Weights())
+	writeJSON(w, http.StatusOK, s.view.Load().weights)
 }
 
 // --- plumbing ---
@@ -459,7 +583,28 @@ func decodeJSON(r *http.Request, v any) error {
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid request body: %w", err)
 	}
+	// Drain past the value: rejects trailing garbage and ensures an
+	// oversized body trips the MaxBytesReader cap even when the leading
+	// JSON value itself was small.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		if err == nil {
+			return errors.New("invalid request body: unexpected trailing data")
+		}
+		return fmt.Errorf("invalid request body: %w", err)
+	}
 	return nil
+}
+
+// writeDecodeError maps body-decoding failures: a tripped MaxBytesReader is
+// 413, everything else (malformed JSON, unknown fields) is 400.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

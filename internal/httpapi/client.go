@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"share/internal/obs"
 )
 
 // Client is a typed Go client for a share-server instance. The zero value is
@@ -69,6 +71,13 @@ func (c *Client) Trades(ctx context.Context) ([]TradeResult, error) {
 func (c *Client) Weights(ctx context.Context) ([]float64, error) {
 	var out []float64
 	return out, c.do(ctx, http.MethodGet, "/v1/weights", nil, &out)
+}
+
+// Metrics returns the server's observability snapshot: per-endpoint
+// request counts, error counts, in-flight gauges and latency quantiles.
+func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
+	var out obs.Snapshot
+	return out, c.do(ctx, http.MethodGet, "/v1/metrics", nil, &out)
 }
 
 // StatusError is returned for non-2xx responses, carrying the server's

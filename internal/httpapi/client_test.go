@@ -78,6 +78,14 @@ func TestClientFullLifecycle(t *testing.T) {
 	if len(weights) != 3 {
 		t.Errorf("weights = %v", weights)
 	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if st, ok := metrics.Endpoints["POST /v1/trades"]; !ok || st.Count != 1 {
+		t.Errorf("trade metrics = %+v, want count 1", metrics.Endpoints)
+	}
 }
 
 func TestClientSurfacesServerErrors(t *testing.T) {

@@ -1,0 +1,174 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"share/internal/dataset"
+	"share/internal/product"
+)
+
+// blockingBuilder parks the trade inside product manufacturing — while it
+// blocks, the trade holds the server's write path — so the test can probe
+// what the read endpoints do in exactly that window.
+type blockingBuilder struct {
+	once    sync.Once
+	started chan struct{} // closed when Build is first entered
+	release chan struct{} // Build proceeds once closed
+}
+
+func (b *blockingBuilder) Name() string { return "blocking" }
+
+// Build blocks on first entry; the Shapley weight update re-invokes it per
+// coalition afterwards, so subsequent calls pass straight through (release
+// stays closed).
+func (b *blockingBuilder) Build(train, test *dataset.Dataset) (product.Report, error) {
+	b.once.Do(func() { close(b.started) })
+	<-b.release
+	return product.OLS{}.Build(train, test)
+}
+
+// TestQuotesDoNotBlockOnInFlightTrade is the tentpole's contract: reads run
+// lock-free against the published view, so quotes, health, sellers, weights
+// and metrics all complete while a trade is wedged mid-round holding the
+// write path. Run under -race this also proves the copy-on-write view is
+// data-race free. Before the RWMutex/view split, every one of these reads
+// deadlocked until the trade finished.
+func TestQuotesDoNotBlockOnInFlightTrade(t *testing.T) {
+	srv := NewServer(Options{Seed: 1, Logf: func(string, ...any) {}})
+	bb := &blockingBuilder{started: make(chan struct{}), release: make(chan struct{})}
+	srv.testHookTradeBuilder = bb
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	registerSynthetic(t, ts.URL, 3)
+
+	// Launch the trade; it will park inside Build holding writeMu.
+	tradeDone := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/v1/trades", Demand{N: 90, V: 0.8})
+		tradeDone <- resp.StatusCode
+	}()
+	select {
+	case <-bb.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("trade never reached manufacturing")
+	}
+
+	// With the trade still in flight, every read endpoint must answer.
+	reads := []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{http.MethodPost, "/v1/quote", Demand{N: 120, V: 0.8}, http.StatusOK},
+		{http.MethodGet, "/v1/health", nil, http.StatusOK},
+		{http.MethodGet, "/v1/sellers", nil, http.StatusOK},
+		{http.MethodGet, "/v1/weights", nil, http.StatusOK},
+		{http.MethodGet, "/v1/trades", nil, http.StatusOK},
+		{http.MethodGet, "/v1/metrics", nil, http.StatusOK},
+	}
+	const perEndpoint = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, len(reads)*perEndpoint)
+	for _, rd := range reads {
+		for i := 0; i < perEndpoint; i++ {
+			wg.Add(1)
+			go func(method, path string, body any, want int) {
+				defer wg.Done()
+				var code int
+				if method == http.MethodGet {
+					resp := getJSON(t, ts.URL+path, nil)
+					code = resp.StatusCode
+				} else {
+					resp, _ := postJSON(t, ts.URL+path, body)
+					code = resp.StatusCode
+				}
+				if code != want {
+					errs <- path
+				}
+			}(rd.method, rd.path, rd.body, rd.want)
+		}
+	}
+	allDone := make(chan struct{})
+	go func() { wg.Wait(); close(allDone) }()
+	select {
+	case <-allDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("read endpoints blocked behind the in-flight trade")
+	}
+	close(errs)
+	for path := range errs {
+		t.Errorf("read %s failed while trade was in flight", path)
+	}
+
+	// Release the trade; it must complete normally.
+	close(bb.release)
+	select {
+	case code := <-tradeDone:
+		if code != http.StatusCreated {
+			t.Errorf("released trade status = %d, want 201", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("trade never completed after release")
+	}
+
+	// The view published by the finished trade is what readers now see.
+	var trades []TradeResult
+	getJSON(t, ts.URL+"/v1/trades", &trades)
+	if len(trades) != 1 {
+		t.Errorf("ledger after trade = %d entries, want 1", len(trades))
+	}
+}
+
+// TestConcurrentQuotesAndTrades hammers the service from many goroutines —
+// the -race gate for the whole read-view/write-lock design under churn,
+// with trades republishing the view while quotes read it.
+func TestConcurrentQuotesAndTrades(t *testing.T) {
+	srv := NewServer(Options{Seed: 1, Logf: func(string, ...any) {}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	registerSynthetic(t, ts.URL, 3)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				resp, body := postJSON(t, ts.URL+"/v1/trades", Demand{N: 60, V: 0.8})
+				if resp.StatusCode != http.StatusCreated {
+					t.Errorf("trade: %d (%s)", resp.StatusCode, body)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				resp, body := postJSON(t, ts.URL+"/v1/quote", Demand{N: 100, V: 0.8})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("quote: %d (%s)", resp.StatusCode, body)
+				}
+				getJSON(t, ts.URL+"/v1/weights", nil)
+				getJSON(t, ts.URL+"/v1/metrics", nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var trades []TradeResult
+	getJSON(t, ts.URL+"/v1/trades", &trades)
+	if len(trades) != 12 {
+		t.Errorf("ledger = %d trades, want 12", len(trades))
+	}
+	for i, tr := range trades {
+		if tr.Round != i+1 {
+			t.Errorf("trade %d has round %d", i, tr.Round)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"share/internal/dataset"
+	"share/internal/product"
+)
+
+// failingBuilder simulates a product-training fault — an internal error
+// that must NOT be blamed on the client.
+type failingBuilder struct{}
+
+func (failingBuilder) Name() string { return "failing" }
+func (failingBuilder) Build(train, test *dataset.Dataset) (product.Report, error) {
+	return product.Report{}, errors.New("synthetic training failure")
+}
+
+func TestDemandValidation(t *testing.T) {
+	ts := newTestServer(t)
+	registerSynthetic(t, ts.URL, 2)
+	cases := []struct {
+		name      string
+		d         Demand
+		want      int
+		wantField string
+	}{
+		{"theta1 too large", Demand{N: 100, V: 0.8, Theta1: 1.5}, http.StatusBadRequest, "theta1"},
+		{"theta1 negative", Demand{N: 100, V: 0.8, Theta1: -0.2}, http.StatusBadRequest, "theta1"},
+		{"theta2 too large", Demand{N: 100, V: 0.8, Theta2: 1.0}, http.StatusBadRequest, "theta2"},
+		{"conflicting pair", Demand{N: 100, V: 0.8, Theta1: 0.7, Theta2: 0.2}, http.StatusBadRequest, "theta1"},
+		{"negative n", Demand{N: -5, V: 0.8}, http.StatusBadRequest, "n"},
+		{"negative v", Demand{N: 100, V: -0.8}, http.StatusBadRequest, "v"},
+		{"negative rho1", Demand{N: 100, V: 0.8, Rho1: -1}, http.StatusBadRequest, "rho1"},
+		{"negative rho2", Demand{N: 100, V: 0.8, Rho2: -1}, http.StatusBadRequest, "rho2"},
+		{"consistent pair ok", Demand{N: 100, V: 0.8, Theta1: 0.3, Theta2: 0.7}, http.StatusOK, ""},
+		{"theta1 alone ok", Demand{N: 100, V: 0.8, Theta1: 0.3}, http.StatusOK, ""},
+		{"theta2 alone ok", Demand{N: 100, V: 0.8, Theta2: 0.7}, http.StatusOK, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/quote", c.d)
+			if resp.StatusCode != c.want {
+				t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, c.want, body)
+			}
+			if c.wantField != "" && !strings.Contains(string(body), c.wantField) {
+				t.Errorf("error %q does not name field %q", body, c.wantField)
+			}
+		})
+	}
+}
+
+// TestThetaPairNotSilentlyOverwritten pins the fixed bug: sending both
+// θ₁ and θ₂ must honor both (when consistent), not let θ₂ clobber the
+// θ₁-derived pairing. A consistent asymmetric pair yields the same quote as
+// sending θ₁ alone.
+func TestThetaPairNotSilentlyOverwritten(t *testing.T) {
+	ts := newTestServer(t)
+	registerSynthetic(t, ts.URL, 3)
+	_, bodyPair := postJSON(t, ts.URL+"/v1/quote", Demand{N: 100, V: 0.8, Theta1: 0.3, Theta2: 0.7})
+	_, bodySingle := postJSON(t, ts.URL+"/v1/quote", Demand{N: 100, V: 0.8, Theta1: 0.3})
+	var qPair, qSingle Quote
+	if err := json.Unmarshal(bodyPair, &qPair); err != nil {
+		t.Fatalf("decoding pair quote: %v (%s)", err, bodyPair)
+	}
+	if err := json.Unmarshal(bodySingle, &qSingle); err != nil {
+		t.Fatalf("decoding single quote: %v (%s)", err, bodySingle)
+	}
+	if qPair.ProductPrice != qSingle.ProductPrice || qPair.DataPrice != qSingle.DataPrice {
+		t.Errorf("pair quote %+v != single-theta1 quote %+v", qPair, qSingle)
+	}
+}
+
+func TestBodyLimitReturns413(t *testing.T) {
+	srv := NewServer(Options{Seed: 1, Logf: func(string, ...any) {}, MaxBodyBytes: 1024})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	big := make([]byte, 4096)
+	for i := range big {
+		big[i] = ' '
+	}
+	copy(big, []byte(`{"n": 100, "v": 0.8}`))
+	resp, err := http.Post(ts.URL+"/v1/quote", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+	// An in-budget request on the same server still works.
+	resp, body := postJSON(t, ts.URL+"/v1/sellers", SellerRegistration{ID: "s", Lambda: 0.5, SyntheticRows: 50})
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("small body after 413: %d (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestTradeInternalErrorReturns500(t *testing.T) {
+	srv := NewServer(Options{Seed: 1, Logf: func(string, ...any) {}})
+	srv.testHookTradeBuilder = failingBuilder{}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	registerSynthetic(t, ts.URL, 2)
+
+	resp, body := postJSON(t, ts.URL+"/v1/trades", Demand{N: 60, V: 0.8})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("training failure status = %d, want 500 (%s)", resp.StatusCode, body)
+	}
+	// The failed round must not have committed anything.
+	var trades []TradeResult
+	getJSON(t, ts.URL+"/v1/trades", &trades)
+	if len(trades) != 0 {
+		t.Errorf("failed trade reached the ledger: %d entries", len(trades))
+	}
+}
+
+func TestTradeBadDemandStill400(t *testing.T) {
+	ts := newTestServer(t)
+	registerSynthetic(t, ts.URL, 2)
+	resp, body := postJSON(t, ts.URL+"/v1/trades", Demand{N: 60, V: 0.8, Theta1: 2})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad demand trade status = %d, want 400 (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestTradeDeadlineReturns504(t *testing.T) {
+	srv := NewServer(Options{Seed: 1, Logf: func(string, ...any) {}, TradeTimeout: time.Nanosecond})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	registerSynthetic(t, ts.URL, 2)
+
+	resp, body := postJSON(t, ts.URL+"/v1/trades", Demand{N: 60, V: 0.8})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("expired trade status = %d, want 504 (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	registerSynthetic(t, ts.URL, 2)
+	postJSON(t, ts.URL+"/v1/quote", Demand{N: 100, V: 0.8})
+	postJSON(t, ts.URL+"/v1/quote", Demand{N: -1, V: 0.8}) // one error
+	getJSON(t, ts.URL+"/v1/health", nil)
+
+	var snap struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Endpoints     map[string]struct {
+			Count    uint64 `json:"count"`
+			Errors   uint64 `json:"errors"`
+			InFlight int64  `json:"in_flight"`
+			Latency  struct {
+				P50 float64 `json:"p50_seconds"`
+				P99 float64 `json:"p99_seconds"`
+				Max float64 `json:"max_seconds"`
+			} `json:"latency"`
+		} `json:"endpoints"`
+	}
+	resp := getJSON(t, ts.URL+"/v1/metrics", &snap)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	q, ok := snap.Endpoints["POST /v1/quote"]
+	if !ok {
+		t.Fatalf("metrics missing POST /v1/quote: %v", snap.Endpoints)
+	}
+	if q.Count != 2 || q.Errors != 1 {
+		t.Errorf("quote count/errors = %d/%d, want 2/1", q.Count, q.Errors)
+	}
+	if q.InFlight != 0 {
+		t.Errorf("quote in-flight = %d, want 0", q.InFlight)
+	}
+	if !(q.Latency.Max > 0) || q.Latency.P99 < q.Latency.P50 {
+		t.Errorf("quote latency stats malformed: %+v", q.Latency)
+	}
+	if reg, ok := snap.Endpoints["POST /v1/sellers"]; !ok || reg.Count != 2 {
+		t.Errorf("seller registration metrics = %+v, want count 2", reg)
+	}
+}

@@ -1,0 +1,168 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustUnmarshal(t *testing.T, raw []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(raw, v); err != nil {
+		t.Fatalf("decoding %s: %v", raw, err)
+	}
+}
+
+// TestSnapshotSaveRestoreRoundTrip is the crash-safety contract: a server
+// saved after trading and "killed" (discarded), then restored into a fresh
+// process-equivalent server, serves the same ledger, weights and quotes,
+// and continues the round numbering.
+func TestSnapshotSaveRestoreRoundTrip(t *testing.T) {
+	opts := Options{Seed: 42, Logf: func(string, ...any) {}}
+	path := filepath.Join(t.TempDir(), "market.json")
+
+	// Session 1: register, trade twice, persist, die.
+	srvA := NewServer(opts)
+	tsA := httptest.NewServer(srvA.Handler())
+	registerSynthetic(t, tsA.URL, 3)
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, tsA.URL+"/v1/trades", Demand{N: 90, V: 0.8})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("trade %d: %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	var weightsA []float64
+	getJSON(t, tsA.URL+"/v1/weights", &weightsA)
+	var quoteA Quote
+	getJSON(t, tsA.URL+"/v1/health", nil)
+	{
+		resp, body := postJSON(t, tsA.URL+"/v1/quote", Demand{N: 150, V: 0.8})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("quote A: %d (%s)", resp.StatusCode, body)
+		}
+		mustUnmarshal(t, body, &quoteA)
+	}
+	if err := srvA.SaveSnapshot(path); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	tsA.Close()
+
+	// No stray temp files: the write-temp-then-rename must clean up.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".share-snapshot-") {
+			t.Errorf("leftover snapshot temp file %s", e.Name())
+		}
+	}
+
+	// Session 2: fresh server, restore, verify.
+	srvB := NewServer(opts)
+	if err := srvB.RestoreSnapshot(path); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	tsB := httptest.NewServer(srvB.Handler())
+	t.Cleanup(tsB.Close)
+
+	var weightsB []float64
+	getJSON(t, tsB.URL+"/v1/weights", &weightsB)
+	if !reflect.DeepEqual(weightsA, weightsB) {
+		t.Errorf("weights after restore = %v, want %v", weightsB, weightsA)
+	}
+	var trades []TradeResult
+	getJSON(t, tsB.URL+"/v1/trades", &trades)
+	if len(trades) != 2 {
+		t.Fatalf("restored ledger = %d trades, want 2", len(trades))
+	}
+	var quoteB Quote
+	{
+		resp, body := postJSON(t, tsB.URL+"/v1/quote", Demand{N: 150, V: 0.8})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("quote B: %d (%s)", resp.StatusCode, body)
+		}
+		mustUnmarshal(t, body, &quoteB)
+	}
+	if quoteA.ProductPrice != quoteB.ProductPrice || quoteA.DataPrice != quoteB.DataPrice {
+		t.Errorf("restored quote %+v != original %+v", quoteB, quoteA)
+	}
+
+	// Trading resumes with continued round numbering and closed
+	// registration.
+	resp, body := postJSON(t, tsB.URL+"/v1/trades", Demand{N: 90, V: 0.8})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-restore trade: %d (%s)", resp.StatusCode, body)
+	}
+	var tr TradeResult
+	mustUnmarshal(t, body, &tr)
+	if tr.Round != 3 {
+		t.Errorf("post-restore round = %d, want 3", tr.Round)
+	}
+	resp, _ = postJSON(t, tsB.URL+"/v1/sellers", SellerRegistration{ID: "late", Lambda: 0.5, SyntheticRows: 10})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("registration after restored trades = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestSnapshotRestorePreTrading(t *testing.T) {
+	// A snapshot taken before any trade restores the roster alone.
+	opts := Options{Seed: 7, Logf: func(string, ...any) {}}
+	path := filepath.Join(t.TempDir(), "market.json")
+	srvA := NewServer(opts)
+	tsA := httptest.NewServer(srvA.Handler())
+	registerSynthetic(t, tsA.URL, 2)
+	if err := srvA.SaveSnapshot(path); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	tsA.Close()
+
+	srvB := NewServer(opts)
+	if err := srvB.RestoreSnapshot(path); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	tsB := httptest.NewServer(srvB.Handler())
+	t.Cleanup(tsB.Close)
+	var infos []SellerInfo
+	getJSON(t, tsB.URL+"/v1/sellers", &infos)
+	if len(infos) != 2 {
+		t.Fatalf("restored sellers = %d, want 2", len(infos))
+	}
+	var health map[string]any
+	getJSON(t, tsB.URL+"/v1/health", &health)
+	if health["trading"] != false {
+		t.Errorf("restored pre-trading server reports trading: %v", health)
+	}
+}
+
+func TestSnapshotRestoreRequiresFreshServer(t *testing.T) {
+	opts := Options{Seed: 7, Logf: func(string, ...any) {}}
+	path := filepath.Join(t.TempDir(), "market.json")
+	srvA := NewServer(opts)
+	tsA := httptest.NewServer(srvA.Handler())
+	t.Cleanup(tsA.Close)
+	registerSynthetic(t, tsA.URL, 2)
+	if err := srvA.SaveSnapshot(path); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	if err := srvA.RestoreSnapshot(path); err == nil {
+		t.Error("restore into a non-fresh server succeeded")
+	}
+}
+
+func TestSnapshotRestoreMissingFile(t *testing.T) {
+	srv := NewServer(Options{Seed: 1, Logf: func(string, ...any) {}})
+	err := srv.RestoreSnapshot(filepath.Join(t.TempDir(), "absent.json"))
+	if err == nil {
+		t.Fatal("restore of missing file succeeded")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing-file error not classified as os.ErrNotExist: %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+package httpapi
+
+import (
+	"share/internal/core"
+)
+
+// marketView is an immutable snapshot of everything the read-only endpoints
+// serve: the seller roster, the current weights, the rendered trade ledger,
+// and a Precompute'd game prototype for lock-free quoting. Writers
+// (registration, trades) build a fresh view under the write lock and
+// publish it atomically; readers load the pointer and never block, even
+// while a multi-minute trade holds the write path.
+//
+// Invariant: nothing reachable from a published view is ever mutated. The
+// slices are rebuilt (not appended in place) on every publish, and the game
+// prototype is only read via Clone.
+type marketView struct {
+	// proto is a validated, Precompute'd game over the current sellers and
+	// weights (nil until the first seller registers). Quotes Clone it —
+	// the seller-side aggregate snapshot carries over, so each quote costs
+	// O(m) copying plus an O(1)-per-stage solve (PR 1's cache machinery).
+	proto *core.Game
+	// sellers is the rendered GET /v1/sellers response.
+	sellers []SellerInfo
+	// weights is the rendered GET /v1/weights response.
+	weights []float64
+	// trades is the rendered GET /v1/trades response.
+	trades []TradeResult
+	// trading reports whether the market has executed its first round
+	// (registration closes at that point).
+	trading bool
+}
+
+// buildView renders the server's mutable state into a fresh immutable view.
+// Must be called with s.writeMu held (it reads s.sellers and s.mkt).
+func (s *Server) buildView() (*marketView, error) {
+	v := &marketView{trading: s.mkt != nil}
+
+	weights := core.UniformWeights(max(1, len(s.sellers)))
+	if s.mkt != nil {
+		weights = s.mkt.Weights()
+	}
+	v.weights = weights
+
+	v.sellers = make([]SellerInfo, len(s.sellers))
+	for i, sel := range s.sellers {
+		v.sellers[i] = SellerInfo{ID: sel.ID, Lambda: sel.Lambda, Rows: sel.Data.Len(), Weight: weights[i]}
+	}
+
+	if s.mkt != nil {
+		ledger := s.mkt.Ledger()
+		v.trades = make([]TradeResult, len(ledger))
+		for i, tx := range ledger {
+			v.trades[i] = tradeResult(tx)
+		}
+	}
+
+	if len(s.sellers) > 0 {
+		lambdas := make([]float64, len(s.sellers))
+		for i, sel := range s.sellers {
+			lambdas[i] = sel.Lambda
+		}
+		g := &core.Game{
+			Buyer:   core.PaperBuyer(), // placeholder; quotes overwrite it
+			Broker:  core.Broker{Cost: s.cfg.Cost, Weights: append([]float64(nil), weights...)},
+			Sellers: core.Sellers{Lambda: lambdas},
+		}
+		if err := g.Precompute(); err != nil {
+			return nil, err
+		}
+		v.proto = g
+	}
+	return v, nil
+}
+
+// publishView renders and atomically publishes a new view. Must be called
+// with s.writeMu held. Publish failures are impossible for state that
+// passed registration/trade validation, so errors are surfaced loudly.
+func (s *Server) publishView() error {
+	v, err := s.buildView()
+	if err != nil {
+		return err
+	}
+	s.view.Store(v)
+	return nil
+}

@@ -1,0 +1,99 @@
+package market
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunRoundContextCanceledLeavesMarketUnchanged(t *testing.T) {
+	mkt, buyer := testMarket(t, 3, &WeightUpdate{Retain: 0.2, Permutations: 20}, 11)
+	before := mkt.Weights()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := mkt.RunRoundContext(ctx, buyer, nil)
+	if err == nil {
+		t.Fatal("canceled round succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if len(mkt.Ledger()) != 0 {
+		t.Errorf("canceled round appended to ledger: %d entries", len(mkt.Ledger()))
+	}
+	if len(mkt.CostObservations()) != 0 {
+		t.Errorf("canceled round recorded cost observations")
+	}
+	after := mkt.Weights()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("weights changed on canceled round: %v -> %v", before, after)
+			break
+		}
+	}
+}
+
+func TestRunRoundContextDeadlineDuringShapley(t *testing.T) {
+	// A deadline so tight it must expire inside the round: the error has to
+	// surface as DeadlineExceeded, not wedge or commit partial state.
+	mkt, buyer := testMarket(t, 4, &WeightUpdate{Retain: 0.2, Permutations: 500}, 11)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	_, err := mkt.RunRoundContext(ctx, buyer, nil)
+	if err == nil {
+		t.Fatal("round with 1µs deadline succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if len(mkt.Ledger()) != 0 {
+		t.Errorf("expired round appended to ledger")
+	}
+}
+
+func TestRunRoundBackgroundMatchesRunRoundWith(t *testing.T) {
+	// Same seed, same demands: the ctx plumbing must not disturb results.
+	a, buyer := testMarket(t, 3, &WeightUpdate{Retain: 0.2, Permutations: 10}, 7)
+	b, _ := testMarket(t, 3, &WeightUpdate{Retain: 0.2, Permutations: 10}, 7)
+	txA, err := a.RunRoundWith(buyer, nil)
+	if err != nil {
+		t.Fatalf("RunRoundWith: %v", err)
+	}
+	txB, err := b.RunRoundContext(context.Background(), buyer, nil)
+	if err != nil {
+		t.Fatalf("RunRoundContext: %v", err)
+	}
+	for i := range txA.Weights {
+		if txA.Weights[i] != txB.Weights[i] {
+			t.Errorf("weights diverge at %d: %v vs %v", i, txA.Weights[i], txB.Weights[i])
+		}
+	}
+	if txA.Payment != txB.Payment {
+		t.Errorf("payments diverge: %v vs %v", txA.Payment, txB.Payment)
+	}
+}
+
+func TestRunRoundDemandErrorsWrapSentinel(t *testing.T) {
+	mkt, buyer := testMarket(t, 3, nil, 5)
+	buyer.Theta1, buyer.Theta2 = 1.4, -0.4 // invalid: outside (0,1)
+	_, err := mkt.RunRound(buyer)
+	if err == nil {
+		t.Fatal("invalid demand succeeded")
+	}
+	if !errors.Is(err, ErrDemand) {
+		t.Errorf("err = %v, want ErrDemand in chain", err)
+	}
+}
+
+func TestValidRoundNotClassifiedAsDemandError(t *testing.T) {
+	mkt, buyer := testMarket(t, 3, nil, 5)
+	tx, err := mkt.RunRound(buyer)
+	if err != nil {
+		t.Fatalf("valid round failed: %v", err)
+	}
+	if tx.Round != 1 {
+		t.Errorf("round = %d, want 1", tx.Round)
+	}
+}

@@ -1,0 +1,12 @@
+package market
+
+import "errors"
+
+// ErrDemand marks a round failure caused by the buyer's demand — invalid
+// utility parameters, an infeasible (N, v) pair, or anything else the
+// client controls. Callers (the HTTP layer in particular) use
+// errors.Is(err, ErrDemand) to map the failure to a 4xx response; round
+// errors NOT wrapping ErrDemand are market-side faults (product training,
+// valuation) and belong to the 5xx class. Context cancellation surfaces as
+// the usual context.Canceled / context.DeadlineExceeded sentinels.
+var ErrDemand = errors.New("invalid demand")

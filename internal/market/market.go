@@ -8,6 +8,7 @@
 package market
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -281,17 +282,39 @@ func (m *Market) RunRound(buyer core.Buyer) (*Transaction, error) {
 // weight update change. This lets one market serve regression buyers and
 // aggregate-statistics buyers side by side.
 func (m *Market) RunRoundWith(buyer core.Buyer, builder product.Builder) (*Transaction, error) {
+	return m.RunRoundContext(context.Background(), buyer, builder)
+}
+
+// RunRoundContext is RunRoundWith under a cancellation context: ctx is
+// checked at every phase boundary of Algorithm 1 and, crucially, between
+// the permutations of the Shapley weight update — the phase that can run
+// for minutes at large m — so a canceled or deadline-expired round returns
+// promptly instead of wedging the caller. A round aborted by ctx leaves the
+// market's observable state unchanged: the ledger, weights and cost log are
+// only written once the whole round has succeeded (the private random
+// stream does advance for work already done). Errors caused by the buyer's
+// demand wrap ErrDemand; cancellation surfaces via errors.Is against
+// ctx.Err().
+//
+// With a background context, results — including the market's rng stream —
+// are bit-identical to RunRoundWith.
+func (m *Market) RunRoundContext(ctx context.Context, buyer core.Buyer, builder product.Builder) (*Transaction, error) {
 	if builder == nil {
 		builder = m.product
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("market: round canceled before start: %w", err)
 	}
 	start := time.Now()
 	g := m.game(buyer)
 
-	// Strategy Decision (Lines 6–7).
+	// Strategy Decision (Lines 6–7). The game was assembled from the
+	// market's own (validated) sellers and weights, so a solve failure here
+	// is attributable to the buyer's demand parameters.
 	t0 := time.Now()
 	profile, err := g.Solve()
 	if err != nil {
-		return nil, fmt.Errorf("market: strategy decision: %w", err)
+		return nil, fmt.Errorf("market: strategy decision: %w: %w", ErrDemand, err)
 	}
 	tx := &Transaction{
 		Round:   len(m.ledger) + 1,
@@ -300,6 +323,9 @@ func (m *Market) RunRoundWith(buyer core.Buyer, builder product.Builder) (*Trans
 	tx.Timings.Strategy = time.Since(t0)
 
 	// Data Transaction (Lines 8–14).
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("market: round canceled before data transaction: %w", err)
+	}
 	t0 = time.Now()
 	n := int(buyer.N + 0.5)
 	tx.Pieces = IntegerAllocation(profile.Chi, n)
@@ -315,6 +341,9 @@ func (m *Market) RunRoundWith(buyer core.Buyer, builder product.Builder) (*Trans
 	tx.Timings.DataTransaction = time.Since(t0)
 
 	// Product Production (Line 16).
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("market: round canceled before production: %w", err)
+	}
 	t0 = time.Now()
 	joined, err := dataset.Concat(chunks...)
 	if err != nil {
@@ -326,11 +355,15 @@ func (m *Market) RunRoundWith(buyer core.Buyer, builder product.Builder) (*Trans
 	}
 	tx.Product = builder.Name()
 	tx.ManufacturingCost = g.ManufacturingCost()
-	m.costLog = append(m.costLog, translog.Observation{N: buyer.N, V: buyer.V, Cost: tx.ManufacturingCost})
 	tx.Timings.Production = time.Since(t0)
 
-	// Weight update via Shapley (Line 17).
+	// Weight update via Shapley (Line 17). The new weights are staged and
+	// only applied on success, keeping aborted rounds side-effect free.
+	var newWeights []float64
 	if m.update != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("market: round canceled before weight update: %w", err)
+		}
 		t0 = time.Now()
 		var sv []float64
 		var err error
@@ -339,19 +372,28 @@ func (m *Market) RunRoundWith(buyer core.Buyer, builder product.Builder) (*Trans
 				m.update.Permutations, m.update.TruncateTol,
 				int64(tx.Round)*1_000_003, m.update.Workers)
 		} else {
-			sv, err = valuation.SellerShapleyFor(builder, chunks, m.testSet, m.update.Permutations, m.update.TruncateTol, m.rng)
+			sv, err = valuation.SellerShapleyForCtx(ctx, builder, chunks, m.testSet, m.update.Permutations, m.update.TruncateTol, m.rng)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("market: Shapley weight update: %w", err)
 		}
 		tx.Shapley = sv
 		norm := shapley.Normalize(sv)
+		newWeights = make([]float64, len(m.weights))
 		for i := range m.weights {
-			m.weights[i] = m.update.Retain*m.weights[i] + (1-m.update.Retain)*norm[i]
+			newWeights[i] = m.update.Retain*m.weights[i] + (1-m.update.Retain)*norm[i]
 		}
 		tx.Timings.WeightUpdate = time.Since(t0)
 	}
+
+	// Commit: every fallible phase is done, so the round's state changes
+	// land together — a round that errored or was canceled above has
+	// written nothing.
+	if newWeights != nil {
+		m.weights = newWeights
+	}
 	tx.Weights = m.Weights()
+	m.costLog = append(m.costLog, translog.Observation{N: buyer.N, V: buyer.V, Cost: tx.ManufacturingCost})
 
 	// Product Transaction (Line 19).
 	tx.Payment = profile.PM * profile.QM

@@ -1,0 +1,227 @@
+// Package obs provides lightweight, stdlib-only service observability for
+// the market server: per-endpoint request counters, error counters,
+// in-flight gauges, and fixed-bucket latency histograms with quantile
+// estimation. All hot-path operations are lock-free atomics so instrumented
+// handlers never contend with each other; the registry lock is taken only
+// when a new endpoint label is first seen and when a snapshot is exported.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// bucketCount is the number of exponential latency buckets. Bucket i covers
+// latencies up to bucketUnit·2^i; the last bucket is unbounded. With a 100µs
+// unit and 26 buckets the histogram spans 100µs .. ~55min, comfortably
+// covering both a cached quote (~µs) and a multi-minute Shapley trade.
+const bucketCount = 26
+
+// bucketUnit is the upper bound of the first bucket.
+const bucketUnit = 100 * time.Microsecond
+
+// bucketBound returns the inclusive upper bound of bucket i (the last
+// bucket has no bound).
+func bucketBound(i int) time.Duration {
+	return bucketUnit << uint(i)
+}
+
+// Endpoint accumulates metrics for one instrumented handler. All methods
+// are safe for concurrent use.
+type Endpoint struct {
+	count    atomic.Uint64 // completed requests
+	errors   atomic.Uint64 // completed with status >= 400
+	inFlight atomic.Int64  // currently executing
+
+	buckets [bucketCount]atomic.Uint64
+	sumNS   atomic.Int64 // total latency, nanoseconds
+	maxNS   atomic.Int64 // slowest observed request, nanoseconds
+}
+
+// Begin records the start of a request. Pair with End.
+func (e *Endpoint) Begin() { e.inFlight.Add(1) }
+
+// End records a completed request with its response status and latency.
+func (e *Endpoint) End(status int, d time.Duration) {
+	e.inFlight.Add(-1)
+	e.count.Add(1)
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	e.Observe(d)
+}
+
+// Observe records one latency sample without touching the request counters
+// (End calls it; standalone use suits non-HTTP timings).
+func (e *Endpoint) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := bucketCount - 1
+	for i := 0; i < bucketCount-1; i++ {
+		if d <= bucketBound(i) {
+			idx = i
+			break
+		}
+	}
+	e.buckets[idx].Add(1)
+	e.sumNS.Add(int64(d))
+	for {
+		cur := e.maxNS.Load()
+		if int64(d) <= cur || e.maxNS.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// quantile estimates the q-quantile (q in [0,1]) from the bucket counts
+// using linear interpolation inside the containing bucket. Returns 0 with
+// no samples.
+func (e *Endpoint) quantile(q float64, counts []uint64, total uint64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			hi := bucketBound(i)
+			if i == bucketCount-1 {
+				// Unbounded tail: report the observed maximum.
+				return time.Duration(e.maxNS.Load())
+			}
+			frac := (rank - cum) / float64(c)
+			est := lo + time.Duration(frac*float64(hi-lo))
+			// A wide bucket can interpolate past the slowest real sample;
+			// the observed maximum is a hard upper bound on any quantile.
+			if mx := time.Duration(e.maxNS.Load()); est > mx {
+				est = mx
+			}
+			return est
+		}
+		cum = next
+	}
+	return time.Duration(e.maxNS.Load())
+}
+
+// EndpointStats is the exported snapshot of one endpoint's metrics.
+type EndpointStats struct {
+	Count    uint64       `json:"count"`
+	Errors   uint64       `json:"errors"`
+	InFlight int64        `json:"in_flight"`
+	Latency  LatencyStats `json:"latency"`
+}
+
+// LatencyStats summarizes the latency histogram in seconds.
+type LatencyStats struct {
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P90Seconds  float64 `json:"p90_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+}
+
+// Stats exports the endpoint's current counters and latency quantiles.
+func (e *Endpoint) Stats() EndpointStats {
+	counts := make([]uint64, bucketCount)
+	var total uint64
+	for i := range e.buckets {
+		counts[i] = e.buckets[i].Load()
+		total += counts[i]
+	}
+	st := EndpointStats{
+		Count:    e.count.Load(),
+		Errors:   e.errors.Load(),
+		InFlight: e.inFlight.Load(),
+	}
+	if total > 0 {
+		st.Latency = LatencyStats{
+			MeanSeconds: secs(time.Duration(e.sumNS.Load()) / time.Duration(total)),
+			P50Seconds:  secs(e.quantile(0.50, counts, total)),
+			P90Seconds:  secs(e.quantile(0.90, counts, total)),
+			P99Seconds:  secs(e.quantile(0.99, counts, total)),
+			MaxSeconds:  secs(time.Duration(e.maxNS.Load())),
+		}
+	}
+	return st
+}
+
+// secs rounds a duration to microsecond-precision seconds for stable JSON.
+func secs(d time.Duration) float64 {
+	return math.Round(d.Seconds()*1e6) / 1e6
+}
+
+// Registry owns the endpoint set and the process start time.
+type Registry struct {
+	start time.Time
+
+	mu        sync.RWMutex
+	endpoints map[string]*Endpoint
+}
+
+// NewRegistry builds an empty registry anchored at now.
+func NewRegistry() *Registry {
+	return &Registry{start: time.Now(), endpoints: make(map[string]*Endpoint)}
+}
+
+// Endpoint returns the metrics accumulator for label, creating it on first
+// use. The returned pointer is stable — callers should capture it once, not
+// per request.
+func (r *Registry) Endpoint(label string) *Endpoint {
+	r.mu.RLock()
+	e := r.endpoints[label]
+	r.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e = r.endpoints[label]; e == nil {
+		e = &Endpoint{}
+		r.endpoints[label] = e
+	}
+	return e
+}
+
+// Snapshot is the exported state of the whole registry (the /v1/metrics
+// response body).
+type Snapshot struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// Snapshot exports every endpoint's stats. Counters are read atomically per
+// field; a snapshot taken mid-request may be off by one between fields,
+// which is acceptable for monitoring.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	labels := make([]string, 0, len(r.endpoints))
+	for l := range r.endpoints {
+		labels = append(labels, l)
+	}
+	eps := make(map[string]*Endpoint, len(labels))
+	for _, l := range labels {
+		eps[l] = r.endpoints[l]
+	}
+	r.mu.RUnlock()
+	sort.Strings(labels)
+	out := Snapshot{
+		UptimeSeconds: secs(time.Since(r.start)),
+		Endpoints:     make(map[string]EndpointStats, len(labels)),
+	}
+	for _, l := range labels {
+		out.Endpoints[l] = eps[l].Stats()
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEndpointCounters(t *testing.T) {
+	reg := NewRegistry()
+	ep := reg.Endpoint("POST /v1/trades")
+	ep.Begin()
+	if got := ep.Stats().InFlight; got != 1 {
+		t.Errorf("in-flight during request = %d, want 1", got)
+	}
+	ep.End(201, 5*time.Millisecond)
+	ep.Begin()
+	ep.End(400, 1*time.Millisecond)
+
+	st := ep.Stats()
+	if st.Count != 2 {
+		t.Errorf("count = %d, want 2", st.Count)
+	}
+	if st.Errors != 1 {
+		t.Errorf("errors = %d, want 1", st.Errors)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight after completion = %d, want 0", st.InFlight)
+	}
+	if st.Latency.MaxSeconds < 0.004 || st.Latency.MaxSeconds > 0.007 {
+		t.Errorf("max latency = %gs, want ~5ms", st.Latency.MaxSeconds)
+	}
+}
+
+func TestQuantilesOrdered(t *testing.T) {
+	reg := NewRegistry()
+	ep := reg.Endpoint("x")
+	for i := 1; i <= 1000; i++ {
+		ep.Observe(time.Duration(i) * time.Millisecond)
+	}
+	l := ep.Stats().Latency
+	if !(l.P50Seconds <= l.P90Seconds && l.P90Seconds <= l.P99Seconds && l.P99Seconds <= l.MaxSeconds) {
+		t.Errorf("quantiles out of order: %+v", l)
+	}
+	// Medians of 1..1000ms should land near 500ms (bucketed, so coarse).
+	if l.P50Seconds < 0.2 || l.P50Seconds > 1.0 {
+		t.Errorf("p50 = %gs, want ~0.5s", l.P50Seconds)
+	}
+	if l.MaxSeconds < 0.999 || l.MaxSeconds > 1.001 {
+		t.Errorf("max = %gs, want 1s", l.MaxSeconds)
+	}
+}
+
+func TestEmptyEndpointStats(t *testing.T) {
+	ep := NewRegistry().Endpoint("empty")
+	st := ep.Stats()
+	if st.Count != 0 || st.Latency.P99Seconds != 0 || st.Latency.MaxSeconds != 0 {
+		t.Errorf("empty endpoint stats = %+v, want zeros", st)
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Endpoint("b").End(200, time.Millisecond)
+	reg.Endpoint("a").End(200, time.Millisecond)
+	snap := reg.Snapshot()
+	if len(snap.Endpoints) != 2 {
+		t.Fatalf("endpoints = %d, want 2", len(snap.Endpoints))
+	}
+	if snap.UptimeSeconds < 0 {
+		t.Errorf("uptime = %g", snap.UptimeSeconds)
+	}
+}
+
+// TestConcurrentObserve exercises the lock-free paths under the race
+// detector: many goroutines hammering one endpoint plus concurrent
+// snapshots must be race-free and lose no samples.
+func TestConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	ep := reg.Endpoint("hot")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ep.Begin()
+				ep.End(200, time.Duration(w*per+i)*time.Microsecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	st := ep.Stats()
+	if st.Count != workers*per {
+		t.Errorf("count = %d, want %d", st.Count, workers*per)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight = %d, want 0", st.InFlight)
+	}
+}

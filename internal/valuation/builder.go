@@ -1,6 +1,7 @@
 package valuation
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -18,6 +19,12 @@ import (
 // non-OLS products and modest seller counts; the market engine picks the
 // incremental path automatically when the product is OLS.
 func SellerShapleyBuilder(chunks []*dataset.Dataset, test *dataset.Dataset, b product.Builder, permutations int, truncateTol float64, rng *rand.Rand) ([]float64, error) {
+	return SellerShapleyBuilderCtx(context.Background(), chunks, test, b, permutations, truncateTol, rng)
+}
+
+// SellerShapleyBuilderCtx is SellerShapleyBuilder with cooperative
+// cancellation, checked once per permutation.
+func SellerShapleyBuilderCtx(ctx context.Context, chunks []*dataset.Dataset, test *dataset.Dataset, b product.Builder, permutations int, truncateTol float64, rng *rand.Rand) ([]float64, error) {
 	m := len(chunks)
 	if m == 0 {
 		return nil, errors.New("valuation: no seller chunks")
@@ -51,17 +58,26 @@ func SellerShapleyBuilder(chunks []*dataset.Dataset, test *dataset.Dataset, b pr
 		return rep.Performance
 	}
 	if truncateTol > 0 {
-		return shapley.TruncatedMonteCarlo(m, utility, permutations, truncateTol, rng)
+		return shapley.TruncatedMonteCarloCtx(ctx, m, utility, permutations, truncateTol, rng)
 	}
-	return shapley.MonteCarlo(m, utility, permutations, rng)
+	return shapley.MonteCarloCtx(ctx, m, utility, permutations, rng)
 }
 
 // SellerShapley computes Shapley values with the builder-generic path but a
 // dedicated, faster estimator when the builder is the OLS product. It is the
 // single entry point the market engine calls.
 func SellerShapleyFor(b product.Builder, chunks []*dataset.Dataset, test *dataset.Dataset, permutations int, truncateTol float64, rng *rand.Rand) ([]float64, error) {
+	return SellerShapleyForCtx(context.Background(), b, chunks, test, permutations, truncateTol, rng)
+}
+
+// SellerShapleyForCtx is SellerShapleyFor with cooperative cancellation:
+// ctx is checked between permutations, so a canceled weight update aborts
+// within one permutation's work instead of running minutes to completion.
+// With a background context the results (and the rng stream) are
+// bit-identical to SellerShapleyFor.
+func SellerShapleyForCtx(ctx context.Context, b product.Builder, chunks []*dataset.Dataset, test *dataset.Dataset, permutations int, truncateTol float64, rng *rand.Rand) ([]float64, error) {
 	if _, isOLS := b.(product.OLS); isOLS || b == nil {
-		return SellerShapleyTMC(chunks, test, permutations, truncateTol, rng)
+		return SellerShapleyTMCCtx(ctx, chunks, test, permutations, truncateTol, rng)
 	}
-	return SellerShapleyBuilder(chunks, test, b, permutations, truncateTol, rng)
+	return SellerShapleyBuilderCtx(ctx, chunks, test, b, permutations, truncateTol, rng)
 }

@@ -1,7 +1,9 @@
 package valuation
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -21,6 +23,12 @@ import (
 // the tolerance of the grand coalition's (0 disables truncation);
 // permutations ≤ 0 defaults to the paper's 100.
 func SellerShapleyTMC(chunks []*dataset.Dataset, test *dataset.Dataset, permutations int, truncateTol float64, rng *rand.Rand) ([]float64, error) {
+	return SellerShapleyTMCCtx(context.Background(), chunks, test, permutations, truncateTol, rng)
+}
+
+// SellerShapleyTMCCtx is SellerShapleyTMC with cooperative cancellation,
+// checked once per permutation.
+func SellerShapleyTMCCtx(ctx context.Context, chunks []*dataset.Dataset, test *dataset.Dataset, permutations int, truncateTol float64, rng *rand.Rand) ([]float64, error) {
 	m := len(chunks)
 	if m == 0 {
 		return nil, errors.New("valuation: no seller chunks")
@@ -57,6 +65,9 @@ func SellerShapleyTMC(chunks []*dataset.Dataset, test *dataset.Dataset, permutat
 
 	sv := make([]float64, m)
 	for p := 0; p < permutations; p++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("valuation: canceled after %d/%d permutations: %w", p, permutations, err)
+		}
 		perm := stat.Perm(rng, m)
 		inc.Reset()
 		prev := 0.0

@@ -1,0 +1,83 @@
+#!/usr/bin/env sh
+# serve_smoke.sh — boot share-server, exercise the full service surface
+# (register, quote, trade, metrics, snapshot), then SIGTERM it to verify
+# graceful shutdown and snapshot persistence. Run via `make serve-smoke`.
+set -eu
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+BIN="$WORK/share-server"
+SNAP="$WORK/market.json"
+LOG="$WORK/server.log"
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building share-server"
+go build -o "$BIN" ./cmd/share-server
+
+"$BIN" -addr "$ADDR" -demo 4 -snapshot "$SNAP" >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the server to come up.
+i=0
+until curl -fs "$BASE/v1/health" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: server never became healthy" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "serve-smoke: server healthy"
+
+fail() {
+    echo "serve-smoke: $1" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+# Quote, trade, read-backs.
+curl -fs "$BASE/v1/quote" -d '{"n":120,"v":0.8}' | grep -q product_price \
+    || fail "quote failed"
+curl -fs "$BASE/v1/trades" -d '{"n":120,"v":0.8}' | grep -q '"round": *1' \
+    || fail "trade failed"
+curl -fs "$BASE/v1/weights" >/dev/null || fail "weights failed"
+curl -fs "$BASE/v1/sellers" >/dev/null || fail "sellers failed"
+
+# Error paths: invalid demand is a field-level 400, never a 5xx.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/quote" -d '{"n":120,"v":0.8,"theta1":7}')
+[ "$code" = "400" ] || fail "invalid theta1 returned $code, want 400"
+
+# Metrics report the traffic just generated.
+curl -fs "$BASE/v1/metrics" | grep -q '"POST /v1/trades"' || fail "metrics missing trade endpoint"
+
+# Graceful shutdown on SIGTERM persists the snapshot and exits 0.
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    fail "server exited non-zero on SIGTERM"
+fi
+PID=""
+[ -s "$SNAP" ] || fail "no snapshot written on shutdown"
+grep -q '"ledger"' "$SNAP" || fail "snapshot missing ledger"
+
+# Reboot from the snapshot: the ledger must survive the restart.
+"$BIN" -addr "$ADDR" -snapshot "$SNAP" >"$LOG" 2>&1 &
+PID=$!
+i=0
+until curl -fs "$BASE/v1/health" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "restarted server never became healthy"
+    sleep 0.1
+done
+curl -fs "$BASE/v1/trades" | grep -q '"round": *1' || fail "ledger lost across restart"
+kill -TERM "$PID"
+wait "$PID" || fail "restarted server exited non-zero on SIGTERM"
+PID=""
+
+echo "serve-smoke: OK (quote, trade, metrics, graceful shutdown, snapshot restore)"
