@@ -16,11 +16,14 @@ test:
 	$(GO) test ./...
 
 # Race-detector run, vet first: the concurrency in internal/parallel and the
-# sweep harnesses must stay clean under both. The serve-smoke end-to-end
-# pass rides along so the gate also exercises the live server lifecycle
-# (boot, trade, metrics, SIGTERM drain, snapshot restore).
+# sweep harnesses must stay clean under both. The explicit equivalence pass
+# pins the moment-cached Shapley kernel to the seed-path estimator under the
+# race detector, and the serve-smoke end-to-end pass rides along so the gate
+# also exercises the live server lifecycle (boot, trade, metrics, SIGTERM
+# drain, snapshot restore).
 race: vet
 	$(GO) test -race ./...
+	$(GO) test -race -run 'TestKernelEquivalence|TestRunRoundShapleyIdenticalAcrossWorkers' -count=1 ./internal/valuation ./internal/market
 	$(MAKE) serve-smoke
 
 # Boot share-server, run a register/quote/trade/metrics sequence over HTTP,
@@ -28,8 +31,12 @@ race: vet
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# Go benchmarks (valuation kernel, trade rounds, solver) plus the
+# machine-readable BENCH_PR3.json report: moment-cached Shapley kernel vs the
+# seed-era row-streaming estimator, isolated and end-to-end.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/share-bench -fig none -out . -bench-pr3
 
 # Regenerate every evaluation figure (full scale, ~30 s) into bench_out_full/,
 # plus BENCH.json with the solver/sweep performance probes.

@@ -24,6 +24,10 @@
 // change wall-clock. -bench additionally runs the performance probes and
 // writes BENCH.json (ns/op, allocs/op and headline speedups for the cached
 // solver, the parallel sweep engine and the Jacobi Nash sweep).
+// -bench-pr3 runs the valuation-kernel probes and writes BENCH_PR3.json
+// (moment-cached Shapley kernel vs the seed-era row-streaming estimator,
+// isolated and end-to-end through a trade round); combine with -fig none to
+// skip figure regeneration.
 package main
 
 import (
@@ -56,6 +60,7 @@ func main() {
 		report  = flag.Bool("report", false, "also write REPORT.md embedding every figure as an ASCII chart")
 		workers = flag.Int("workers", 0, "sweep fan-out width (0 = GOMAXPROCS, 1 = sequential; output is identical)")
 		bench   = flag.Bool("bench", false, "run performance probes and write BENCH.json")
+		bench3  = flag.Bool("bench-pr3", false, "run valuation-kernel probes and write BENCH_PR3.json")
 	)
 	flag.Parse()
 
@@ -68,6 +73,11 @@ func main() {
 	}
 	if *bench {
 		if err := writeBenchJSON(*outDir, *workers, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *bench3 {
+		if err := writeBenchPR3(*outDir, *workers, *seed); err != nil {
 			log.Fatal(err)
 		}
 	}

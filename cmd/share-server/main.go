@@ -8,6 +8,15 @@
 //
 //	share-server [-addr :8080] [-seed N] [-demo M] [-snapshot market.json]
 //	             [-max-body BYTES] [-trade-timeout D] [-drain D]
+//	             [-workers N] [-pprof ADDR]
+//
+// -workers fans each trade's Shapley valuation across N workers (0 = one
+// worker; results are identical for every value). -pprof serves the Go
+// net/http/pprof profiling endpoints on a side listener, kept off the main
+// address so profiling can stay firewalled:
+//
+//	share-server -demo 10 -workers 8 -pprof localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //
 // With -demo M the server pre-registers M synthetic sellers so the market is
 // immediately tradable:
@@ -33,6 +42,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,14 +64,28 @@ func main() {
 		maxBody      = flag.Int64("max-body", 0, "request body cap in bytes (0 = 8 MiB default)")
 		tradeTimeout = flag.Duration("trade-timeout", 0, "server-side deadline per trading round (0 = none)")
 		drain        = flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain window for in-flight requests")
+		workers      = flag.Int("workers", 0, "Shapley valuation worker pool per trade (0 or 1 = one worker; results are identical for every value)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The pprof handlers register themselves on http.DefaultServeMux at
+		// import; the side listener keeps them off the public API address.
+		go func() {
+			log.Printf("pprof listening on %s (/debug/pprof/)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	srv := httpapi.NewServer(httpapi.Options{
 		Seed:         *seed,
 		Logf:         log.Printf,
 		MaxBodyBytes: *maxBody,
 		TradeTimeout: *tradeTimeout,
+		Workers:      *workers,
 	})
 	handler := srv.Handler()
 

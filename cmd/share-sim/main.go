@@ -17,9 +17,9 @@
 //	-snapshot PATH  save the market snapshot JSON on exit
 //	-seed int       random seed
 //	-workers int    fan the Shapley weight update across n workers (>1).
-//	                Output is independent of the worker count; note the
-//	                parallel estimator draws its own per-round permutation
-//	                stream, so results differ from the sequential (≤1) one's
+//	                Purely a latency knob: the moment-cached kernel seeds
+//	                each permutation independently, so output is identical
+//	                for every worker count (including the default of one)
 package main
 
 import (

@@ -64,6 +64,7 @@ type Server struct {
 
 	logf         func(format string, args ...any)
 	metrics      *obs.Registry
+	valuation    *obs.Endpoint // Shapley weight-update latency per trade
 	maxBody      int64
 	tradeTimeout time.Duration
 	reqSeq       atomic.Uint64
@@ -85,6 +86,10 @@ type Options struct {
 	// Update enables Shapley weight updates (nil → the paper's
 	// ω' = 0.2ω + 0.8·SV with 20 permutations).
 	Update *market.WeightUpdate
+	// Workers caps the Shapley valuation worker pool per trade (0 keeps
+	// the Update's own setting). The moment-cached kernel's output is
+	// identical for every worker count, so this is purely a latency knob.
+	Workers int
 	// Seed seeds the server's market randomness.
 	Seed int64
 	// Logf receives request-level log lines (nil → log.Printf).
@@ -111,6 +116,11 @@ func NewServer(opt Options) *Server {
 	if upd == nil {
 		upd = &market.WeightUpdate{Retain: 0.2, Permutations: 20, TruncateTol: 0.005}
 	}
+	if opt.Workers != 0 {
+		u := *upd // don't mutate the caller's struct
+		u.Workers = opt.Workers
+		upd = &u
+	}
 	logf := opt.Logf
 	if logf == nil {
 		logf = log.Printf
@@ -132,6 +142,10 @@ func NewServer(opt Options) *Server {
 		maxBody:      maxBody,
 		tradeTimeout: opt.TradeTimeout,
 	}
+	// Standalone latency series (no request counters): how long the Shapley
+	// valuation phase of each trade took. Surfaces in /v1/metrics alongside
+	// the endpoint stats.
+	s.valuation = s.metrics.Endpoint("trade/valuation")
 	// The empty market still has a well-defined view.
 	s.view.Store(&marketView{weights: core.UniformWeights(1)})
 	return s
@@ -522,6 +536,9 @@ func (s *Server) handleTrade(w http.ResponseWriter, r *http.Request) {
 	if err := s.publishView(); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
+	}
+	if tx.Timings.WeightUpdate > 0 {
+		s.valuation.Observe(tx.Timings.WeightUpdate)
 	}
 	s.logf("httpapi: trade %d executed (p^M=%g, p^D=%g, EV=%.4f)",
 		tx.Round, tx.Profile.PM, tx.Profile.PD, tx.Metrics.Performance)

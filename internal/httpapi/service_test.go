@@ -184,3 +184,41 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("seller registration metrics = %+v, want count 2", reg)
 	}
 }
+
+// TestValuationLatencyMetric: every trade with a weight update must record a
+// sample in the standalone "trade/valuation" latency series, and the Workers
+// option must not change the trade's outcome (the kernel is deterministic in
+// the worker count).
+func TestValuationLatencyMetric(t *testing.T) {
+	srv := NewServer(Options{Seed: 1, Logf: func(string, ...any) {}, Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	registerSynthetic(t, ts.URL, 3)
+
+	resp, body := postJSON(t, ts.URL+"/v1/trades", Demand{N: 90, V: 0.8})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("trade status = %d (%s)", resp.StatusCode, body)
+	}
+
+	var snap struct {
+		Endpoints map[string]struct {
+			Count   uint64 `json:"count"`
+			Latency struct {
+				P50 float64 `json:"p50_seconds"`
+				Max float64 `json:"max_seconds"`
+			} `json:"latency"`
+		} `json:"endpoints"`
+	}
+	getJSON(t, ts.URL+"/v1/metrics", &snap)
+	val, ok := snap.Endpoints["trade/valuation"]
+	if !ok {
+		t.Fatalf("metrics missing trade/valuation: %v", snap.Endpoints)
+	}
+	if !(val.Latency.Max > 0) {
+		t.Errorf("valuation latency not recorded: %+v", val.Latency)
+	}
+	// No HTTP requests hit this label — only Observe samples.
+	if val.Count != 0 {
+		t.Errorf("trade/valuation request count = %d, want 0", val.Count)
+	}
+}

@@ -19,8 +19,27 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", a.Rows, a.Cols)
 	}
+	l := NewMatrix(a.Rows, a.Cols)
+	if err := CholeskyInto(a, l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// CholeskyInto factors a into the caller-provided matrix l, writing the
+// lower-triangular factor in place. Only the lower triangles of a and l are
+// touched, so l can be reused across calls without clearing. This is the
+// allocation-free core of Cholesky for hot loops that refit many small
+// systems (the Shapley valuation kernel solves O(m·permutations) of them per
+// trade round).
+func CholeskyInto(a, l *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if l.Rows != a.Rows || l.Cols != a.Cols {
+		return fmt.Errorf("linalg: CholeskyInto factor is %dx%d, want %dx%d", l.Rows, l.Cols, a.Rows, a.Cols)
+	}
 	n := a.Rows
-	l := NewMatrix(n, n)
 	for j := 0; j < n; j++ {
 		d := a.At(j, j)
 		for k := 0; k < j; k++ {
@@ -28,7 +47,7 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 			d -= ljk * ljk
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
+			return ErrNotPositiveDefinite
 		}
 		d = math.Sqrt(d)
 		l.Set(j, j, d)
@@ -40,16 +59,25 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 			l.Set(i, j, s/d)
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // SolveLower solves L·x = b for lower-triangular L by forward substitution.
 func SolveLower(l *Matrix, b []float64) ([]float64, error) {
-	n := l.Rows
-	if len(b) != n {
-		return nil, fmt.Errorf("linalg: SolveLower dimension mismatch: %d vs %d", n, len(b))
+	x := make([]float64, l.Rows)
+	if err := SolveLowerInto(l, b, x); err != nil {
+		return nil, err
 	}
-	x := make([]float64, n)
+	return x, nil
+}
+
+// SolveLowerInto solves L·x = b by forward substitution into the
+// caller-provided x (which may not alias b).
+func SolveLowerInto(l *Matrix, b, x []float64) error {
+	n := l.Rows
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: SolveLower dimension mismatch: %d vs %d, %d", n, len(b), len(x))
+	}
 	for i := 0; i < n; i++ {
 		s := b[i]
 		row := l.Row(i)
@@ -57,11 +85,33 @@ func SolveLower(l *Matrix, b []float64) ([]float64, error) {
 			s -= row[j] * x[j]
 		}
 		if row[i] == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		x[i] = s / row[i]
 	}
-	return x, nil
+	return nil
+}
+
+// SolveLowerTInto solves Lᵀ·x = b by back substitution into the
+// caller-provided x, reading the lower-triangular factor directly — the
+// allocation-free equivalent of SolveUpper(l.T(), b). x may not alias b.
+func SolveLowerTInto(l *Matrix, b, x []float64) error {
+	n := l.Rows
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: SolveLowerT dimension mismatch: %d vs %d, %d", n, len(b), len(x))
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= l.At(j, i) * x[j]
+		}
+		d := l.At(i, i)
+		if d == 0 {
+			return ErrSingular
+		}
+		x[i] = s / d
+	}
+	return nil
 }
 
 // SolveUpper solves U·x = b for upper-triangular U by back substitution.
@@ -95,7 +145,11 @@ func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return SolveUpper(l.T(), y)
+	x := make([]float64, l.Rows)
+	if err := SolveLowerTInto(l, y, x); err != nil {
+		return nil, err
+	}
+	return x, nil
 }
 
 // QR holds the compact Householder QR factorization of an m×n matrix with

@@ -46,10 +46,19 @@ type WeightUpdate struct {
 	Permutations int
 	// TruncateTol enables truncated Monte Carlo when positive.
 	TruncateTol float64
-	// Workers fans the permutations out across a worker pool when > 1
-	// (0 or 1 = sequential). Only the OLS product supports the parallel
-	// path; other builders fall back to sequential.
+	// Workers fans the Shapley permutations out across a worker pool when
+	// > 1 (0 or 1 = single-threaded). The moment-cached kernel seeds each
+	// permutation independently, so the computed Shapley values — and
+	// therefore the weight trajectory — are identical for every Workers
+	// value; only wall-clock changes.
 	Workers int
+	// Legacy forces the seed-era row-streaming estimator: every
+	// permutation re-ingests each chunk row by row and re-scores against
+	// the full test set, single-threaded, drawing permutations from the
+	// market's private rng stream. It exists as the benchmark baseline for
+	// the moment-cached kernel and for A/B regression runs; production
+	// should leave it false.
+	Legacy bool
 }
 
 // Config assembles the market's fixed machinery.
@@ -246,8 +255,45 @@ func (m *Market) SetWeights(w []float64) error {
 	return nil
 }
 
-// Ledger returns the recorded transactions in order.
-func (m *Market) Ledger() []*Transaction { return m.ledger }
+// Ledger returns the recorded transactions in order. Every entry is a deep
+// copy: mutating the returned slice, a transaction, or any of its nested
+// slices cannot corrupt the committed ledger.
+func (m *Market) Ledger() []*Transaction {
+	out := make([]*Transaction, len(m.ledger))
+	for i, tx := range m.ledger {
+		out[i] = tx.Clone()
+	}
+	return out
+}
+
+// Clone returns a deep copy of the transaction: nested slices and the
+// equilibrium profile are duplicated, so the copy shares no mutable state
+// with the original.
+func (tx *Transaction) Clone() *Transaction {
+	if tx == nil {
+		return nil
+	}
+	cp := *tx
+	if tx.Profile != nil {
+		p := *tx.Profile
+		p.Tau = append([]float64(nil), tx.Profile.Tau...)
+		p.Chi = append([]float64(nil), tx.Profile.Chi...)
+		p.SellerProfits = append([]float64(nil), tx.Profile.SellerProfits...)
+		cp.Profile = &p
+	}
+	cp.Pieces = append([]int(nil), tx.Pieces...)
+	cp.Epsilons = append([]float64(nil), tx.Epsilons...)
+	cp.Compensations = append([]float64(nil), tx.Compensations...)
+	cp.Shapley = append([]float64(nil), tx.Shapley...)
+	cp.Weights = append([]float64(nil), tx.Weights...)
+	if tx.Metrics.Detail != nil {
+		cp.Metrics.Detail = make(map[string]float64, len(tx.Metrics.Detail))
+		for k, v := range tx.Metrics.Detail {
+			cp.Metrics.Detail[k] = v
+		}
+	}
+	return &cp
+}
 
 // CostObservations returns the (N, v, cost) records accumulated across
 // rounds — the raw material for refitting the broker's translog parameters
@@ -365,13 +411,31 @@ func (m *Market) RunRoundContext(ctx context.Context, buyer core.Buyer, builder 
 			return nil, fmt.Errorf("market: round canceled before weight update: %w", err)
 		}
 		t0 = time.Now()
+		// Estimator dispatch: OLS products go through the moment-cached
+		// kernel (per-chunk Gram statistics + fused test-set evaluation,
+		// fanned across Workers); opaque builders retrain per prefix but
+		// still fan out when Workers > 1. Both seeded paths derive the
+		// permutation stream from the round index, so Shapley values are
+		// identical for every Workers setting. Legacy pins the seed-era
+		// row-streaming estimator for benchmarking and A/B runs.
 		var sv []float64
 		var err error
-		if _, isOLS := builder.(product.OLS); m.update.Workers > 1 && isOLS {
-			sv, err = valuation.SellerShapleyParallel(chunks, m.testSet,
-				m.update.Permutations, m.update.TruncateTol,
-				int64(tx.Round)*1_000_003, m.update.Workers)
-		} else {
+		_, isOLS := builder.(product.OLS)
+		workers := m.update.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		seed := int64(tx.Round) * 1_000_003
+		switch {
+		case m.update.Legacy:
+			sv, err = valuation.SellerShapleyForCtx(ctx, builder, chunks, m.testSet, m.update.Permutations, m.update.TruncateTol, m.rng)
+		case isOLS:
+			sv, err = valuation.SellerShapleyKernelCtx(ctx, chunks, m.testSet,
+				m.update.Permutations, m.update.TruncateTol, seed, workers)
+		case workers > 1:
+			sv, err = valuation.SellerShapleyBuilderParallelCtx(ctx, chunks, m.testSet, builder,
+				m.update.Permutations, m.update.TruncateTol, seed, workers)
+		default:
 			sv, err = valuation.SellerShapleyForCtx(ctx, builder, chunks, m.testSet, m.update.Permutations, m.update.TruncateTol, m.rng)
 		}
 		if err != nil {

@@ -1,6 +1,8 @@
 package regress
 
 import (
+	"fmt"
+
 	"share/internal/dataset"
 	"share/internal/linalg"
 )
@@ -72,25 +74,77 @@ func (inc *Incremental) Reset() {
 // Solve returns the OLS model for the absorbed rows. With fewer rows than
 // parameters the normal equations are singular; a small ridge keeps the
 // solve defined so Shapley prefix scans work from the first row.
+//
+// Each call allocates a fresh workspace and model; hot loops that refit the
+// same accumulator shape thousands of times should hold a Solver instead.
 func (inc *Incremental) Solve() (*Model, error) {
-	if inc.n == 0 {
-		return nil, ErrEmptyTrainingSet
-	}
-	g := inc.gram.Clone()
-	var trace float64
-	for i := 0; i <= inc.k; i++ {
-		trace += g.At(i, i)
-	}
-	ridge := 1e-10 * trace / float64(inc.k+1)
-	if ridge <= 0 {
-		ridge = 1e-12
-	}
-	for i := 0; i <= inc.k; i++ {
-		g.Set(i, i, g.At(i, i)+ridge)
-	}
-	beta, err := linalg.SolveSPD(g, inc.xty)
+	mdl, err := NewSolver(inc.k).Solve(inc)
 	if err != nil {
 		return nil, err
 	}
-	return &Model{Intercept: beta[0], Coef: beta[1:]}, nil
+	out := &Model{Intercept: mdl.Intercept, Coef: append([]float64(nil), mdl.Coef...)}
+	return out, nil
+}
+
+// Solver is a reusable workspace for repeated Incremental solves. The
+// moment-cached Shapley kernel refits O(m·permutations) models per trade
+// round; solving into preallocated scratch removes every per-refit heap
+// allocation (gram copy, Cholesky factor, substitution vectors, model).
+// A Solver is not safe for concurrent use — give each worker its own.
+type Solver struct {
+	k     int
+	g     *linalg.Matrix // ridge-damped copy of the accumulator's gram
+	l     *linalg.Matrix // Cholesky factor
+	y     []float64      // forward-substitution intermediate
+	beta  []float64      // solution (intercept first)
+	model Model
+}
+
+// NewSolver creates a workspace for k-feature accumulators.
+func NewSolver(k int) *Solver {
+	n := k + 1
+	return &Solver{
+		k:    k,
+		g:    linalg.NewMatrix(n, n),
+		l:    linalg.NewMatrix(n, n),
+		y:    make([]float64, n),
+		beta: make([]float64, n),
+	}
+}
+
+// Solve refits the accumulator's ridge-damped normal equations in the
+// workspace. The returned model aliases the workspace and is only valid
+// until the next Solve call — callers that retain it must copy. The math is
+// identical to Incremental.Solve: same ridge, same factorization order.
+func (s *Solver) Solve(inc *Incremental) (*Model, error) {
+	if inc.k != s.k {
+		return nil, fmt.Errorf("regress: solving %d-feature accumulator with %d-feature workspace", inc.k, s.k)
+	}
+	if inc.n == 0 {
+		return nil, ErrEmptyTrainingSet
+	}
+	copy(s.g.Data, inc.gram.Data)
+	var trace float64
+	for i := 0; i <= s.k; i++ {
+		trace += s.g.At(i, i)
+	}
+	ridge := 1e-10 * trace / float64(s.k+1)
+	if ridge <= 0 {
+		ridge = 1e-12
+	}
+	for i := 0; i <= s.k; i++ {
+		s.g.Set(i, i, s.g.At(i, i)+ridge)
+	}
+	if err := linalg.CholeskyInto(s.g, s.l); err != nil {
+		return nil, err
+	}
+	if err := linalg.SolveLowerInto(s.l, inc.xty, s.y); err != nil {
+		return nil, err
+	}
+	if err := linalg.SolveLowerTInto(s.l, s.y, s.beta); err != nil {
+		return nil, err
+	}
+	s.model.Intercept = s.beta[0]
+	s.model.Coef = s.beta[1:]
+	return &s.model, nil
 }

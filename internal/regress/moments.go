@@ -1,0 +1,190 @@
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"share/internal/dataset"
+	"share/internal/linalg"
+)
+
+// Moments holds a dataset's OLS sufficient statistics over the augmented
+// design (1, x...): the Gram matrix XᵀX, the moment vector Xᵀy, and the row
+// count. Computed once per seller chunk, it turns a Shapley coalition-prefix
+// extension from an O(rows·k²) row-by-row re-ingest into an O(k²) merge —
+// the core of the moment-cached valuation kernel.
+type Moments struct {
+	k    int
+	n    int
+	gram *linalg.Matrix
+	xty  []float64
+}
+
+// DatasetMoments computes the sufficient statistics of d for k-feature
+// rows. An empty dataset yields zero moments (merging them is a no-op), so
+// zero-allocation sellers flow through the kernel unchanged.
+func DatasetMoments(d *dataset.Dataset, k int) *Moments {
+	inc := NewIncremental(k)
+	if d != nil {
+		inc.AddDataset(d)
+	}
+	return inc.Moments()
+}
+
+// Moments snapshots the accumulator's current sufficient statistics.
+func (inc *Incremental) Moments() *Moments {
+	return &Moments{
+		k:    inc.k,
+		n:    inc.n,
+		gram: inc.gram.Clone(),
+		xty:  append([]float64(nil), inc.xty...),
+	}
+}
+
+// N returns the number of rows the moments summarize.
+func (mo *Moments) N() int { return mo.n }
+
+// K returns the feature count (excluding intercept).
+func (mo *Moments) K() int { return mo.k }
+
+// AddMoments merges a precomputed chunk into the accumulator in O(k²),
+// equivalent (up to floating-point association order) to AddDataset over the
+// chunk's rows. It panics on a feature-count mismatch — mixing designs is a
+// programming error, matching the linalg dimension conventions.
+func (inc *Incremental) AddMoments(mo *Moments) {
+	if mo.k != inc.k {
+		panic(fmt.Sprintf("regress: merging %d-feature moments into %d-feature accumulator", mo.k, inc.k))
+	}
+	if mo.n == 0 {
+		return
+	}
+	for i, v := range mo.gram.Data {
+		inc.gram.Data[i] += v
+	}
+	for i, v := range mo.xty {
+		inc.xty[i] += v
+	}
+	inc.n += mo.n
+}
+
+// EvalMoments caches a test set's sufficient statistics so a fitted model
+// can be scored in O(k²) instead of streaming every test row: with centered
+// Gram G = Σ(x−μ)(x−μ)ᵀ, cross-moments b = Σ(x−μ)(y−ȳ) and total variation
+// S_yy = Σ(y−ȳ)², the residual statistics of any model θ follow in closed
+// form (DESIGN.md §9). The centered formulation is the numerically stable
+// equivalent of the raw identity Σerr² = θᵀAθ − 2bᵀθ + yᵀy: raw second
+// moments of CCPP-scale targets (y ≈ 450) would cancel ~3 digits against the
+// residual sum; centering keeps every term at residual scale.
+type EvalMoments struct {
+	k     int
+	n     float64
+	mean  []float64 // feature column means μ
+	meanY float64   // target mean ȳ
+	gram  *linalg.Matrix
+	xty   []float64
+	syy   float64
+}
+
+// NewEvalMoments computes the centered test-set moments in two passes
+// (means first, then centered accumulation).
+func NewEvalMoments(test *dataset.Dataset) (*EvalMoments, error) {
+	if test == nil || test.Len() == 0 {
+		return nil, errors.New("regress: empty test set")
+	}
+	k := test.NumFeatures()
+	em := &EvalMoments{
+		k:    k,
+		n:    float64(test.Len()),
+		mean: make([]float64, k),
+		gram: linalg.NewMatrix(k, k),
+		xty:  make([]float64, k),
+	}
+	for i, row := range test.X {
+		for j, v := range row {
+			em.mean[j] += v
+		}
+		em.meanY += test.Y[i]
+	}
+	for j := range em.mean {
+		em.mean[j] /= em.n
+	}
+	em.meanY /= em.n
+	c := make([]float64, k)
+	for i, row := range test.X {
+		for j, v := range row {
+			c[j] = v - em.mean[j]
+		}
+		dy := test.Y[i] - em.meanY
+		em.syy += dy * dy
+		for a := 0; a < k; a++ {
+			ca := c[a]
+			em.xty[a] += ca * dy
+			if ca == 0 {
+				continue
+			}
+			grow := em.gram.Row(a)
+			for b := a; b < k; b++ {
+				grow[b] += ca * c[b]
+			}
+		}
+	}
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			em.gram.Set(b, a, em.gram.At(a, b))
+		}
+	}
+	return em, nil
+}
+
+// residualStats returns Σ(err − meanErr)² (the centered residual sum) and
+// the mean error for model m; both in O(k²).
+func (em *EvalMoments) residualStats(m *Model) (centeredSS, meanErr float64) {
+	// err_i = (y_i − ȳ) − cᵀ(x_i − μ) − δ with δ = intercept + cᵀμ − ȳ.
+	// Centered sums of (x−μ) and (y−ȳ) vanish, so
+	// Σ(err − meanErr)² = S_yy − 2cᵀb + cᵀGc and meanErr = −δ.
+	var quad, cross, delta float64
+	for a, ca := range m.Coef {
+		cross += ca * em.xty[a]
+		delta += ca * em.mean[a]
+		row := em.gram.Row(a)
+		var s float64
+		for b, cb := range m.Coef {
+			s += row[b] * cb
+		}
+		quad += ca * s
+	}
+	centeredSS = em.syy - 2*cross + quad
+	if centeredSS < 0 {
+		centeredSS = 0 // tiny negative from rounding on near-perfect fits
+	}
+	return centeredSS, -(m.Intercept + delta - em.meanY)
+}
+
+// MSE returns the model's mean squared error on the cached test set.
+func (em *EvalMoments) MSE(m *Model) float64 {
+	ss, meanErr := em.residualStats(m)
+	return ss/em.n + meanErr*meanErr
+}
+
+// ExplainedVariance returns 1 − Var(y−ŷ)/Var(y) on the cached test set,
+// matching Evaluate's conventions: 0 for a constant-target test set and 0
+// for non-finite results (so Shapley prefix scans treat unscorable models as
+// worthless rather than erroring).
+func (em *EvalMoments) ExplainedVariance(m *Model) float64 {
+	if em.syy <= 0 {
+		return 0
+	}
+	ss, _ := em.residualStats(m)
+	ev := 1 - ss/em.syy
+	if math.IsNaN(ev) || math.IsInf(ev, 0) {
+		return 0
+	}
+	return ev
+}
+
+// N returns the number of cached test rows.
+func (em *EvalMoments) N() int { return int(em.n) }
+
+// K returns the feature count the moments were built for.
+func (em *EvalMoments) K() int { return em.k }

@@ -1,0 +1,180 @@
+package valuation
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"share/internal/dataset"
+	"share/internal/product"
+	"share/internal/stat"
+)
+
+// kernelFixture builds a CCPP-backed chunk set: realistic feature scales so
+// the moment-vs-row-streaming comparison exercises genuine cancellation.
+func kernelFixture(t *testing.T, m, rowsPerChunk, testRows int, seed int64) ([]*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	rng := stat.NewRand(seed)
+	train := dataset.SyntheticCCPP(m*rowsPerChunk, rng)
+	test := dataset.SyntheticCCPP(testRows, rng)
+	chunks, err := dataset.PartitionEqual(train, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chunks, test
+}
+
+// TestKernelEquivalence is the cross-estimator agreement gate: the seed-era
+// row-streaming estimator (SellerShapleyTMC), the moment-cached kernel on
+// the same permutation stream, and the parallel kernel across worker counts
+// must agree — the first two to ≤1e-9 per seller, the parallel path
+// bit-identically across workers — with and without truncation.
+func TestKernelEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tol  float64
+	}{
+		{"plain", 0},
+		{"truncated", 0.01},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			chunks, test := kernelFixture(t, 12, 30, 300, 21)
+			const perms = 50
+
+			seedPath, err := SellerShapleyTMC(chunks, test, perms, tc.tol, stat.NewRand(9))
+			if err != nil {
+				t.Fatalf("seed-path estimator: %v", err)
+			}
+			moment, err := SellerShapleyMoments(chunks, test, perms, tc.tol, stat.NewRand(9))
+			if err != nil {
+				t.Fatalf("moment kernel: %v", err)
+			}
+			for i := range seedPath {
+				if d := math.Abs(seedPath[i] - moment[i]); d > 1e-9 {
+					t.Errorf("seller %d: seed path %v vs moment kernel %v (Δ=%g)", i, seedPath[i], moment[i], d)
+				}
+			}
+
+			var first []float64
+			for _, workers := range []int{1, 2, 8} {
+				sv, err := SellerShapleyKernelCtx(context.Background(), chunks, test, perms, tc.tol, 9, workers)
+				if err != nil {
+					t.Fatalf("kernel workers=%d: %v", workers, err)
+				}
+				if first == nil {
+					first = sv
+					continue
+				}
+				for i := range sv {
+					if sv[i] != first[i] {
+						t.Errorf("workers changed result at seller %d: %v vs %v", i, sv[i], first[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMomentKernelMatchesSeedPathUnderTruncation drives a fixture where
+// truncation genuinely fires (one dominant clean chunk) and checks the two
+// serial estimators still walk the same truncation decisions.
+func TestMomentKernelMatchesSeedPathUnderTruncation(t *testing.T) {
+	clean, test := cleanAndNoisy(40, 0, 31)
+	noisy, _ := cleanAndNoisy(0, 80, 32)
+	parts, err := dataset.PartitionEqual(noisy, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := append([]*dataset.Dataset{clean}, parts...)
+	seedPath, err := SellerShapleyTMC(chunks, test, 40, 0.02, stat.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moment, err := SellerShapleyMoments(chunks, test, 40, 0.02, stat.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seedPath {
+		if d := math.Abs(seedPath[i] - moment[i]); d > 1e-9 {
+			t.Errorf("seller %d: %v vs %v under truncation (Δ=%g)", i, seedPath[i], moment[i], d)
+		}
+	}
+	if moment[0] <= moment[1] || moment[0] <= moment[2] {
+		t.Errorf("clean chunk not ranked first: %v", moment)
+	}
+}
+
+func TestKernelCancellation(t *testing.T) {
+	chunks, test := kernelFixture(t, 8, 20, 100, 22)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SellerShapleyKernelCtx(ctx, chunks, test, 200, 0, 1, 4); err == nil {
+		t.Error("canceled kernel returned no error")
+	}
+	if _, err := SellerShapleyMomentsCtx(ctx, chunks, test, 200, 0, stat.NewRand(1)); err == nil {
+		t.Error("canceled serial kernel returned no error")
+	}
+	if _, err := SellerShapleyBuilderParallelCtx(ctx, chunks, test, product.OLS{}, 200, 0, 1, 4); err == nil {
+		t.Error("canceled parallel builder estimator returned no error")
+	}
+}
+
+func TestKernelValidation(t *testing.T) {
+	chunks, test := kernelFixture(t, 4, 10, 50, 23)
+	if _, err := SellerShapleyKernelCtx(context.Background(), nil, test, 10, 0, 1, 2); err == nil {
+		t.Error("accepted no chunks")
+	}
+	if _, err := SellerShapleyKernelCtx(context.Background(), chunks, &dataset.Dataset{}, 10, 0, 1, 2); err == nil {
+		t.Error("accepted empty test set")
+	}
+	if _, err := SellerShapleyKernelCtx(context.Background(), []*dataset.Dataset{{}, {}}, test, 10, 0, 1, 2); err == nil {
+		t.Error("accepted all-empty chunks")
+	}
+	if _, err := SellerShapleyMomentsCtx(context.Background(), chunks, test, 10, 0, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+	if _, err := SellerShapleyBuilderParallelCtx(context.Background(), chunks, test, nil, 10, 0, 1, 2); err == nil {
+		t.Error("accepted nil builder")
+	}
+}
+
+// TestBuilderParallelDeterministicAcrossWorkers pins the builder-generic
+// parallel path to the repo determinism convention.
+func TestBuilderParallelDeterministicAcrossWorkers(t *testing.T) {
+	chunks, test := kernelFixture(t, 6, 15, 80, 24)
+	var first []float64
+	for _, workers := range []int{1, 2, 8} {
+		sv, err := SellerShapleyBuilderParallelCtx(context.Background(), chunks, test, product.MeanVector{}, 20, 0, 7, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if first == nil {
+			first = sv
+			continue
+		}
+		for i := range sv {
+			if sv[i] != first[i] {
+				t.Errorf("workers=%d changed result at %d: %v vs %v", workers, i, sv[i], first[i])
+			}
+		}
+	}
+}
+
+// TestBuilderParallelMatchesSerialEstimate: same estimator family, different
+// permutation streams — statistical agreement on a well-separated fixture.
+func TestBuilderParallelMatchesSerialEstimate(t *testing.T) {
+	chunks, test := kernelFixture(t, 5, 20, 100, 25)
+	par, err := SellerShapleyBuilderParallelCtx(context.Background(), chunks, test, product.OLS{}, 400, 0, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := SellerShapleyBuilder(chunks, test, product.OLS{}, 400, 0, stat.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par {
+		if math.Abs(par[i]-seq[i]) > 0.1 {
+			t.Errorf("seller %d: parallel %v vs serial %v", i, par[i], seq[i])
+		}
+	}
+}

@@ -1,13 +1,9 @@
 package valuation
 
 import (
-	"errors"
-	"math"
+	"context"
 
 	"share/internal/dataset"
-	"share/internal/parallel"
-	"share/internal/regress"
-	"share/internal/stat"
 )
 
 // SellerShapleyParallel is SellerShapleyTMC with the permutations fanned out
@@ -15,84 +11,13 @@ import (
 // each permutation scan is independent and the estimator just averages them
 // — so the speedup is near-linear until memory bandwidth saturates.
 //
+// Since the moment-cached kernel landed it is a thin wrapper over
+// SellerShapleyKernelCtx: per-chunk Gram statistics and the fused test-set
+// evaluation make each permutation step O(k²)+O(k³) on top of the fan-out.
+//
 // Determinism: results depend only on (seed, permutations), not on worker
 // count or scheduling, because each permutation gets its own rand.Rand
 // seeded as seed+perm-index. workers ≤ 0 uses GOMAXPROCS.
 func SellerShapleyParallel(chunks []*dataset.Dataset, test *dataset.Dataset, permutations int, truncateTol float64, seed int64, workers int) ([]float64, error) {
-	m := len(chunks)
-	if m == 0 {
-		return nil, errors.New("valuation: no seller chunks")
-	}
-	if test.Len() == 0 {
-		return nil, errors.New("valuation: empty test set")
-	}
-	if permutations <= 0 {
-		permutations = 100
-	}
-	workers = parallel.Resolve(workers, permutations)
-	k := 0
-	for _, c := range chunks {
-		if c.Len() > 0 {
-			k = c.NumFeatures()
-			break
-		}
-	}
-	if k == 0 {
-		return nil, errors.New("valuation: all seller chunks are empty")
-	}
-
-	// Grand-coalition utility for truncation, computed once up front.
-	var grand float64
-	if truncateTol > 0 {
-		inc := regress.NewIncremental(k)
-		for _, c := range chunks {
-			inc.AddDataset(c)
-		}
-		grand = evalModel(inc, test)
-	}
-
-	// Each permutation writes into its own row of one pre-zeroed arena (one
-	// allocation for the whole run instead of one marginal vector per
-	// permutation); the final reduction runs in permutation order so the
-	// result is bit-for-bit identical for any worker count (floating-point
-	// addition is not associative — a grouped or per-worker reduction would
-	// drift in the last bits). Each worker keeps one incremental regressor
-	// as scratch, Reset between permutations; each permutation draws from
-	// its own rand.Rand seeded as seed+perm-index, so results depend only
-	// on (seed, permutations).
-	arena := make([]float64, permutations*m)
-	scratch := make([]*regress.Incremental, workers)
-	for w := range scratch {
-		scratch[w] = regress.NewIncremental(k)
-	}
-	parallel.ForWorker(workers, permutations, func(w, p int) {
-		inc := scratch[w]
-		rng := stat.NewRand(seed + int64(p))
-		perm := stat.Perm(rng, m)
-		inc.Reset()
-		sum := arena[p*m : (p+1)*m]
-		prev := 0.0
-		for _, idx := range perm {
-			inc.AddDataset(chunks[idx])
-			cur := evalModel(inc, test)
-			sum[idx] += cur - prev
-			prev = cur
-			if truncateTol > 0 && math.Abs(grand-cur) <= truncateTol {
-				break
-			}
-		}
-	})
-
-	sv := make([]float64, m)
-	for p := 0; p < permutations; p++ {
-		part := arena[p*m : (p+1)*m]
-		for i, v := range part {
-			sv[i] += v
-		}
-	}
-	inv := 1 / float64(permutations)
-	for i := range sv {
-		sv[i] *= inv
-	}
-	return sv, nil
+	return SellerShapleyKernelCtx(context.Background(), chunks, test, permutations, truncateTol, seed, workers)
 }
