@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve-smoke bench figures figures-quick examples clean
+.PHONY: all build vet test race cover serve-smoke bench figures figures-quick examples clean
 
 all: build vet test
 
@@ -18,13 +18,21 @@ test:
 # Race-detector run, vet first: the concurrency in internal/parallel and the
 # sweep harnesses must stay clean under both. The explicit equivalence pass
 # pins the moment-cached Shapley kernel to the seed-path estimator under the
-# race detector, and the serve-smoke end-to-end pass rides along so the gate
-# also exercises the live server lifecycle (boot, trade, metrics, SIGTERM
-# drain, snapshot restore).
+# race detector; the solver-backend pass pins cross-backend agreement, the
+# Jacobi determinism guarantee and the Stage-3 τ-boundary cases of the
+# general cascade; and the serve-smoke end-to-end pass rides along so the
+# gate also exercises the live server lifecycle (boot, trade, metrics,
+# SIGTERM drain, snapshot restore).
 race: vet
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestKernelEquivalence|TestRunRoundShapleyIdenticalAcrossWorkers' -count=1 ./internal/valuation ./internal/market
+	$(GO) test -race -run 'TestGeneralMatchesAnalytic|TestGeneralDeterministicAcrossWorkers|TestMapDeterministicAcrossWorkers|TestMeanFieldWithinTheoremBounds|TestSolveGeneralTau' -count=1 ./internal/solve ./internal/core
 	$(MAKE) serve-smoke
+
+# Statement coverage for every package, failing if internal/solve — the
+# backend seam every equilibrium consumer routes through — drops below 80%.
+cover:
+	sh scripts/cover.sh
 
 # Boot share-server, run a register/quote/trade/metrics sequence over HTTP,
 # SIGTERM it, and reboot from the persisted snapshot.
@@ -32,11 +40,12 @@ serve-smoke:
 	sh scripts/serve_smoke.sh
 
 # Go benchmarks (valuation kernel, trade rounds, solver) plus the
-# machine-readable BENCH_PR3.json report: moment-cached Shapley kernel vs the
-# seed-era row-streaming estimator, isolated and end-to-end.
+# machine-readable reports: BENCH_PR3.json (moment-cached Shapley kernel vs
+# the seed-era row-streaming estimator) and BENCH_PR4.json (per-round solve
+# latency of the analytic, mean-field and general backends).
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/share-bench -fig none -out . -bench-pr3
+	$(GO) run ./cmd/share-bench -fig none -out . -bench-pr3 -bench-pr4
 
 # Regenerate every evaluation figure (full scale, ~30 s) into bench_out_full/,
 # plus BENCH.json with the solver/sweep performance probes.

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"share/internal/core"
+	"share/internal/solve"
+	"share/internal/stat"
+)
+
+// pr4Report is the BENCH_PR4.json document: the per-request solve path
+// (prototype Clone → SetBuyer → Solve, exactly what one market round or one
+// HTTP quote pays for its strategy phase) measured for every registered
+// solve backend at two market sizes, with per-size slowdown ratios relative
+// to the analytic closed form.
+type pr4Report struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Workers    int                `json:"workers"`
+	Benchmarks []benchEntry       `json:"benchmarks"`
+	Slowdowns  map[string]float64 `json:"slowdowns_vs_analytic"`
+}
+
+// writeBenchPR4 runs the backend-latency probes via testing.Benchmark and
+// writes BENCH_PR4.json into outDir. workers bounds the general backend's
+// Jacobi fan-out (≤0 → GOMAXPROCS); the analytic and mean-field backends are
+// single-pass and ignore it.
+func writeBenchPR4(outDir string, workers int, seed int64) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &pr4Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Slowdowns:  map[string]float64{},
+	}
+	record := func(name string, w int, r testing.BenchmarkResult) benchEntry {
+		e := benchEntry{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			Workers:     w,
+			Iterations:  r.N,
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		log.Printf("bench %-24s %12.0f ns/op  (%d iterations)", name, e.NsPerOp, r.N)
+		return e
+	}
+
+	// The general backend runs at a loosened price tolerance: the probe
+	// measures the cost shape of the numerical cascade, not the last two
+	// digits of agreement (the test suite covers those at 1e-9).
+	backends := []struct {
+		name    string
+		b       solve.Backend
+		workers int
+	}{
+		{"analytic", solve.Analytic{}, 1},
+		{"meanfield", solve.MeanField{}, 1},
+		{"general", solve.General{PriceTol: 1e-4, Workers: workers}, workers},
+	}
+
+	for _, m := range []int{100, 1000} {
+		g := core.PaperGame(m, stat.NewRand(seed))
+		buyer := core.PaperBuyer()
+		var analytic float64
+		for _, bk := range backends {
+			proto, err := bk.b.Precompute(g)
+			if err != nil {
+				return fmt.Errorf("bench-pr4: %s m=%d: %w", bk.name, m, err)
+			}
+			label := fmt.Sprintf("round_%s_m%d", bk.name, m)
+			e := record(label, bk.workers, testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					prep := proto.Clone()
+					prep.SetBuyer(buyer)
+					if _, err := prep.Solve(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+			if bk.name == "analytic" {
+				analytic = e.NsPerOp
+			} else {
+				rep.Slowdowns[label] = e.NsPerOp / analytic
+			}
+		}
+	}
+
+	path := filepath.Join(outDir, "BENCH_PR4.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	log.Printf("wrote %s (vs analytic at m=1000: meanfield %.1fx, general %.0fx)",
+		path, rep.Slowdowns["round_meanfield_m1000"], rep.Slowdowns["round_general_m1000"])
+	return nil
+}

@@ -28,6 +28,12 @@
 // (moment-cached Shapley kernel vs the seed-era row-streaming estimator,
 // isolated and end-to-end through a trade round); combine with -fig none to
 // skip figure regeneration.
+// -bench-pr4 runs the solve-backend probes and writes BENCH_PR4.json
+// (per-round equilibrium latency of the analytic, mean-field and general
+// backends at m ∈ {100, 1000}).
+// -solver re-renders the sensitivity sweeps (Figs. 4–8) under a different
+// equilibrium backend (analytic | meanfield | general); the default analytic
+// backend reproduces every CSV byte-for-byte.
 package main
 
 import (
@@ -61,6 +67,8 @@ func main() {
 		workers = flag.Int("workers", 0, "sweep fan-out width (0 = GOMAXPROCS, 1 = sequential; output is identical)")
 		bench   = flag.Bool("bench", false, "run performance probes and write BENCH.json")
 		bench3  = flag.Bool("bench-pr3", false, "run valuation-kernel probes and write BENCH_PR3.json")
+		bench4  = flag.Bool("bench-pr4", false, "run solve-backend probes and write BENCH_PR4.json")
+		solver  = flag.String("solver", "", "equilibrium backend for the sensitivity sweeps: analytic | meanfield | general (empty = analytic)")
 	)
 	flag.Parse()
 
@@ -68,6 +76,9 @@ func main() {
 		log.Fatalf("creating %s: %v", *outDir, err)
 	}
 	experiments.SetWorkers(*workers)
+	if err := experiments.SetSolver(*solver); err != nil {
+		log.Fatalf("-solver: %v", err)
+	}
 	if err := run(*outDir, strings.ToLower(*fig), *seed, *m, *workers, *quick, *warm, *plots, *report); err != nil {
 		log.Fatal(err)
 	}
@@ -78,6 +89,11 @@ func main() {
 	}
 	if *bench3 {
 		if err := writeBenchPR3(*outDir, *workers, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *bench4 {
+		if err := writeBenchPR4(*outDir, *workers, *seed); err != nil {
 			log.Fatal(err)
 		}
 	}

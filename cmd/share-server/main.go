@@ -8,7 +8,11 @@
 //
 //	share-server [-addr :8080] [-seed N] [-demo M] [-snapshot market.json]
 //	             [-max-body BYTES] [-trade-timeout D] [-drain D]
-//	             [-workers N] [-pprof ADDR]
+//	             [-workers N] [-pprof ADDR] [-solver NAME]
+//
+// -solver picks the default equilibrium backend (analytic | meanfield |
+// general); individual requests override it with a "solver" field on the
+// demand body.
 //
 // -workers fans each trade's Shapley valuation across N workers (0 = one
 // worker; results are identical for every value). -pprof serves the Go
@@ -49,6 +53,7 @@ import (
 	"time"
 
 	"share/internal/httpapi"
+	"share/internal/solve"
 	"share/internal/stat"
 )
 
@@ -66,8 +71,13 @@ func main() {
 		drain        = flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain window for in-flight requests")
 		workers      = flag.Int("workers", 0, "Shapley valuation worker pool per trade (0 or 1 = one worker; results are identical for every value)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = disabled)")
+		solver       = flag.String("solver", "", "default equilibrium backend: analytic | meanfield | general (empty = analytic); requests override per-trade via the demand's \"solver\" field")
 	)
 	flag.Parse()
+
+	if _, err := solve.Lookup(*solver); err != nil {
+		log.Fatalf("-solver: %v", err)
+	}
 
 	if *pprofAddr != "" {
 		// The pprof handlers register themselves on http.DefaultServeMux at
@@ -86,6 +96,7 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		TradeTimeout: *tradeTimeout,
 		Workers:      *workers,
+		Solver:       *solver,
 	})
 	handler := srv.Handler()
 

@@ -14,6 +14,7 @@
 //	-v-lo/-v-hi     demanded-performance bounds (default 0.5..0.9)
 //	-theta-lo/-hi   θ₁ bounds (default 0.3..0.7)
 //	-product        ols | logistic | mean | histogram (default ols)
+//	-solver NAME    equilibrium backend: analytic | meanfield | general
 //	-snapshot PATH  save the market snapshot JSON on exit
 //	-seed int       random seed
 //	-workers int    fan the Shapley weight update across n workers (>1).
@@ -32,6 +33,7 @@ import (
 	"share/internal/market"
 	"share/internal/product"
 	"share/internal/sim"
+	"share/internal/solve"
 	"share/internal/stat"
 	"share/internal/translog"
 )
@@ -53,15 +55,20 @@ func main() {
 		snapshot = flag.String("snapshot", "", "save the market snapshot JSON here on exit")
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "Shapley weight-update workers (>1 fans out; output independent of count)")
+		solver   = flag.String("solver", "", "equilibrium backend: analytic | meanfield | general (empty = analytic)")
 	)
 	flag.Parse()
 
-	if err := run(*m, *rounds, *nLo, *nHi, *vLo, *vHi, *thLo, *thHi, *prod, *snapshot, *seed, *workers); err != nil {
+	if err := run(*m, *rounds, *nLo, *nHi, *vLo, *vHi, *thLo, *thHi, *prod, *snapshot, *solver, *seed, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(m, rounds int, nLo, nHi, vLo, vHi, thLo, thHi float64, prod, snapshot string, seed int64, workers int) error {
+func run(m, rounds int, nLo, nHi, vLo, vHi, thLo, thHi float64, prod, snapshot, solver string, seed int64, workers int) error {
+	backend, err := solve.Lookup(solver)
+	if err != nil {
+		return fmt.Errorf("-solver: %w", err)
+	}
 	rng := stat.NewRand(seed)
 
 	// Assemble the market over synthetic CCPP data.
@@ -88,6 +95,7 @@ func run(m, rounds int, nLo, nHi, vLo, vHi, thLo, thHi float64, prod, snapshot s
 		Product: builder,
 		TestSet: test,
 		Update:  &market.WeightUpdate{Retain: 0.2, Permutations: 15, TruncateTol: 0.005, Workers: workers},
+		Solver:  backend,
 		Seed:    seed,
 	})
 	if err != nil {

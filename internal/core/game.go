@@ -191,6 +191,12 @@ func (g *Game) cached() *sellerAgg {
 	return a
 }
 
+// Precomputed reports whether a valid Precompute snapshot is live, i.e.
+// whether the seller side is already validated and the cheap buyer-only
+// revalidation suffices before a solve. Solver backends outside this package
+// use it to replicate Solve's validation contract.
+func (g *Game) Precomputed() bool { return g.cached() != nil }
+
 // M returns the number of sellers.
 func (g *Game) M() int { return len(g.Sellers.Lambda) }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -58,13 +59,21 @@ type GeneralOptions struct {
 	// PMHi bounds the Stage-1 search for the product price (0 → 4× the
 	// quadratic-loss closed form, a generous bracket).
 	PMHi float64
+	// PriceTol is the golden-section tolerance of the nested Stage 1–2
+	// price searches (0 → 1e-6). Tightening it multiplies the Stage-3
+	// solve count logarithmically; the cross-backend agreement tests use
+	// 1e-9 to pin the numerical cascade to the closed forms.
+	PriceTol float64
 	// Nash tunes the inner Stage-3 solver.
 	Nash nash.Options
 }
 
 // stage3Numeric solves the sellers' inner Nash game for a given p^D and an
 // arbitrary loss.
-func (g *Game) stage3Numeric(pD float64, opt GeneralOptions) ([]float64, error) {
+func (g *Game) stage3Numeric(ctx context.Context, pD float64, opt GeneralOptions) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ng := &nash.Game{
 		Players: g.M(),
 		Payoff: func(i int, x float64, s []float64) float64 {
@@ -79,7 +88,7 @@ func (g *Game) stage3Numeric(pD float64, opt GeneralOptions) ([]float64, error) 
 		// loss with comparable curvature.
 		nopt.Start = g.Stage3Tau(pD)
 	}
-	res, err := ng.Solve(nopt)
+	res, err := ng.SolveCtx(ctx, nopt)
 	if err != nil {
 		return nil, fmt.Errorf("core: stage 3 numeric Nash at p^D=%g: %w", pD, err)
 	}
@@ -96,6 +105,14 @@ func (g *Game) stage3Numeric(pD float64, opt GeneralOptions) ([]float64, error) 
 // the whole cascade lands well under a minute. For the paper's closed-form
 // losses prefer Solve (microseconds).
 func (g *Game) SolveGeneral(opt GeneralOptions) (*Profile, error) {
+	return g.SolveGeneralCtx(context.Background(), opt)
+}
+
+// SolveGeneralCtx is SolveGeneral under a cancellation context, checked at
+// every Stage-3 solve (inner sweeps included via nash.SolveCtx) and between
+// the nested golden-section phases. With a background context results are
+// bit-identical to SolveGeneral.
+func (g *Game) SolveGeneralCtx(ctx context.Context, opt GeneralOptions) (*Profile, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -111,10 +128,13 @@ func (g *Game) SolveGeneral(opt GeneralOptions) (*Profile, error) {
 		pmHi = 4 * pm
 	}
 
-	// Use coarse tolerances for the nested searches: each objective
+	// Default to coarse tolerances for the nested searches: each objective
 	// evaluation is itself an iterative solve, and profit functions are
 	// flat near their optima (quadratic error in the argument).
-	const priceTol = 1e-6
+	priceTol := opt.PriceTol
+	if priceTol <= 0 {
+		priceTol = 1e-6
+	}
 
 	stage2 := func(pm float64) (float64, []float64) {
 		pdHi := g.Stage2PD(pm) * 4
@@ -123,13 +143,13 @@ func (g *Game) SolveGeneral(opt GeneralOptions) (*Profile, error) {
 		}
 		var bestTau []float64
 		pd := numeric.GoldenMax(func(pd float64) float64 {
-			tau, err := g.stage3Numeric(pd, opt)
+			tau, err := g.stage3Numeric(ctx, pd, opt)
 			if err != nil {
 				return negInf
 			}
 			return g.BrokerProfit(pm, pd, tau)
 		}, 0, pdHi, priceTol)
-		bestTau, err := g.stage3Numeric(pd, opt)
+		bestTau, err := g.stage3Numeric(ctx, pd, opt)
 		if err != nil {
 			return pd, nil
 		}
@@ -144,9 +164,15 @@ func (g *Game) SolveGeneral(opt GeneralOptions) (*Profile, error) {
 		_ = pd
 		return g.BuyerProfit(pm, tau)
 	}, 0, pmHi, priceTol)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: general solve canceled: %w", err)
+	}
 
 	pdStar, tauStar := stage2(pmStar)
 	if tauStar == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: general solve canceled: %w", err)
+		}
 		return nil, errors.New("core: stage 3 failed at the optimal prices")
 	}
 	p := g.EvaluateProfile(pmStar, pdStar, tauStar)

@@ -99,6 +99,44 @@ func TestSolveGeneralCubicLossIsEquilibrium(t *testing.T) {
 	}
 }
 
+// TestSolveGeneralTauUpperBoundary drives Stage 3 to the τ = 1 corner: a
+// vanishing privacy loss makes full fidelity dominant for every seller
+// (payoff p^D·χτ − ε·τ is increasing on [0, 1]), so the numerical cascade
+// must land on the boundary rather than stall at an interior golden-section
+// midpoint.
+func TestSolveGeneralTauUpperBoundary(t *testing.T) {
+	g := paperTestGame(t, 5, 85)
+	negligible := func(i int, chi, tau float64) float64 { return 1e-12 * tau }
+	p, err := g.SolveGeneral(GeneralOptions{Loss: negligible})
+	if err != nil {
+		t.Fatalf("SolveGeneral: %v", err)
+	}
+	for i, tau := range p.Tau {
+		if tau < 1-1e-6 {
+			t.Errorf("τ[%d] = %v, want the upper boundary 1 under a negligible loss", i, tau)
+		}
+	}
+}
+
+// TestSolveGeneralTauLowerBoundary drives Stage 3 to the τ = 0 corner: a
+// loss growing linearly in τ with a slope far above any attainable data
+// price makes every positive fidelity strictly unprofitable. The cascade
+// must settle on (near-)zero strategies without tripping on the allocation
+// rule's denominator at τ = 0.
+func TestSolveGeneralTauLowerBoundary(t *testing.T) {
+	g := paperTestGame(t, 5, 86)
+	prohibitive := func(i int, chi, tau float64) float64 { return 1e6 * g.Sellers.Lambda[i] * chi * tau }
+	p, err := g.SolveGeneral(GeneralOptions{Loss: prohibitive})
+	if err != nil {
+		t.Fatalf("SolveGeneral: %v", err)
+	}
+	for i, tau := range p.Tau {
+		if tau > 1e-6 {
+			t.Errorf("τ[%d] = %v, want the lower boundary 0 under a prohibitive loss", i, tau)
+		}
+	}
+}
+
 func TestSolveGeneralValidation(t *testing.T) {
 	g := paperTestGame(t, 4, 84)
 	if _, err := g.SolveGeneral(GeneralOptions{}); err == nil {

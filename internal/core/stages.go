@@ -106,6 +106,19 @@ func (g *Game) Stage1PM() (float64, error) {
 	return pm, nil
 }
 
+// ApproxBound documents the quality guarantee of an approximately-solved
+// equilibrium: the Theorem 5.1 interval for the mean-fidelity error
+// τ̄^exact − τ̄^approx, and whether the theorem's ω-scaling precondition
+// (ωᵢ/λᵢ ≤ 1/(p^D·m²)) held at the solved data price. Exact solvers leave
+// Profile.Approx nil.
+type ApproxBound struct {
+	// Lo and Hi bound the signed mean-fidelity error (Theorem 5.1).
+	Lo, Hi float64
+	// ConditionHolds reports whether the theorem's precondition held, i.e.
+	// whether the interval is an actual guarantee rather than a heuristic.
+	ConditionHolds bool
+}
+
 // Profile is a complete strategy profile with its realized quantities and
 // profits — the output of Solve, or of evaluating a deviated profile.
 type Profile struct {
@@ -128,6 +141,9 @@ type Profile struct {
 	BrokerProfit float64
 	// SellerProfits are Ψᵢ at this profile.
 	SellerProfits []float64
+	// Approx carries the error guarantee when the profile came from an
+	// approximate solver (the mean-field backend); nil for exact solves.
+	Approx *ApproxBound
 }
 
 // EvaluateProfile computes allocations, qualities and all profits for an

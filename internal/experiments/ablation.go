@@ -8,6 +8,7 @@ import (
 	"share/internal/core"
 	"share/internal/nash"
 	"share/internal/parallel"
+	"share/internal/solve"
 	"share/internal/stat"
 )
 
@@ -111,18 +112,13 @@ func AnalyticVsNumeric(g *core.Game, prices []float64) (*Series, error) {
 	}
 	// Each price point runs its own full best-response iteration against
 	// the shared (read-only) game, so the points fan out across the
-	// package worker pool.
+	// package worker pool. The inner game comes from the solve layer's
+	// Stage3Game with the nil (quadratic) loss — the exact payoff the
+	// pre-backend harness built inline, keeping the CSV byte-identical.
 	rows, err := parallel.Map(Workers(), len(prices), func(idx int) ([]float64, error) {
 		pd := prices[idx]
 		analytic := g.Stage3Tau(pd)
-		ng := &nash.Game{
-			Players: g.M(),
-			Payoff: func(i int, x float64, strategies []float64) float64 {
-				tau := append([]float64(nil), strategies...)
-				tau[i] = x
-				return g.SellerProfit(i, pd, tau)
-			},
-		}
+		ng := solve.Stage3Game(g, pd, nil)
 		res, err := ng.Solve(nash.Options{Start: analytic})
 		if err != nil {
 			return nil, err

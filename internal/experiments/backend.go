@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"share/internal/solve"
+)
+
+// sweepBackend is the package-wide equilibrium backend for the figure
+// harnesses, mirroring the worker-count knob in workers.go: the Fig. 4–8
+// sensitivity sweeps route every grid-point solve through it. The default
+// (analytic) reproduces the paper figures bit-for-bit; selecting meanfield
+// or general re-renders the same grids under the approximate or fully
+// numerical solver — the cross-backend comparison workload the solve layer
+// exists for.
+//
+// Fig. 2 is exempt: its deviation curves evaluate closed-form profit
+// expressions around an analytic equilibrium, which only the analytic path
+// defines.
+var sweepBackend atomic.Pointer[backendHolder]
+
+type backendHolder struct{ b solve.Backend }
+
+// SetSolver selects the sweep backend by registry name ("" → analytic). An
+// unknown name errs and leaves the current selection unchanged.
+func SetSolver(name string) error {
+	b, err := solve.Lookup(name)
+	if err != nil {
+		return err
+	}
+	sweepBackend.Store(&backendHolder{b: b})
+	return nil
+}
+
+// Solver reports the current sweep backend (see SetSolver).
+func Solver() solve.Backend {
+	if h := sweepBackend.Load(); h != nil {
+		return h.b
+	}
+	return solve.Analytic{}
+}

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"share/internal/core"
 	"share/internal/numeric"
-	"share/internal/parallel"
+	"share/internal/solve"
 )
 
 // Figs. 4–8 — parameter sensitivity: each harness sweeps one parameter of
@@ -16,12 +17,14 @@ import (
 // sweep re-solves the game for each x after modify(gx, x) on a clone and
 // emits two series: strategies (pM, pD, tau1, tau2) and profits (buyer,
 // broker, seller1, seller2). Grid points are independent (each owns its
-// clone), so they fan out across the package worker pool; rows are
+// prepared clone), so they fan out across the package worker pool; rows are
 // assembled in grid order, keeping output byte-identical for any worker
-// count. The shared game is precomputed once so buyer-parameter sweeps
-// (Figs. 4–6) inherit the O(1) seller aggregates in every clone; the
+// count. Every solve routes through the package's selected solve backend
+// (SetSolver): the prototype is precomputed once, so buyer-parameter sweeps
+// (Figs. 4–6) inherit the O(1) seller aggregates in every clone, while the
 // seller sweeps (Figs. 7–8) invalidate per point through the SetWeight /
-// SetLambda mutators.
+// SetLambda mutators. On the default analytic backend the emitted series
+// are bit-for-bit what the pre-backend harness produced.
 func sweep(name, title, xlabel string, g *core.Game, xs []float64, modify func(*core.Game, float64)) (strategies, profits *Series, err error) {
 	strategies = &Series{
 		Name: name + "a", Title: title + " (strategies)", XLabel: xlabel,
@@ -31,15 +34,15 @@ func sweep(name, title, xlabel string, g *core.Game, xs []float64, modify func(*
 		Name: name + "b", Title: title + " (profits)", XLabel: xlabel,
 		Columns: []string{"buyer", "broker", "seller1", "seller2"},
 	}
-	if err := g.Precompute(); err != nil {
+	proto, err := Solver().Precompute(g)
+	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: %s: %w", name, err)
 	}
 	type point struct{ strat, prof [4]float64 }
-	pts, err := parallel.Map(Workers(), len(xs), func(i int) (point, error) {
+	pts, err := solve.Map(Workers(), len(xs), proto, func(i int, prep solve.Prepared) (point, error) {
 		x := xs[i]
-		gx := g.Clone()
-		modify(gx, x)
-		p, err := gx.Solve()
+		modify(prep.Game(), x)
+		p, err := prep.Solve(context.Background())
 		if err != nil {
 			return point{}, fmt.Errorf("experiments: %s at %s=%g: %w", name, xlabel, x, err)
 		}

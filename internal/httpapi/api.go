@@ -39,6 +39,7 @@ import (
 	"share/internal/market"
 	"share/internal/obs"
 	"share/internal/product"
+	"share/internal/solve"
 	"share/internal/stat"
 	"share/internal/translog"
 )
@@ -64,7 +65,9 @@ type Server struct {
 
 	logf         func(format string, args ...any)
 	metrics      *obs.Registry
-	valuation    *obs.Endpoint // Shapley weight-update latency per trade
+	valuation    *obs.Endpoint            // Shapley weight-update latency per trade
+	solveObs     map[string]*obs.Endpoint // per-backend equilibrium-solve latency
+	solver       solve.Backend            // default equilibrium backend
 	maxBody      int64
 	tradeTimeout time.Duration
 	reqSeq       atomic.Uint64
@@ -90,6 +93,11 @@ type Options struct {
 	// the Update's own setting). The moment-cached kernel's output is
 	// identical for every worker count, so this is purely a latency knob.
 	Workers int
+	// Solver names the default equilibrium backend ("" → analytic).
+	// Individual quotes and trades may override it via the demand's
+	// `solver` field. An unknown name falls back to the analytic default
+	// (CLI entry points validate the flag before getting here).
+	Solver string
 	// Seed seeds the server's market randomness.
 	Seed int64
 	// Logf receives request-level log lines (nil → log.Printf).
@@ -129,16 +137,23 @@ func NewServer(opt Options) *Server {
 	if maxBody <= 0 {
 		maxBody = defaultMaxBodyBytes
 	}
+	backend, err := solve.Lookup(opt.Solver)
+	if err != nil {
+		logf("httpapi: %v; falling back to %q", err, solve.DefaultName)
+		backend, _ = solve.Lookup(solve.DefaultName)
+	}
 	rng := stat.NewRand(opt.Seed + 7)
 	s := &Server{
 		cfg: market.Config{
 			Cost:    cost,
 			TestSet: dataset.SyntheticCCPP(testRows, rng),
 			Update:  upd,
+			Solver:  backend,
 			Seed:    opt.Seed,
 		},
 		logf:         logf,
 		metrics:      obs.NewRegistry(),
+		solver:       backend,
 		maxBody:      maxBody,
 		tradeTimeout: opt.TradeTimeout,
 	}
@@ -146,6 +161,14 @@ func NewServer(opt Options) *Server {
 	// valuation phase of each trade took. Surfaces in /v1/metrics alongside
 	// the endpoint stats.
 	s.valuation = s.metrics.Endpoint("trade/valuation")
+	// Per-backend equilibrium-solve latency: every quote and every trade's
+	// strategy phase lands in the solve/<name> series of the backend that
+	// ran it, making backend cost differences directly observable at
+	// GET /v1/metrics.
+	s.solveObs = make(map[string]*obs.Endpoint, len(solve.Names()))
+	for _, name := range solve.Names() {
+		s.solveObs[name] = s.metrics.Endpoint("solve/" + name)
+	}
 	// The empty market still has a well-defined view.
 	s.view.Store(&marketView{weights: core.UniformWeights(1)})
 	return s
@@ -246,6 +269,10 @@ type Demand struct {
 	// "logistic", "mean", "histogram". Quotes ignore it (the equilibrium
 	// is product-agnostic).
 	Product string `json:"product,omitempty"`
+	// Solver selects the equilibrium backend for this request: "" (the
+	// server's default), "analytic", "meanfield" or "general". Approximate
+	// backends attach their error guarantee to the quote.
+	Solver string `json:"solver,omitempty"`
 }
 
 // builderFor resolves a demand's product name against the pooled training
@@ -327,23 +354,36 @@ func (d Demand) buyer() (core.Buyer, error) {
 	return b, nil
 }
 
+// ApproxInfo reports an approximate backend's error guarantee: the
+// Theorem 5.1 interval bounding the mean-fidelity error, and whether the
+// theorem's ω-scaling precondition held (when false the interval is a
+// heuristic, not a guarantee).
+type ApproxInfo struct {
+	ErrorLo        float64 `json:"error_lo"`
+	ErrorHi        float64 `json:"error_hi"`
+	ConditionHolds bool    `json:"condition_holds"`
+}
+
 // Quote is the POST /v1/quote response: the equilibrium without a trade.
 type Quote struct {
-	ProductPrice float64   `json:"product_price"`
-	DataPrice    float64   `json:"data_price"`
-	Fidelities   []float64 `json:"fidelities"`
-	Allocations  []float64 `json:"allocations"`
-	BuyerProfit  float64   `json:"buyer_profit"`
-	BrokerProfit float64   `json:"broker_profit"`
-	SellerProfit []float64 `json:"seller_profits"`
-	DatasetQ     float64   `json:"dataset_quality"`
-	ProductQ     float64   `json:"product_quality"`
+	Solver       string      `json:"solver"`
+	ProductPrice float64     `json:"product_price"`
+	DataPrice    float64     `json:"data_price"`
+	Fidelities   []float64   `json:"fidelities"`
+	Allocations  []float64   `json:"allocations"`
+	BuyerProfit  float64     `json:"buyer_profit"`
+	BrokerProfit float64     `json:"broker_profit"`
+	SellerProfit []float64   `json:"seller_profits"`
+	DatasetQ     float64     `json:"dataset_quality"`
+	ProductQ     float64     `json:"product_quality"`
+	Approx       *ApproxInfo `json:"approx,omitempty"`
 }
 
 // TradeResult is the POST /v1/trades response.
 type TradeResult struct {
 	Round             int       `json:"round"`
 	Product           string    `json:"product"`
+	Solver            string    `json:"solver"`
 	Quote             Quote     `json:"quote"`
 	Pieces            []int     `json:"pieces"`
 	Compensations     []float64 `json:"compensations"`
@@ -445,8 +485,9 @@ func (s *Server) handleListSellers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.view.Load().sellers)
 }
 
-func quoteFromProfile(p *core.Profile) Quote {
-	return Quote{
+func quoteFromProfile(p *core.Profile, solver string) Quote {
+	q := Quote{
+		Solver:       solver,
 		ProductPrice: p.PM,
 		DataPrice:    p.PD,
 		Fidelities:   p.Tau,
@@ -457,12 +498,39 @@ func quoteFromProfile(p *core.Profile) Quote {
 		DatasetQ:     p.QD,
 		ProductQ:     p.QM,
 	}
+	if p.Approx != nil {
+		q.Approx = &ApproxInfo{
+			ErrorLo:        p.Approx.Lo,
+			ErrorHi:        p.Approx.Hi,
+			ConditionHolds: p.Approx.ConditionHolds,
+		}
+	}
+	return q
+}
+
+// resolveSolver maps a request's solver field to the view's prepared
+// prototype for it, defaulting to the server's configured backend.
+func (s *Server) resolveSolver(v *marketView, requested string) (string, solve.Prepared, error) {
+	name := requested
+	if name == "" {
+		name = s.solver.Name()
+	}
+	proto, ok := v.protos[name]
+	if !ok {
+		if _, err := solve.Lookup(name); err != nil {
+			return name, nil, &fieldError{"solver", err.Error()}
+		}
+		return name, nil, errors.New("no sellers registered")
+	}
+	return name, proto, nil
 }
 
 // handleQuote solves the game against the published view — no locks, so
 // quotes stay responsive while a trade holds the write path. The clone
 // carries the view's Precompute snapshot: the seller-side aggregates are
-// reused and only the buyer parameters are re-validated per quote.
+// reused and only the buyer parameters are re-validated per quote. The
+// demand's solver field picks any registered backend; the solve lands in
+// that backend's solve/<name> latency series.
 func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
 	var d Demand
 	if err := decodeJSON(r, &d); err != nil {
@@ -475,18 +543,32 @@ func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := s.view.Load()
-	if v.proto == nil {
-		writeError(w, http.StatusConflict, errors.New("no sellers registered"))
-		return
-	}
-	g := v.proto.Clone()
-	g.Buyer = b
-	p, err := g.Solve()
+	name, proto, err := s.resolveSolver(v, d.Solver)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		var fe *fieldError
+		if errors.As(err, &fe) {
+			writeError(w, http.StatusBadRequest, err)
+		} else {
+			writeError(w, http.StatusConflict, err)
+		}
 		return
 	}
-	writeJSON(w, http.StatusOK, quoteFromProfile(p))
+	prep := proto.Clone()
+	prep.SetBuyer(b)
+	t0 := time.Now()
+	p, err := prep.Solve(r.Context())
+	if err != nil {
+		status := http.StatusBadRequest
+		if r.Context().Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	if ep := s.solveObs[name]; ep != nil {
+		ep.Observe(time.Since(t0))
+	}
+	writeJSON(w, http.StatusOK, quoteFromProfile(p, name))
 }
 
 func (s *Server) handleTrade(w http.ResponseWriter, r *http.Request) {
@@ -522,13 +604,21 @@ func (s *Server) handleTrade(w http.ResponseWriter, r *http.Request) {
 	if s.testHookTradeBuilder != nil {
 		builder = s.testHookTradeBuilder
 	}
+	var backend solve.Backend // nil = the market's configured default
+	if d.Solver != "" {
+		backend, err = solve.Lookup(d.Solver)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, &fieldError{"solver", err.Error()})
+			return
+		}
+	}
 	ctx := r.Context()
 	if s.tradeTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.tradeTimeout)
 		defer cancel()
 	}
-	tx, err := s.mkt.RunRoundContext(ctx, b, builder)
+	tx, err := s.mkt.RunRoundBackend(ctx, b, builder, backend)
 	if err != nil {
 		writeError(w, tradeErrorStatus(err), err)
 		return
@@ -539,6 +629,9 @@ func (s *Server) handleTrade(w http.ResponseWriter, r *http.Request) {
 	}
 	if tx.Timings.WeightUpdate > 0 {
 		s.valuation.Observe(tx.Timings.WeightUpdate)
+	}
+	if ep := s.solveObs[tx.Solver]; ep != nil {
+		ep.Observe(tx.Timings.Strategy)
 	}
 	s.logf("httpapi: trade %d executed (p^M=%g, p^D=%g, EV=%.4f)",
 		tx.Round, tx.Profile.PM, tx.Profile.PD, tx.Metrics.Performance)
@@ -566,7 +659,8 @@ func tradeResult(tx *market.Transaction) TradeResult {
 	return TradeResult{
 		Round:             tx.Round,
 		Product:           tx.Product,
-		Quote:             quoteFromProfile(tx.Profile),
+		Solver:            tx.Solver,
+		Quote:             quoteFromProfile(tx.Profile, tx.Solver),
 		Pieces:            tx.Pieces,
 		Compensations:     tx.Compensations,
 		Payment:           tx.Payment,

@@ -2,24 +2,26 @@ package httpapi
 
 import (
 	"share/internal/core"
+	"share/internal/solve"
 )
 
 // marketView is an immutable snapshot of everything the read-only endpoints
 // serve: the seller roster, the current weights, the rendered trade ledger,
-// and a Precompute'd game prototype for lock-free quoting. Writers
+// and per-backend prepared game prototypes for lock-free quoting. Writers
 // (registration, trades) build a fresh view under the write lock and
 // publish it atomically; readers load the pointer and never block, even
 // while a multi-minute trade holds the write path.
 //
 // Invariant: nothing reachable from a published view is ever mutated. The
-// slices are rebuilt (not appended in place) on every publish, and the game
-// prototype is only read via Clone.
+// slices are rebuilt (not appended in place) on every publish, and the
+// prototypes are only read via Clone.
 type marketView struct {
-	// proto is a validated, Precompute'd game over the current sellers and
-	// weights (nil until the first seller registers). Quotes Clone it —
-	// the seller-side aggregate snapshot carries over, so each quote costs
-	// O(m) copying plus an O(1)-per-stage solve (PR 1's cache machinery).
-	proto *core.Game
+	// protos holds one validated, precomputed prototype per registered
+	// solver backend over the current sellers and weights (nil until the
+	// first seller registers). A quote Clones the requested backend's
+	// prototype — the seller-side aggregate snapshot carries over, so each
+	// quote costs O(m) copying plus the backend's own solve cost.
+	protos map[string]solve.Prepared
 	// sellers is the rendered GET /v1/sellers response.
 	sellers []SellerInfo
 	// weights is the rendered GET /v1/weights response.
@@ -65,10 +67,19 @@ func (s *Server) buildView() (*marketView, error) {
 			Broker:  core.Broker{Cost: s.cfg.Cost, Weights: append([]float64(nil), weights...)},
 			Sellers: core.Sellers{Lambda: lambdas},
 		}
-		if err := g.Precompute(); err != nil {
-			return nil, err
+		names := solve.Names()
+		v.protos = make(map[string]solve.Prepared, len(names))
+		for _, name := range names {
+			b, err := solve.Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			p, err := b.Precompute(g)
+			if err != nil {
+				return nil, err
+			}
+			v.protos[name] = p
 		}
-		v.proto = g
 	}
 	return v, nil
 }

@@ -19,6 +19,7 @@ import (
 	"share/internal/ldp"
 	"share/internal/product"
 	"share/internal/shapley"
+	"share/internal/solve"
 	"share/internal/translog"
 	"share/internal/valuation"
 )
@@ -79,6 +80,10 @@ type Config struct {
 	// it (weights stay fixed — the paper's "without Shapley" efficiency
 	// mode).
 	Update *WeightUpdate
+	// Solver selects the equilibrium backend for strategy decisions; nil
+	// defaults to the analytic closed-form path. Per-round overrides go
+	// through RunRoundBackend.
+	Solver solve.Backend
 	// Seed seeds the market's private random source.
 	Seed int64
 }
@@ -92,6 +97,9 @@ type Market struct {
 	update    *WeightUpdate
 	sellers   []*Seller
 	weights   []float64
+	lambdas   []float64
+	backend   solve.Backend
+	proto     solve.Prepared
 	rng       *rand.Rand
 	ledger    []*Transaction
 	costLog   []translog.Observation
@@ -138,6 +146,8 @@ type Transaction struct {
 	Shapley []float64
 	// Weights is the broker's weight vector after any update.
 	Weights []float64
+	// Solver names the equilibrium backend that produced Profile.
+	Solver string
 	// Timings records per-phase durations.
 	Timings Timings
 }
@@ -182,7 +192,15 @@ func New(sellers []*Seller, cfg Config) (*Market, error) {
 	if builder == nil {
 		builder = product.OLS{}
 	}
-	return &Market{
+	backend := cfg.Solver
+	if backend == nil {
+		backend = solve.Analytic{}
+	}
+	lambdas := make([]float64, len(sellers))
+	for i, s := range sellers {
+		lambdas[i] = s.Lambda
+	}
+	m := &Market{
 		cost:      cfg.Cost,
 		product:   builder,
 		mechanism: mech,
@@ -190,8 +208,14 @@ func New(sellers []*Seller, cfg Config) (*Market, error) {
 		update:    cfg.Update,
 		sellers:   sellers,
 		weights:   core.UniformWeights(len(sellers)),
+		lambdas:   lambdas,
+		backend:   backend,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
+	if err := m.rebuildProto(); err != nil {
+		return nil, fmt.Errorf("market: precomputing solver prototype: %w", err)
+	}
+	return m, nil
 }
 
 // defaultMechanism calibrates a Laplace mechanism to the pooled bounds of
@@ -241,7 +265,9 @@ func (m *Market) M() int { return len(m.sellers) }
 func (m *Market) Weights() []float64 { return append([]float64(nil), m.weights...) }
 
 // SetWeights replaces the broker's weights (length must match the seller
-// count and every weight must be positive).
+// count and every weight must be positive). The solver prototype is staged
+// against the new weights before anything is written, so a failure leaves
+// the market unchanged.
 func (m *Market) SetWeights(w []float64) error {
 	if len(w) != len(m.sellers) {
 		return fmt.Errorf("market: %d weights for %d sellers", len(w), len(m.sellers))
@@ -251,7 +277,31 @@ func (m *Market) SetWeights(w []float64) error {
 			return fmt.Errorf("market: weight %d must be positive, got %g", i, x)
 		}
 	}
-	m.weights = append([]float64(nil), w...)
+	weights := append([]float64(nil), w...)
+	proto, err := m.prototype(weights)
+	if err != nil {
+		return fmt.Errorf("market: precomputing solver prototype: %w", err)
+	}
+	m.weights = weights
+	m.proto = proto
+	return nil
+}
+
+// Solver names the market's equilibrium backend.
+func (m *Market) Solver() string { return m.backend.Name() }
+
+// SetSolver switches the market's equilibrium backend and rebuilds the
+// solver prototype. In-flight per-round overrides are unaffected.
+func (m *Market) SetSolver(b solve.Backend) error {
+	if b == nil {
+		b = solve.Analytic{}
+	}
+	old := m.backend
+	m.backend = b
+	if err := m.rebuildProto(); err != nil {
+		m.backend = old
+		return fmt.Errorf("market: switching solver to %q: %w", b.Name(), err)
+	}
 	return nil
 }
 
@@ -279,6 +329,10 @@ func (tx *Transaction) Clone() *Transaction {
 		p.Tau = append([]float64(nil), tx.Profile.Tau...)
 		p.Chi = append([]float64(nil), tx.Profile.Chi...)
 		p.SellerProfits = append([]float64(nil), tx.Profile.SellerProfits...)
+		if tx.Profile.Approx != nil {
+			a := *tx.Profile.Approx
+			p.Approx = &a
+		}
 		cp.Profile = &p
 	}
 	cp.Pieces = append([]int(nil), tx.Pieces...)
@@ -302,18 +356,40 @@ func (m *Market) CostObservations() []translog.Observation {
 	return append([]translog.Observation(nil), m.costLog...)
 }
 
-// game assembles the core game for a buyer against the market's current
-// state.
-func (m *Market) game(buyer core.Buyer) *core.Game {
-	lambdas := make([]float64, len(m.sellers))
-	for i, s := range m.sellers {
-		lambdas[i] = s.Lambda
+// prototype builds a precomputed solver prototype for the given weight
+// vector under the market's backend. The prototype carries a placeholder
+// buyer (demands swap in per round via Prepared.SetBuyer) and the seller
+// aggregates cache, so per-round preparation is one O(m) clone instead of
+// re-assembling and re-validating the λ and ω slices on every quote — the
+// fix for the old game() helper, which allocated both from scratch each
+// call and never benefited from Precompute.
+func (m *Market) prototype(weights []float64) (solve.Prepared, error) {
+	g := &core.Game{
+		Buyer:   core.PaperBuyer(),
+		Broker:  core.Broker{Cost: m.cost, Weights: weights},
+		Sellers: core.Sellers{Lambda: m.lambdas},
 	}
-	return &core.Game{
-		Buyer:   buyer,
-		Broker:  core.Broker{Cost: m.cost, Weights: append([]float64(nil), m.weights...)},
-		Sellers: core.Sellers{Lambda: lambdas},
+	return m.backend.Precompute(g)
+}
+
+// rebuildProto refreshes the solver prototype against the current weights.
+func (m *Market) rebuildProto() error {
+	proto, err := m.prototype(m.weights)
+	if err != nil {
+		return err
 	}
+	m.proto = proto
+	return nil
+}
+
+// prepared returns a round-private Prepared for the requested backend: the
+// market's own prototype is cloned (cache carried, no re-validation), while
+// an override backend precomputes fresh against the market's current state.
+func (m *Market) prepared(backend solve.Backend) (solve.Prepared, error) {
+	if backend == nil || backend.Name() == m.backend.Name() {
+		return m.proto.Clone(), nil
+	}
+	return backend.Precompute(m.proto.Game())
 }
 
 // RunRound executes Algorithm 1 for one buyer with the market's configured
@@ -345,6 +421,14 @@ func (m *Market) RunRoundWith(buyer core.Buyer, builder product.Builder) (*Trans
 // With a background context, results — including the market's rng stream —
 // are bit-identical to RunRoundWith.
 func (m *Market) RunRoundContext(ctx context.Context, buyer core.Buyer, builder product.Builder) (*Transaction, error) {
+	return m.RunRoundBackend(ctx, buyer, builder, nil)
+}
+
+// RunRoundBackend is RunRoundContext with a per-round solver override (nil =
+// the market's configured backend; matching is by backend name). The round's
+// strategy decision goes through the override while the market's prototype —
+// and every other round's — stays on the configured backend.
+func (m *Market) RunRoundBackend(ctx context.Context, buyer core.Buyer, builder product.Builder, backend solve.Backend) (*Transaction, error) {
 	if builder == nil {
 		builder = m.product
 	}
@@ -352,19 +436,29 @@ func (m *Market) RunRoundContext(ctx context.Context, buyer core.Buyer, builder 
 		return nil, fmt.Errorf("market: round canceled before start: %w", err)
 	}
 	start := time.Now()
-	g := m.game(buyer)
 
-	// Strategy Decision (Lines 6–7). The game was assembled from the
-	// market's own (validated) sellers and weights, so a solve failure here
-	// is attributable to the buyer's demand parameters.
+	// Strategy Decision (Lines 6–7). The prepared game was assembled from
+	// the market's own (validated) sellers and weights, so a solve failure
+	// here — other than cancellation — is attributable to the buyer's
+	// demand parameters.
 	t0 := time.Now()
-	profile, err := g.Solve()
+	prep, err := m.prepared(backend)
 	if err != nil {
+		return nil, fmt.Errorf("market: preparing solver: %w", err)
+	}
+	prep.SetBuyer(buyer)
+	profile, err := prep.Solve(ctx)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return nil, fmt.Errorf("market: strategy decision canceled: %w", err)
+		}
 		return nil, fmt.Errorf("market: strategy decision: %w: %w", ErrDemand, err)
 	}
+	g := prep.Game()
 	tx := &Transaction{
 		Round:   len(m.ledger) + 1,
 		Profile: profile,
+		Solver:  prep.Backend().Name(),
 	}
 	tx.Timings.Strategy = time.Since(t0)
 
@@ -452,9 +546,16 @@ func (m *Market) RunRoundContext(ctx context.Context, buyer core.Buyer, builder 
 
 	// Commit: every fallible phase is done, so the round's state changes
 	// land together — a round that errored or was canceled above has
-	// written nothing.
+	// written nothing. The solver prototype for the new weights is staged
+	// first: if the updated weights fail precompute validation, the round
+	// fails cleanly with the market untouched.
 	if newWeights != nil {
+		newProto, err := m.prototype(newWeights)
+		if err != nil {
+			return nil, fmt.Errorf("market: weight update produced an unsolvable market: %w", err)
+		}
 		m.weights = newWeights
+		m.proto = newProto
 	}
 	tx.Weights = m.Weights()
 	m.costLog = append(m.costLog, translog.Observation{N: buyer.N, V: buyer.V, Cost: tx.ManufacturingCost})

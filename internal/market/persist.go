@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"share/internal/solve"
 	"share/internal/translog"
 )
 
@@ -22,6 +23,11 @@ type Snapshot struct {
 	SellerIDs []string `json:"seller_ids"`
 	// Weights is the broker's weight vector.
 	Weights []float64 `json:"weights"`
+	// Solver names the equilibrium backend the market ran on, so a restore
+	// puts the market back on the same backend regardless of how the new
+	// process was configured. Empty (pre-solver snapshots) keeps the
+	// restoring market's backend.
+	Solver string `json:"solver,omitempty"`
 	// Ledger holds the executed transactions.
 	Ledger []*Transaction `json:"ledger"`
 	// CostLog holds the (N, v, cost) observations for translog refitting.
@@ -41,6 +47,7 @@ func (m *Market) Snapshot() *Snapshot {
 		Version:   snapshotVersion,
 		SellerIDs: ids,
 		Weights:   m.Weights(),
+		Solver:    m.backend.Name(),
 		Ledger:    append([]*Transaction(nil), m.ledger...),
 		CostLog:   append([]translog.Observation(nil), m.costLog...),
 	}
@@ -72,6 +79,13 @@ func (m *Market) Restore(s *Snapshot) error {
 		if m.sellers[i].ID != id {
 			return fmt.Errorf("market: seller %d is %q in the snapshot but %q in the market", i, id, m.sellers[i].ID)
 		}
+	}
+	if s.Solver != "" && s.Solver != m.backend.Name() {
+		b, err := solve.Lookup(s.Solver)
+		if err != nil {
+			return fmt.Errorf("market: restoring solver: %w", err)
+		}
+		m.backend = b
 	}
 	if err := m.SetWeights(s.Weights); err != nil {
 		return fmt.Errorf("market: restoring weights: %w", err)

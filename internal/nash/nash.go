@@ -11,6 +11,7 @@
 package nash
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -133,6 +134,14 @@ func (g *Game) bounds() (lo, hi []float64, err error) {
 // Solve automatically retries with progressively halved damping before
 // giving up.
 func (g *Game) Solve(opt Options) (*Result, error) {
+	return g.SolveCtx(context.Background(), opt)
+}
+
+// SolveCtx is Solve under a cancellation context, checked once per
+// best-response sweep: a canceled or deadline-expired solve returns promptly
+// with the context's error instead of finishing the iteration budget. With a
+// background context results are bit-identical to Solve.
+func (g *Game) SolveCtx(ctx context.Context, opt Options) (*Result, error) {
 	lo, hi, err := g.bounds()
 	if err != nil {
 		return nil, err
@@ -162,7 +171,10 @@ func (g *Game) Solve(opt Options) (*Result, error) {
 	damping := opt.Damping
 	const maxBackoffs = 7
 	for attempt := 0; attempt <= maxBackoffs; attempt++ {
-		res, ok := g.solveOnce(opt, lo, hi, damping)
+		res, ok, err := g.solveOnce(ctx, opt, lo, hi, damping)
+		if err != nil {
+			return nil, err
+		}
 		if ok {
 			return res, nil
 		}
@@ -172,8 +184,8 @@ func (g *Game) Solve(opt Options) (*Result, error) {
 }
 
 // solveOnce runs one damped best-response iteration to convergence or the
-// iteration budget.
-func (g *Game) solveOnce(opt Options, lo, hi []float64, damping float64) (*Result, bool) {
+// iteration budget. A non-nil error is always the context's.
+func (g *Game) solveOnce(ctx context.Context, opt Options, lo, hi []float64, damping float64) (*Result, bool, error) {
 	s := make([]float64, g.Players)
 	if opt.Start != nil {
 		for i, x := range opt.Start {
@@ -196,6 +208,9 @@ func (g *Game) solveOnce(opt Options, lo, hi []float64, damping float64) (*Resul
 		best = make([]float64, g.Players)
 	}
 	for iter := 1; iter <= budget; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, false, fmt.Errorf("nash: solve canceled at sweep %d: %w", iter, err)
+		}
 		var maxDelta float64
 		switch opt.Sweep {
 		case Jacobi:
@@ -226,24 +241,35 @@ func (g *Game) solveOnce(opt Options, lo, hi []float64, damping float64) (*Resul
 		res.Iterations = iter
 		if maxDelta < opt.Tol {
 			res.Strategies = s
-			res.Payoffs, res.Residual = g.audit(s, lo, hi, opt.InnerTol)
-			return res, true
+			auditWorkers := 1
+			if opt.Sweep == Jacobi {
+				auditWorkers = opt.Workers
+			}
+			res.Payoffs, res.Residual = g.audit(s, lo, hi, opt.InnerTol, auditWorkers)
+			return res, true, nil
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // audit computes equilibrium payoffs and the largest remaining unilateral
-// improvement.
-func (g *Game) audit(s, lo, hi []float64, innerTol float64) (payoffs []float64, residual float64) {
+// improvement. Each player's deviation search is independent, so Jacobi
+// solves fan it out across the same worker pool as the sweeps; payoffs land
+// in index-owned slots and the residual is a max over the same value set, so
+// results are identical for every worker count.
+func (g *Game) audit(s, lo, hi []float64, innerTol float64, workers int) (payoffs []float64, residual float64) {
 	payoffs = make([]float64, g.Players)
-	for i := range payoffs {
+	gains := make([]float64, g.Players)
+	parallel.For(workers, g.Players, func(i int) {
 		cur := g.Payoff(i, s[i], s)
 		payoffs[i] = cur
 		best := numeric.GoldenMax(func(x float64) float64 {
 			return g.Payoff(i, x, s)
 		}, lo[i], hi[i], innerTol)
-		if gain := g.Payoff(i, best, s) - cur; gain > residual {
+		gains[i] = g.Payoff(i, best, s) - cur
+	})
+	for _, gain := range gains {
+		if gain > residual {
 			residual = gain
 		}
 	}
@@ -261,6 +287,6 @@ func (g *Game) VerifyEquilibrium(strategies []float64) (float64, error) {
 	if len(strategies) != g.Players {
 		return 0, fmt.Errorf("nash: profile has %d entries for %d players", len(strategies), g.Players)
 	}
-	_, residual := g.audit(strategies, lo, hi, 1e-11)
+	_, residual := g.audit(strategies, lo, hi, 1e-11, 1)
 	return residual, nil
 }

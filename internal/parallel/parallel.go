@@ -88,11 +88,19 @@ func ForWorker(workers, n int, fn func(worker, index int)) {
 // still run — grid points are cheap and a deterministic error beats a
 // fast abort) and discards the results.
 func Map[T any](workers, n int, fn func(index int) (T, error)) ([]T, error) {
+	return MapWorker(workers, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorker is Map with the worker's identity passed through, for callers
+// that amortize expensive per-worker state (a cloned solver prototype, a
+// scratch arena) across the indices one worker handles. The scratch-reuse
+// caveat of ForWorker applies: results must depend only on the index.
+func MapWorker[T any](workers, n int, fn func(worker, index int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	var failed atomic.Bool
-	For(workers, n, func(i int) {
-		v, err := fn(i)
+	ForWorker(workers, n, func(w, i int) {
+		v, err := fn(w, i)
 		if err != nil {
 			errs[i] = err
 			failed.Store(true)

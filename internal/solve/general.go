@@ -1,0 +1,75 @@
+package solve
+
+import (
+	"context"
+
+	"share/internal/core"
+	"share/internal/nash"
+)
+
+// General is the fully numerical backend for arbitrary privacy-loss
+// functions — the "complicated function forms" of §5.1.1 where neither the
+// Eq. 20 closed form nor the mean-field shortcut applies. Stage 3 is solved
+// by the nash Jacobi iteration (fanned across Workers per the repo
+// determinism convention: results are bit-identical for every worker count)
+// and Stages 2 and 1 by nested golden-section search over the numerical
+// reactions, i.e. core.SolveGeneralCtx.
+//
+// The zero value — the registered "general" backend — uses the paper's
+// quadratic loss, making it a numerical cross-check of the analytic path
+// (they agree to well under 1e-6, which the test suite enforces). Custom
+// losses plug in through LossFor.
+type General struct {
+	// LossFor builds the seller loss for a prepared game; nil selects the
+	// quadratic loss (Eq. 11). It is called against the Prepared's owned
+	// clone at each Solve, so the closure sees current λ/ω values.
+	LossFor func(g *core.Game) core.LossFunc
+	// Workers bounds the Jacobi fan-out of the inner Stage-3 solves; ≤ 0
+	// means GOMAXPROCS (the internal/parallel convention).
+	Workers int
+	// PriceTol is the golden-section tolerance of the nested price
+	// searches; 0 selects the core default (1e-6).
+	PriceTol float64
+}
+
+// Name implements Backend.
+func (General) Name() string { return "general" }
+
+// Precompute implements Backend. The snapshot accelerates the quadratic
+// closed form used to bracket p^M and to warm-start every Stage-3 iteration.
+func (b General) Precompute(g *core.Game) (Prepared, error) {
+	c := g.Clone()
+	if err := c.Precompute(); err != nil {
+		return nil, err
+	}
+	return &generalPrepared{b: b, g: c}, nil
+}
+
+type generalPrepared struct {
+	b General
+	g *core.Game
+}
+
+func (p *generalPrepared) Backend() Backend      { return p.b }
+func (p *generalPrepared) Game() *core.Game      { return p.g }
+func (p *generalPrepared) SetBuyer(b core.Buyer) { p.g.Buyer = b }
+func (p *generalPrepared) Clone() Prepared       { return &generalPrepared{b: p.b, g: p.g.Clone()} }
+
+// Solve runs the numerical backward induction under the backend's loss.
+func (p *generalPrepared) Solve(ctx context.Context) (*core.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	loss := p.g.QuadraticLoss()
+	if p.b.LossFor != nil {
+		loss = p.b.LossFor(p.g)
+	}
+	return p.g.SolveGeneralCtx(ctx, core.GeneralOptions{
+		Loss:     loss,
+		PriceTol: p.b.PriceTol,
+		Nash: nash.Options{
+			Sweep:   nash.Jacobi,
+			Workers: p.b.Workers,
+		},
+	})
+}

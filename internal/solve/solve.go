@@ -1,0 +1,163 @@
+// Package solve is the unified solver-backend layer: one seam through which
+// every consumer — the market engine, the HTTP service, the figure harness
+// and the CLIs — obtains Stackelberg-Nash equilibria, regardless of how they
+// are computed.
+//
+// The paper derives three routes to the equilibrium. The closed-form
+// backward induction (Eqs. 20, 25, 27) applies to the quadratic loss; the
+// mean-field approximation (Eq. 23) trades exactness for O(m) solves with
+// the Theorem 5.1 error guarantee; and "complicated function forms" (§5.1.1)
+// with no closed form at all need the fully numerical cascade of
+// core.SolveGeneral. Before this layer existed only the first route was
+// reachable from the market and the service. A Backend now packages each
+// route behind the same two-phase contract the PR 1 cache machinery
+// established:
+//
+//	Precompute(game)  →  Prepared     (once per seller population: O(m))
+//	Prepared.Clone()  →  Prepared     (once per request: O(m) copy, cache carried)
+//	SetBuyer + Solve  →  *Profile     (per demand: the backend's own cost)
+//
+// Backends register themselves by name in a process-global registry;
+// consumers select one with Lookup and treat the empty string as the
+// analytic default. All backends honor the repo determinism convention:
+// results are bit-identical for every worker count.
+package solve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"share/internal/core"
+	"share/internal/nash"
+	"share/internal/parallel"
+)
+
+// Backend is one equilibrium-solving strategy. Implementations must be
+// stateless values safe for concurrent use; all per-game state lives in the
+// Prepared they return.
+type Backend interface {
+	// Name is the registry key, the wire value of the HTTP `solver` field
+	// and the CLI `-solver` flag.
+	Name() string
+	// Precompute deep-clones g, validates it and builds whatever per-game
+	// state makes subsequent Solve calls cheap. The caller's game is never
+	// retained or mutated.
+	Precompute(g *core.Game) (Prepared, error)
+}
+
+// Prepared is a game bound to a backend, ready to solve. A Prepared is NOT
+// safe for concurrent use — Clone one per goroutine (the intended pattern:
+// hold a long-lived prototype, Clone per request or per grid point).
+type Prepared interface {
+	// Backend returns the backend that built this Prepared.
+	Backend() Backend
+	// Game exposes the owned game for parameter mutation between solves
+	// (sweeps over λ/ω go through Game().SetLambda etc.; buyer-only sweeps
+	// should prefer SetBuyer). The returned pointer stays owned by the
+	// Prepared — do not retain it past the Prepared's lifetime.
+	Game() *core.Game
+	// SetBuyer swaps the demand side. Buyer parameters never enter the
+	// precomputed seller aggregates, so this is O(1) and cache-preserving.
+	SetBuyer(b core.Buyer)
+	// Solve computes the equilibrium profile. Approximate backends attach
+	// Profile.Approx; exact ones leave it nil. A canceled context returns
+	// promptly with the context's error.
+	Solve(ctx context.Context) (*core.Profile, error)
+	// Clone returns an independent copy sharing no mutable state, carrying
+	// any precomputed caches.
+	Clone() Prepared
+}
+
+// DefaultName is the backend consumers fall back to when none is named —
+// the analytic closed-form path, exact and the fastest by orders of
+// magnitude for the paper's quadratic loss.
+const DefaultName = "analytic"
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Backend)
+)
+
+// Register adds a backend to the process-global registry. It panics on an
+// empty or duplicate name — registration is an init-time programming action,
+// not a runtime input.
+func Register(b Backend) {
+	name := b.Name()
+	if name == "" {
+		panic("solve: Register with empty backend name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("solve: Register called twice for backend %q", name))
+	}
+	registry[name] = b
+}
+
+// Lookup resolves a backend name; the empty string selects DefaultName. The
+// error lists the registered names, making it directly usable as an HTTP
+// 400 or flag-validation message.
+func Lookup(name string) (Backend, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	regMu.RLock()
+	b, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("solve: unknown backend %q (registered: %v)", name, Names())
+	}
+	return b, nil
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	regMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(Analytic{})
+	Register(MeanField{})
+	Register(General{})
+}
+
+// Map fans fn over [0, n) with a per-index Clone of proto, following the
+// repo determinism convention (index-owned slots, in-order error selection).
+// It is the sweep-grid workhorse: precompute once, clone per point, mutate
+// the clone freely inside fn.
+func Map[T any](workers, n int, proto Prepared, fn func(index int, p Prepared) (T, error)) ([]T, error) {
+	return parallel.Map(workers, n, func(i int) (T, error) {
+		return fn(i, proto.Clone())
+	})
+}
+
+// Stage3Game builds the sellers' inner simultaneous game at data price pD as
+// a nash.Game, for harnesses that cross-validate closed forms against the
+// iterated-best-response equilibrium (the analytic-vs-numeric figure). A nil
+// loss selects the paper's quadratic seller profit via g.SellerProfit —
+// bit-identical to the historical harness payoff — while a non-nil loss
+// routes through GeneralSellerProfit.
+func Stage3Game(g *core.Game, pD float64, loss core.LossFunc) *nash.Game {
+	payoff := func(i int, x float64, s []float64) float64 {
+		tau := append([]float64(nil), s...)
+		tau[i] = x
+		return g.SellerProfit(i, pD, tau)
+	}
+	if loss != nil {
+		payoff = func(i int, x float64, s []float64) float64 {
+			tau := append([]float64(nil), s...)
+			tau[i] = x
+			return g.GeneralSellerProfit(i, pD, tau, loss)
+		}
+	}
+	return &nash.Game{Players: g.M(), Payoff: payoff}
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# make cover: per-package statement coverage for the whole module, with a
+# hard floor on internal/solve — the solver-backend seam every consumer now
+# routes through must stay thoroughly tested.
+set -eu
+
+FLOOR=80.0
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+go test -cover ./... | tee "$out"
+
+pct=$(awk '/share\/internal\/solve/ { if (match($0, /coverage: [0-9.]+%/)) { s = substr($0, RSTART + 10, RLENGTH - 11); print s; exit } }' "$out")
+if [ -z "$pct" ]; then
+    echo "cover: no coverage reported for share/internal/solve" >&2
+    exit 1
+fi
+if [ "$(awk -v p="$pct" -v f="$FLOOR" 'BEGIN { print (p + 0 >= f + 0) ? "ok" : "low" }')" != ok ]; then
+    echo "cover: share/internal/solve at ${pct}% is below the ${FLOOR}% floor" >&2
+    exit 1
+fi
+echo "cover: share/internal/solve at ${pct}% meets the ${FLOOR}% floor"
