@@ -20,22 +20,28 @@ test:
 # pins the moment-cached Shapley kernel to the seed-path estimator under the
 # race detector; the solver-backend pass pins cross-backend agreement, the
 # Jacobi determinism guarantee and the Stage-3 τ-boundary cases of the
-# general cascade; and the serve-smoke end-to-end pass rides along so the
-# gate also exercises the live server lifecycle (boot, trade, metrics,
+# general cascade; the pool pass pins per-market isolation, the
+# delete-drain race and batch-quote determinism under the race detector;
+# and the serve-smoke end-to-end pass rides along so the gate also
+# exercises the live server lifecycle (boot, /v2 markets, trade, metrics,
 # SIGTERM drain, snapshot restore).
 race: vet
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestKernelEquivalence|TestRunRoundShapleyIdenticalAcrossWorkers' -count=1 ./internal/valuation ./internal/market
 	$(GO) test -race -run 'TestGeneralMatchesAnalytic|TestGeneralDeterministicAcrossWorkers|TestMapDeterministicAcrossWorkers|TestMeanFieldWithinTheoremBounds|TestSolveGeneralTau' -count=1 ./internal/solve ./internal/core
+	$(GO) test -race -run 'TestMarketsAreIsolated|TestDeleteDrainsInFlightRounds|TestBatchQuoteDeterminism' -count=1 ./internal/pool
 	$(MAKE) serve-smoke
 
 # Statement coverage for every package, failing if internal/solve — the
-# backend seam every equilibrium consumer routes through — drops below 80%.
+# backend seam every equilibrium consumer routes through — or internal/pool
+# — the multi-market engine behind /v2 — drops below 80%.
 cover:
 	sh scripts/cover.sh
 
-# Boot share-server, run a register/quote/trade/metrics sequence over HTTP,
-# SIGTERM it, and reboot from the persisted snapshot.
+# Boot share-server, run a register/quote/trade/metrics sequence over HTTP
+# plus the /v2 market lifecycle (create, batch quote, trade, delete),
+# SIGTERM it, and reboot from the persisted snapshot — both the legacy
+# single-file mode and the per-market -snapshot-dir mode.
 serve-smoke:
 	sh scripts/serve_smoke.sh
 

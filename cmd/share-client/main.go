@@ -1,26 +1,35 @@
 // Command share-client talks to a running share-server from the command
-// line: register sellers, fetch quotes, execute trades, inspect the ledger
-// and weights.
+// line: manage markets, register sellers, fetch quotes, execute trades,
+// inspect the ledger and weights.
 //
 // Usage:
 //
-//	share-client [-server URL] <command> [flags]
+//	share-client [-server URL] [-market ID] <command> [flags]
 //
 // Commands:
 //
-//	health                          server liveness and market state
+//	health                          server liveness and default-market state
+//	markets                         list hosted markets
+//	create-market -id ID [...]      create a market
+//	delete-market -id ID            drain and delete a market
 //	register -id ID -lambda λ [-rows N]   register a synthetic-data seller
-//	sellers                         list sellers with weights
+//	sellers  [-limit N] [-offset N] list sellers with weights
 //	quote  [-n N] [-v V] [...]      solve the game without trading
+//	quotes -demands JSON            solve a batch of demands concurrently
 //	trade  [-n N] [-v V] [...]      execute one trading round
-//	trades                          print the transaction ledger
+//	trades [-limit N] [-offset N]   print the transaction ledger
 //	weights                         print the broker's dataset weights
+//
+// With -market ID the per-market commands go through the /v2 resource API
+// against that market; without it they use the flat /v1 aliases (the
+// server's default market).
 //
 // Example session (against `share-server -demo 10`):
 //
 //	share-client quote -n 200 -v 0.8
-//	share-client trade -n 200 -v 0.8
-//	share-client trades
+//	share-client create-market -id alpha
+//	share-client -market alpha register -id s1 -lambda 0.4
+//	share-client -market alpha quotes -demands '[{"n":200,"v":0.8},{"n":400,"v":0.9}]'
 package main
 
 import (
@@ -28,8 +37,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"share/internal/httpapi"
@@ -40,6 +51,7 @@ func main() {
 	log.SetPrefix("share-client: ")
 
 	server := flag.String("server", "http://localhost:8080", "share-server base URL")
+	marketID := flag.String("market", "", "operate on this market via /v2 (empty = the default market via /v1)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -53,26 +65,33 @@ func main() {
 
 	cmd := flag.Arg(0)
 	args := flag.Args()[1:]
-	if err := dispatch(ctx, client, cmd, args); err != nil {
+	if err := dispatch(ctx, client, *marketID, cmd, args); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: share-client [-server URL] <command> [flags]
+	fmt.Fprintf(os.Stderr, `usage: share-client [-server URL] [-market ID] <command> [flags]
 
 commands:
-  health      server liveness and market state
-  register    register a seller: -id ID -lambda λ [-rows N]
-  sellers     list registered sellers
-  quote       equilibrium quote: [-n N] [-v V] [-theta1 θ] [-rho1 ρ] [-rho2 ρ]
-  trade       execute one round (same flags as quote)
-  trades      print the transaction ledger
-  weights     print broker dataset weights
+  health         server liveness and default-market state
+  markets        list hosted markets
+  create-market  create a market: -id ID [-solver NAME] [-seed N]
+  delete-market  drain and delete a market: -id ID
+  register       register a seller: -id ID -lambda λ [-rows N]
+  sellers        list registered sellers: [-limit N] [-offset N]
+  quote          equilibrium quote: [-n N] [-v V] [-theta1 θ] [-rho1 ρ] [-rho2 ρ] [-solver NAME]
+  quotes         batch quotes: -demands '[{"n":...,"v":...},...]' (or "-" for stdin)
+  trade          execute one round (same flags as quote, plus -product)
+  trades         print the transaction ledger: [-limit N] [-offset N]
+  weights        print broker dataset weights
+
+-market ID routes the per-market commands through /v2/markets/ID; without
+it they use the flat /v1 aliases (the server's default market).
 `)
 }
 
-func dispatch(ctx context.Context, c *httpapi.Client, cmd string, args []string) error {
+func dispatch(ctx context.Context, c *httpapi.Client, marketID, cmd string, args []string) error {
 	switch cmd {
 	case "health":
 		h, err := c.Health(ctx)
@@ -80,6 +99,46 @@ func dispatch(ctx context.Context, c *httpapi.Client, cmd string, args []string)
 			return err
 		}
 		return printJSON(h)
+	case "markets":
+		ms, err := c.Markets(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(ms)
+	case "create-market":
+		fs := flag.NewFlagSet("create-market", flag.ExitOnError)
+		id := fs.String("id", "", "market id (required)")
+		solver := fs.String("solver", "", "equilibrium backend for the market (empty = server default)")
+		seed := fs.Int64("seed", 0, "pin the market's random seed")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if *id == "" {
+			return fmt.Errorf("create-market: -id is required")
+		}
+		spec := httpapi.MarketSpec{ID: *id, Solver: *solver}
+		if seedSet(fs) {
+			spec.Seed = seed
+		}
+		info, err := c.CreateMarket(ctx, spec)
+		if err != nil {
+			return err
+		}
+		return printJSON(info)
+	case "delete-market":
+		fs := flag.NewFlagSet("delete-market", flag.ExitOnError)
+		id := fs.String("id", "", "market id (required)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if *id == "" {
+			return fmt.Errorf("delete-market: -id is required")
+		}
+		if err := c.DeleteMarket(ctx, *id); err != nil {
+			return err
+		}
+		fmt.Printf("market %q deleted\n", *id)
+		return nil
 	case "register":
 		fs := flag.NewFlagSet("register", flag.ExitOnError)
 		id := fs.String("id", "", "seller id (required)")
@@ -91,15 +150,31 @@ func dispatch(ctx context.Context, c *httpapi.Client, cmd string, args []string)
 		if *id == "" {
 			return fmt.Errorf("register: -id is required")
 		}
-		info, err := c.RegisterSeller(ctx, httpapi.SellerRegistration{
-			ID: *id, Lambda: *lambda, SyntheticRows: *rows,
-		})
+		reg := httpapi.SellerRegistration{ID: *id, Lambda: *lambda, SyntheticRows: *rows}
+		var (
+			info httpapi.SellerInfo
+			err  error
+		)
+		if marketID != "" {
+			info, err = c.RegisterSellerIn(ctx, marketID, reg)
+		} else {
+			info, err = c.RegisterSeller(ctx, reg)
+		}
 		if err != nil {
 			return err
 		}
 		return printJSON(info)
 	case "sellers":
-		s, err := c.Sellers(ctx)
+		page, err := parsePage(cmd, args)
+		if err != nil {
+			return err
+		}
+		var s []httpapi.SellerInfo
+		if marketID != "" || page != (httpapi.Page{}) {
+			s, err = c.SellersIn(ctx, orDefault(marketID), page)
+		} else {
+			s, err = c.Sellers(ctx)
+		}
 		if err != nil {
 			return err
 		}
@@ -110,25 +185,69 @@ func dispatch(ctx context.Context, c *httpapi.Client, cmd string, args []string)
 			return err
 		}
 		if cmd == "quote" {
+			if marketID != "" {
+				qs, err := c.QuoteBatch(ctx, marketID, []httpapi.Demand{d})
+				if err != nil {
+					return err
+				}
+				return printJSON(qs[0])
+			}
 			q, err := c.Quote(ctx, d)
 			if err != nil {
 				return err
 			}
 			return printJSON(q)
 		}
-		tr, err := c.Trade(ctx, d)
+		var tr httpapi.TradeResult
+		if marketID != "" {
+			tr, err = c.TradeIn(ctx, marketID, d)
+		} else {
+			tr, err = c.Trade(ctx, d)
+		}
 		if err != nil {
 			return err
 		}
 		return printJSON(tr)
+	case "quotes":
+		fs := flag.NewFlagSet("quotes", flag.ExitOnError)
+		raw := fs.String("demands", "", `JSON array of demands, e.g. '[{"n":200,"v":0.8}]' ("-" reads stdin; required)`)
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		demands, err := parseDemands(*raw)
+		if err != nil {
+			return err
+		}
+		qs, err := c.QuoteBatch(ctx, orDefault(marketID), demands)
+		if err != nil {
+			return err
+		}
+		return printJSON(qs)
 	case "trades":
-		ts, err := c.Trades(ctx)
+		page, err := parsePage(cmd, args)
+		if err != nil {
+			return err
+		}
+		var ts []httpapi.TradeResult
+		if marketID != "" || page != (httpapi.Page{}) {
+			ts, err = c.TradesIn(ctx, orDefault(marketID), page)
+		} else {
+			ts, err = c.Trades(ctx)
+		}
 		if err != nil {
 			return err
 		}
 		return printJSON(ts)
 	case "weights":
-		w, err := c.Weights(ctx)
+		var (
+			w   []float64
+			err error
+		)
+		if marketID != "" {
+			w, err = c.WeightsIn(ctx, marketID)
+		} else {
+			w, err = c.Weights(ctx)
+		}
 		if err != nil {
 			return err
 		}
@@ -139,6 +258,37 @@ func dispatch(ctx context.Context, c *httpapi.Client, cmd string, args []string)
 	}
 }
 
+// orDefault maps an unset -market onto the server's default-market ID for
+// commands that only exist on /v2.
+func orDefault(marketID string) string {
+	if marketID == "" {
+		return httpapi.DefaultMarketID
+	}
+	return marketID
+}
+
+// seedSet reports whether -seed was passed explicitly (0 is a valid seed,
+// so the default value cannot signal absence).
+func seedSet(fs *flag.FlagSet) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			set = true
+		}
+	})
+	return set
+}
+
+func parsePage(cmd string, args []string) (httpapi.Page, error) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	limit := fs.Int("limit", 0, "cap the listing (0 = no limit)")
+	offset := fs.Int("offset", 0, "skip the first N items")
+	if err := fs.Parse(args); err != nil {
+		return httpapi.Page{}, err
+	}
+	return httpapi.Page{Limit: *limit, Offset: *offset}, nil
+}
+
 func parseDemand(cmd string, args []string) (httpapi.Demand, error) {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	n := fs.Float64("n", 500, "demanded data quantity N")
@@ -146,10 +296,36 @@ func parseDemand(cmd string, args []string) (httpapi.Demand, error) {
 	theta1 := fs.Float64("theta1", 0, "dataset-quality concern θ₁ (0 = server default)")
 	rho1 := fs.Float64("rho1", 0, "dataset-quality sensitivity ρ₁ (0 = server default)")
 	rho2 := fs.Float64("rho2", 0, "performance sensitivity ρ₂ (0 = server default)")
+	product := fs.String("product", "", "data product for trades: ols|ridge|logistic|mean|histogram (empty = ols)")
+	solver := fs.String("solver", "", "equilibrium backend for this request (empty = market default)")
 	if err := fs.Parse(args); err != nil {
 		return httpapi.Demand{}, err
 	}
-	return httpapi.Demand{N: *n, V: *v, Theta1: *theta1, Rho1: *rho1, Rho2: *rho2}, nil
+	return httpapi.Demand{
+		N: *n, V: *v, Theta1: *theta1, Rho1: *rho1, Rho2: *rho2,
+		Product: *product, Solver: *solver,
+	}, nil
+}
+
+// parseDemands decodes the -demands JSON array; "-" reads it from stdin.
+func parseDemands(raw string) ([]httpapi.Demand, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("quotes: -demands is required")
+	}
+	if raw == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, fmt.Errorf("quotes: reading stdin: %w", err)
+		}
+		raw = string(b)
+	}
+	dec := json.NewDecoder(strings.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var demands []httpapi.Demand
+	if err := dec.Decode(&demands); err != nil {
+		return nil, fmt.Errorf("quotes: decoding -demands: %w", err)
+	}
+	return demands, nil
 }
 
 func printJSON(v any) error {

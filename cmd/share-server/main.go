@@ -30,10 +30,14 @@
 //	curl -s localhost:8080/v1/trades -d '{"n":200,"v":0.8}'
 //	curl -s localhost:8080/v1/metrics
 //
-// With -snapshot PATH the server restores its roster, weights and ledger
-// from PATH on boot (when the file exists) and persists them back — via an
-// atomic write-temp-then-rename — on graceful shutdown (SIGINT/SIGTERM) and
-// after every trade, so a crash loses at most the in-flight round.
+// With -snapshot PATH the server restores its default market from PATH on
+// boot (when the file exists) and persists it back — via an atomic
+// write-temp-then-rename — on graceful shutdown (SIGINT/SIGTERM) and after
+// every trade, so a crash loses at most the in-flight round. With
+// -snapshot-dir DIR every hosted market persists to DIR/<id>.json the same
+// way (after each trade and on shutdown) and the whole pool is restored on
+// boot; a corrupt file is skipped with a warning. The two flags are
+// mutually exclusive; prefer -snapshot-dir for multi-market (/v2) servers.
 package main
 
 import (
@@ -65,7 +69,8 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		seed         = flag.Int64("seed", 1, "random seed")
 		demo         = flag.Int("demo", 0, "pre-register this many synthetic sellers")
-		snapshot     = flag.String("snapshot", "", "restore market state from this file on boot, persist on shutdown and after each trade")
+		snapshot     = flag.String("snapshot", "", "restore the default market from this file on boot, persist on shutdown and after each trade")
+		snapshotDir  = flag.String("snapshot-dir", "", "per-market persistence directory: restore every market from DIR/<id>.json on boot, persist after each trade and on shutdown (mutually exclusive with -snapshot)")
 		maxBody      = flag.Int64("max-body", 0, "request body cap in bytes (0 = 8 MiB default)")
 		tradeTimeout = flag.Duration("trade-timeout", 0, "server-side deadline per trading round (0 = none)")
 		drain        = flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain window for in-flight requests")
@@ -77,6 +82,9 @@ func main() {
 
 	if _, err := solve.Lookup(*solver); err != nil {
 		log.Fatalf("-solver: %v", err)
+	}
+	if *snapshot != "" && *snapshotDir != "" {
+		log.Fatalf("-snapshot and -snapshot-dir are mutually exclusive")
 	}
 
 	if *pprofAddr != "" {
@@ -97,11 +105,13 @@ func main() {
 		TradeTimeout: *tradeTimeout,
 		Workers:      *workers,
 		Solver:       *solver,
+		SnapshotDir:  *snapshotDir,
 	})
 	handler := srv.Handler()
 
 	restored := false
-	if *snapshot != "" {
+	switch {
+	case *snapshot != "":
 		switch err := srv.RestoreSnapshot(*snapshot); {
 		case err == nil:
 			log.Printf("restored market state from %s", *snapshot)
@@ -110,6 +120,21 @@ func main() {
 			log.Printf("no snapshot at %s yet; starting empty", *snapshot)
 		default:
 			log.Fatalf("restoring snapshot: %v", err)
+		}
+	case *snapshotDir != "":
+		ids, err := srv.Pool().RestoreAll()
+		if err != nil {
+			log.Fatalf("restoring snapshot directory: %v", err)
+		}
+		if len(ids) > 0 {
+			log.Printf("restored %d market(s) from %s: %v", len(ids), *snapshotDir, ids)
+		} else {
+			log.Printf("no snapshots under %s yet; starting empty", *snapshotDir)
+		}
+		for _, id := range ids {
+			if id == srv.DefaultMarket() {
+				restored = true // don't overlay demo sellers on a restored default market
+			}
 		}
 	}
 
@@ -151,11 +176,17 @@ func main() {
 	if err := httpServer.Shutdown(drainCtx); err != nil {
 		log.Printf("drain incomplete: %v", err)
 	}
-	if *snapshot != "" {
+	switch {
+	case *snapshot != "":
 		if err := srv.SaveSnapshot(*snapshot); err != nil {
 			log.Fatalf("saving snapshot: %v", err)
 		}
 		log.Printf("market state saved to %s", *snapshot)
+	case *snapshotDir != "":
+		if err := srv.Pool().SaveAll(); err != nil {
+			log.Fatalf("saving snapshot directory: %v", err)
+		}
+		log.Printf("all markets saved under %s", *snapshotDir)
 	}
 	log.Printf("bye")
 }

@@ -1,25 +1,37 @@
-// Package httpapi exposes a Share market as a JSON-over-HTTP service — the
-// "large-scale data trading center" of the paper's market assumptions, made
-// operational. A server owns one broker (one market): sellers register with
-// their privacy sensitivity and data, buyers post demands, and each demand
-// runs one full round of Algorithm 1 (strategy decision, LDP data
-// transaction, product manufacture, Shapley weight update, settlement).
+// Package httpapi exposes a pool of Share markets as a JSON-over-HTTP
+// service — the "large-scale data trading center" of the paper's market
+// assumptions, made operational and multi-tenant. A server hosts many
+// named markets (internal/pool); in each, sellers register with their
+// privacy sensitivity and data, buyers post demands, and each demand runs
+// one full round of Algorithm 1 (strategy decision, LDP data transaction,
+// product manufacture, Shapley weight update, settlement).
 //
-// Endpoints (all JSON):
+// The resource-oriented /v2 API (all JSON):
 //
-//	GET  /v1/health    liveness and market state
-//	POST /v1/sellers   register a seller (before the first trade)
-//	GET  /v1/sellers   list registered sellers
-//	POST /v1/quote     solve the game for a demand without trading
-//	POST /v1/trades    run one trading round for a buyer demand
-//	GET  /v1/trades    list executed transactions
-//	GET  /v1/weights   current broker dataset weights
-//	GET  /v1/metrics   request counters, latency quantiles, in-flight gauges
+//	POST   /v2/markets                     create a market {"id", "solver"?, "seed"?}
+//	GET    /v2/markets                     list hosted markets
+//	GET    /v2/markets/{id}                one market's state
+//	DELETE /v2/markets/{id}                drain in-flight rounds, delete
+//	POST   /v2/markets/{id}/sellers        register a seller
+//	GET    /v2/markets/{id}/sellers        list sellers (limit/offset)
+//	POST   /v2/markets/{id}/quotes         solve a BATCH of demands concurrently
+//	POST   /v2/markets/{id}/trades         run one trading round
+//	GET    /v2/markets/{id}/trades         list the ledger (limit/offset)
+//	GET    /v2/markets/{id}/weights        broker dataset weights
+//	GET    /v1/metrics                     request counters, latency quantiles, per-market series
 //
-// Concurrency model: reads are lock-free against an immutable copy-on-write
-// view (see marketView); only registration and trades serialize behind the
-// write mutex. A trade holding the write path for minutes never delays a
-// quote.
+// The flat /v1 routes (health, sellers, quote, trades, weights) survive as
+// thin aliases onto the server's default market, so every pre-pool client
+// keeps working unchanged.
+//
+// Errors: every non-2xx response, v1 and v2, carries the unified envelope
+// {"error": {"code", "field", "message"}} with a stable machine-readable
+// code (see the Code* constants).
+//
+// Concurrency model: reads are lock-free against each market's immutable
+// copy-on-write view; only registration and trades serialize, per market.
+// A trade holding one market's write path for minutes never delays a quote
+// anywhere, nor a trade in any other market.
 package httpapi
 
 import (
@@ -30,7 +42,7 @@ import (
 	"io"
 	"log"
 	"net/http"
-	"sync"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -38,9 +50,9 @@ import (
 	"share/internal/dataset"
 	"share/internal/market"
 	"share/internal/obs"
+	"share/internal/pool"
 	"share/internal/product"
 	"share/internal/solve"
-	"share/internal/stat"
 	"share/internal/translog"
 )
 
@@ -49,28 +61,20 @@ import (
 // the memory an abusive payload can pin.
 const defaultMaxBodyBytes = 8 << 20
 
-// Server is the HTTP facade over one market.
-//
-// Locking: writeMu serializes the mutating endpoints (seller registration,
-// trades) and snapshot save/restore. Read-only endpoints never take it —
-// they load the atomically-published marketView. After every successful
-// mutation the writer rebuilds and republishes the view.
+// DefaultMarketID is the market the /v1 alias routes operate on when
+// Options.DefaultMarket is unset.
+const DefaultMarketID = "default"
+
+// Server is the HTTP facade over a market pool. The default market backs
+// the /v1 alias routes; /v2 addresses any hosted market by ID.
 type Server struct {
-	writeMu sync.Mutex
-	view    atomic.Pointer[marketView]
+	pool      *pool.Pool
+	defaultID string
 
-	cfg     market.Config
-	sellers []*market.Seller // guarded by writeMu
-	mkt     *market.Market   // guarded by writeMu
-
-	logf         func(format string, args ...any)
-	metrics      *obs.Registry
-	valuation    *obs.Endpoint            // Shapley weight-update latency per trade
-	solveObs     map[string]*obs.Endpoint // per-backend equilibrium-solve latency
-	solver       solve.Backend            // default equilibrium backend
-	maxBody      int64
-	tradeTimeout time.Duration
-	reqSeq       atomic.Uint64
+	logf    func(format string, args ...any)
+	metrics *obs.Registry
+	maxBody int64
+	reqSeq  atomic.Uint64
 
 	// testHookTradeBuilder, when set, replaces the resolved product builder
 	// on every trade. Tests use it to inject blocking or failing builders;
@@ -84,21 +88,24 @@ type Options struct {
 	// defaults).
 	Cost *translog.Params
 	// TestRows sizes the held-out synthetic CCPP test set used to score
-	// products (0 → 500).
+	// products, per market (0 → 500).
 	TestRows int
 	// Update enables Shapley weight updates (nil → the paper's
 	// ω' = 0.2ω + 0.8·SV with 20 permutations).
 	Update *market.WeightUpdate
-	// Workers caps the Shapley valuation worker pool per trade (0 keeps
-	// the Update's own setting). The moment-cached kernel's output is
-	// identical for every worker count, so this is purely a latency knob.
+	// Workers is the shared worker budget: Shapley valuation fan-out per
+	// trade and batch-quote fan-out (0 keeps the Update's own setting; the
+	// moment-cached kernel's output is identical for every worker count,
+	// so this is purely a latency knob).
 	Workers int
 	// Solver names the default equilibrium backend ("" → analytic).
-	// Individual quotes and trades may override it via the demand's
-	// `solver` field. An unknown name falls back to the analytic default
-	// (CLI entry points validate the flag before getting here).
+	// Markets may override it at creation, and individual quotes and
+	// trades via the demand's `solver` field. An unknown name falls back
+	// to the analytic default (CLI entry points validate the flag before
+	// getting here).
 	Solver string
-	// Seed seeds the server's market randomness.
+	// Seed seeds the server's default market; other markets derive their
+	// seeds from it unless created with an explicit one.
 	Seed int64
 	// Logf receives request-level log lines (nil → log.Printf).
 	Logf func(format string, args ...any)
@@ -108,27 +115,18 @@ type Options struct {
 	// TradeTimeout bounds one trading round beyond the request's own
 	// context; expired rounds return 504 (0 → no server-side deadline).
 	TradeTimeout time.Duration
+	// SnapshotDir enables per-market snapshot persistence under this
+	// directory ("" → disabled). See Server.RestoreMarkets / SaveMarkets.
+	SnapshotDir string
+	// DefaultMarket names the market the /v1 aliases operate on
+	// ("" → "default").
+	DefaultMarket string
 }
 
-// NewServer builds an empty market service: sellers register over HTTP.
+// NewServer builds a service hosting one empty default market; further
+// markets are created over HTTP (POST /v2/markets) or restored from the
+// snapshot directory.
 func NewServer(opt Options) *Server {
-	cost := translog.PaperDefaults()
-	if opt.Cost != nil {
-		cost = *opt.Cost
-	}
-	testRows := opt.TestRows
-	if testRows <= 0 {
-		testRows = 500
-	}
-	upd := opt.Update
-	if upd == nil {
-		upd = &market.WeightUpdate{Retain: 0.2, Permutations: 20, TruncateTol: 0.005}
-	}
-	if opt.Workers != 0 {
-		u := *upd // don't mutate the caller's struct
-		u.Workers = opt.Workers
-		upd = &u
-	}
 	logf := opt.Logf
 	if logf == nil {
 		logf = log.Printf
@@ -137,46 +135,48 @@ func NewServer(opt Options) *Server {
 	if maxBody <= 0 {
 		maxBody = defaultMaxBodyBytes
 	}
-	backend, err := solve.Lookup(opt.Solver)
-	if err != nil {
-		logf("httpapi: %v; falling back to %q", err, solve.DefaultName)
-		backend, _ = solve.Lookup(solve.DefaultName)
+	defaultID := opt.DefaultMarket
+	if defaultID == "" {
+		defaultID = DefaultMarketID
 	}
-	rng := stat.NewRand(opt.Seed + 7)
 	s := &Server{
-		cfg: market.Config{
-			Cost:    cost,
-			TestSet: dataset.SyntheticCCPP(testRows, rng),
-			Update:  upd,
-			Solver:  backend,
-			Seed:    opt.Seed,
-		},
-		logf:         logf,
-		metrics:      obs.NewRegistry(),
-		solver:       backend,
-		maxBody:      maxBody,
-		tradeTimeout: opt.TradeTimeout,
+		defaultID: defaultID,
+		logf:      logf,
+		metrics:   obs.NewRegistry(),
+		maxBody:   maxBody,
 	}
-	// Standalone latency series (no request counters): how long the Shapley
-	// valuation phase of each trade took. Surfaces in /v1/metrics alongside
-	// the endpoint stats.
-	s.valuation = s.metrics.Endpoint("trade/valuation")
-	// Per-backend equilibrium-solve latency: every quote and every trade's
-	// strategy phase lands in the solve/<name> series of the backend that
-	// ran it, making backend cost differences directly observable at
-	// GET /v1/metrics.
-	s.solveObs = make(map[string]*obs.Endpoint, len(solve.Names()))
-	for _, name := range solve.Names() {
-		s.solveObs[name] = s.metrics.Endpoint("solve/" + name)
+	s.pool = pool.New(pool.Options{
+		Cost:         opt.Cost,
+		TestRows:     opt.TestRows,
+		Update:       opt.Update,
+		Workers:      opt.Workers,
+		Solver:       opt.Solver,
+		Seed:         opt.Seed,
+		TradeTimeout: opt.TradeTimeout,
+		SnapshotDir:  opt.SnapshotDir,
+		Metrics:      s.metrics,
+		Logf:         logf,
+	})
+	seed := opt.Seed
+	if _, err := s.pool.Create(pool.Spec{ID: defaultID, Seed: &seed}); err != nil {
+		// Unreachable: the pool is empty and the ID was validated above by
+		// construction; fail loudly rather than serve without the alias
+		// target.
+		panic(fmt.Sprintf("httpapi: creating default market: %v", err))
 	}
-	// The empty market still has a well-defined view.
-	s.view.Store(&marketView{weights: core.UniformWeights(1)})
 	return s
 }
 
 // Metrics exposes the server's observability registry (for embedding or
 // custom exporters).
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Pool exposes the underlying market pool (for embedding and lifecycle
+// hooks in cmd/share-server).
+func (s *Server) Pool() *pool.Pool { return s.pool }
+
+// DefaultMarket names the market the /v1 aliases operate on.
+func (s *Server) DefaultMarket() string { return s.defaultID }
 
 // Handler returns the routed http.Handler for the service. Every route is
 // instrumented: per-endpoint counters/latency/in-flight in the metrics
@@ -186,15 +186,55 @@ func (s *Server) Handler() http.Handler {
 	route := func(pattern string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
-	route("GET /v1/health", s.handleHealth)
-	route("POST /v1/sellers", s.handleRegisterSeller)
-	route("GET /v1/sellers", s.handleListSellers)
-	route("POST /v1/quote", s.handleQuote)
-	route("POST /v1/trades", s.handleTrade)
-	route("GET /v1/trades", s.handleListTrades)
-	route("GET /v1/weights", s.handleWeights)
+	// v1: flat aliases onto the default market.
+	route("GET /v1/health", s.onDefault(s.handleHealth))
+	route("POST /v1/sellers", s.onDefault(s.handleRegisterSeller))
+	route("GET /v1/sellers", s.onDefault(s.handleListSellers))
+	route("POST /v1/quote", s.onDefault(s.handleQuote))
+	route("POST /v1/trades", s.onDefault(s.handleTrade))
+	route("GET /v1/trades", s.onDefault(s.handleListTrades))
+	route("GET /v1/weights", s.onDefault(s.handleWeights))
 	route("GET /v1/metrics", s.handleMetrics)
+	// v2: resource-oriented, any market by ID.
+	route("POST /v2/markets", s.handleCreateMarket)
+	route("GET /v2/markets", s.handleListMarkets)
+	route("GET /v2/markets/{id}", s.onMarket(s.handleGetMarket))
+	route("DELETE /v2/markets/{id}", s.handleDeleteMarket)
+	route("POST /v2/markets/{id}/sellers", s.onMarket(s.handleRegisterSeller))
+	route("GET /v2/markets/{id}/sellers", s.onMarket(s.handleListSellers))
+	route("POST /v2/markets/{id}/quotes", s.onMarket(s.handleQuoteBatch))
+	route("POST /v2/markets/{id}/trades", s.onMarket(s.handleTrade))
+	route("GET /v2/markets/{id}/trades", s.onMarket(s.handleListTrades))
+	route("GET /v2/markets/{id}/weights", s.onMarket(s.handleWeights))
 	return mux
+}
+
+// marketHandler is a handler bound to a resolved market.
+type marketHandler func(w http.ResponseWriter, r *http.Request, m *pool.Market)
+
+// onMarket resolves the {id} path segment against the pool, answering 404
+// with a market_not_found envelope for unknown IDs.
+func (s *Server) onMarket(h marketHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m, err := s.pool.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		h(w, r, m)
+	}
+}
+
+// onDefault binds a handler to the default market — the /v1 alias path.
+func (s *Server) onDefault(h marketHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m, err := s.pool.Get(s.defaultID)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		h(w, r, m)
+	}
 }
 
 // statusWriter captures the response status for logging and metrics.
@@ -230,8 +270,24 @@ func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
 
 // --- wire types ---
 
-// SellerRegistration is the POST /v1/sellers request body. Exactly one of
-// Rows/Targets or SyntheticRows must supply data.
+// MarketSpec is the POST /v2/markets request body.
+type MarketSpec struct {
+	// ID names the market: 1–64 characters from [A-Za-z0-9._-], starting
+	// with a letter or digit.
+	ID string `json:"id"`
+	// Solver overrides the server's default equilibrium backend for this
+	// market.
+	Solver string `json:"solver,omitempty"`
+	// Seed pins the market's random seed (absent → derived from the
+	// server seed and the ID).
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// MarketInfo is the market resource representation (POST/GET /v2/markets).
+type MarketInfo = pool.Info
+
+// SellerRegistration is the seller-registration request body. Exactly one
+// of Rows/Targets or SyntheticRows must supply data.
 type SellerRegistration struct {
 	// ID labels the seller; must be unique and non-empty.
 	ID string `json:"id"`
@@ -245,7 +301,7 @@ type SellerRegistration struct {
 	SyntheticRows int `json:"synthetic_rows,omitempty"`
 }
 
-// SellerInfo is one entry of GET /v1/sellers.
+// SellerInfo is one entry of the seller listings.
 type SellerInfo struct {
 	ID     string  `json:"id"`
 	Lambda float64 `json:"lambda"`
@@ -253,8 +309,8 @@ type SellerInfo struct {
 	Weight float64 `json:"weight"`
 }
 
-// Demand is a buyer's product demand (POST /v1/quote and /v1/trades). Zero
-// utility fields default to the paper's values.
+// Demand is a buyer's product demand. Zero utility fields default to the
+// paper's values.
 type Demand struct {
 	// N is the requested manufacturing data quantity.
 	N float64 `json:"n"`
@@ -270,13 +326,25 @@ type Demand struct {
 	// is product-agnostic).
 	Product string `json:"product,omitempty"`
 	// Solver selects the equilibrium backend for this request: "" (the
-	// server's default), "analytic", "meanfield" or "general". Approximate
+	// market's default), "analytic", "meanfield" or "general". Approximate
 	// backends attach their error guarantee to the quote.
 	Solver string `json:"solver,omitempty"`
 }
 
+// QuoteBatchRequest is the POST /v2/markets/{id}/quotes body: a batch of
+// demands solved concurrently against one consistent market view.
+type QuoteBatchRequest struct {
+	Demands []Demand `json:"demands"`
+}
+
+// QuoteBatchResult is the batch-quote response; Quotes[i] answers
+// Demands[i].
+type QuoteBatchResult struct {
+	Quotes []Quote `json:"quotes"`
+}
+
 // builderFor resolves a demand's product name against the pooled training
-// data available to the server (needed for the logistic median threshold).
+// data available to the market (needed for the logistic median threshold).
 func builderFor(name string, ref *dataset.Dataset) (product.Builder, error) {
 	switch name {
 	case "", "ols":
@@ -290,18 +358,9 @@ func builderFor(name string, ref *dataset.Dataset) (product.Builder, error) {
 	case "histogram":
 		return product.Histogram{}, nil
 	default:
-		return nil, fmt.Errorf("unknown product %q (want ols|ridge|logistic|mean|histogram)", name)
+		return nil, fieldErrorf("product", "unknown product %q (want ols|ridge|logistic|mean|histogram)", name)
 	}
 }
-
-// fieldError reports a request field that failed validation, rendered as a
-// field-level 400 message.
-type fieldError struct {
-	field string
-	msg   string
-}
-
-func (e *fieldError) Error() string { return fmt.Sprintf("field %q: %s", e.field, e.msg) }
 
 // buyer maps the demand onto the paper's buyer, validating every supplied
 // field: absent (zero) fields fall back to the paper defaults, present
@@ -312,26 +371,26 @@ func (d Demand) buyer() (core.Buyer, error) {
 	b := core.PaperBuyer()
 	if d.N != 0 {
 		if !(d.N > 0) {
-			return b, &fieldError{"n", fmt.Sprintf("data quantity must be positive, got %g", d.N)}
+			return b, fieldErrorf("n", "data quantity must be positive, got %g", d.N)
 		}
 		b.N = d.N
 	}
 	if d.V != 0 {
 		if !(d.V > 0) {
-			return b, &fieldError{"v", fmt.Sprintf("required performance must be positive, got %g", d.V)}
+			return b, fieldErrorf("v", "required performance must be positive, got %g", d.V)
 		}
 		b.V = d.V
 	}
 	if d.Theta1 != 0 && !(d.Theta1 > 0 && d.Theta1 < 1) {
-		return b, &fieldError{"theta1", fmt.Sprintf("must lie in (0,1), got %g", d.Theta1)}
+		return b, fieldErrorf("theta1", "must lie in (0,1), got %g", d.Theta1)
 	}
 	if d.Theta2 != 0 && !(d.Theta2 > 0 && d.Theta2 < 1) {
-		return b, &fieldError{"theta2", fmt.Sprintf("must lie in (0,1), got %g", d.Theta2)}
+		return b, fieldErrorf("theta2", "must lie in (0,1), got %g", d.Theta2)
 	}
 	switch {
 	case d.Theta1 != 0 && d.Theta2 != 0:
 		if diff := d.Theta1 + d.Theta2 - 1; diff < -1e-9 || diff > 1e-9 {
-			return b, &fieldError{"theta1", fmt.Sprintf("theta1+theta2 must sum to 1, got %g", d.Theta1+d.Theta2)}
+			return b, fieldErrorf("theta1", "theta1+theta2 must sum to 1, got %g", d.Theta1+d.Theta2)
 		}
 		b.Theta1, b.Theta2 = d.Theta1, d.Theta2
 	case d.Theta1 != 0:
@@ -341,13 +400,13 @@ func (d Demand) buyer() (core.Buyer, error) {
 	}
 	if d.Rho1 != 0 {
 		if !(d.Rho1 > 0) {
-			return b, &fieldError{"rho1", fmt.Sprintf("must be positive, got %g", d.Rho1)}
+			return b, fieldErrorf("rho1", "must be positive, got %g", d.Rho1)
 		}
 		b.Rho1 = d.Rho1
 	}
 	if d.Rho2 != 0 {
 		if !(d.Rho2 > 0) {
-			return b, &fieldError{"rho2", fmt.Sprintf("must be positive, got %g", d.Rho2)}
+			return b, fieldErrorf("rho2", "must be positive, got %g", d.Rho2)
 		}
 		b.Rho2 = d.Rho2
 	}
@@ -364,7 +423,7 @@ type ApproxInfo struct {
 	ConditionHolds bool    `json:"condition_holds"`
 }
 
-// Quote is the POST /v1/quote response: the equilibrium without a trade.
+// Quote is one solved equilibrium without a trade.
 type Quote struct {
 	Solver       string      `json:"solver"`
 	ProductPrice float64     `json:"product_price"`
@@ -379,7 +438,7 @@ type Quote struct {
 	Approx       *ApproxInfo `json:"approx,omitempty"`
 }
 
-// TradeResult is the POST /v1/trades response.
+// TradeResult is the trade-execution response.
 type TradeResult struct {
 	Round             int       `json:"round"`
 	Product           string    `json:"product"`
@@ -396,20 +455,57 @@ type TradeResult struct {
 	TotalSeconds      float64   `json:"total_seconds"`
 }
 
-// apiError is the error envelope for every non-2xx response.
-type apiError struct {
-	Error string `json:"error"`
+// --- market lifecycle handlers (v2) ---
+
+func (s *Server) handleCreateMarket(w http.ResponseWriter, r *http.Request) {
+	var spec MarketSpec
+	if err := decodeJSON(r, &spec); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	m, err := s.pool.Create(pool.Spec{ID: spec.ID, Solver: spec.Solver, Seed: spec.Seed})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.logf("httpapi: created market %q (solver=%s, seed=%d)", m.ID(), m.Solver(), m.Seed())
+	writeJSON(w, http.StatusCreated, m.Info())
 }
 
-// --- handlers ---
+func (s *Server) handleListMarkets(w http.ResponseWriter, r *http.Request) {
+	infos := s.pool.List()
+	w.Header().Set("X-Total-Count", strconv.Itoa(len(infos)))
+	writeJSON(w, http.StatusOK, infos)
+}
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	v := s.view.Load()
+func (s *Server) handleGetMarket(w http.ResponseWriter, r *http.Request, m *pool.Market) {
+	writeJSON(w, http.StatusOK, m.Info())
+}
+
+func (s *Server) handleDeleteMarket(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == s.defaultID {
+		writeError(w, apiErrorf(http.StatusConflict, CodeMarketProtected,
+			"market %q is the /v1 alias target and cannot be deleted", id))
+		return
+	}
+	if err := s.pool.Delete(r.Context(), id); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.logf("httpapi: deleted market %q", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- per-market handlers (v1 alias + v2) ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request, m *pool.Market) {
+	v := m.View()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"sellers": len(v.sellers),
-		"trades":  len(v.trades),
-		"trading": v.trading,
+		"sellers": len(v.Sellers),
+		"trades":  len(v.Trades),
+		"trading": v.Trading,
 	})
 }
 
@@ -417,72 +513,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 
-func (s *Server) handleRegisterSeller(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRegisterSeller(w http.ResponseWriter, r *http.Request, m *pool.Market) {
 	var reg SellerRegistration
 	if err := decodeJSON(r, &reg); err != nil {
 		writeDecodeError(w, err)
 		return
 	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	if s.mkt != nil {
-		writeError(w, http.StatusConflict, errors.New("market already trading; registration is closed"))
-		return
-	}
-	if reg.ID == "" {
-		writeError(w, http.StatusBadRequest, &fieldError{"id", "seller id is required"})
-		return
-	}
-	for _, existing := range s.sellers {
-		if existing.ID == reg.ID {
-			writeError(w, http.StatusConflict, fmt.Errorf("seller %q already registered", reg.ID))
-			return
-		}
-	}
-	if !(reg.Lambda > 0) {
-		writeError(w, http.StatusBadRequest, &fieldError{"lambda", fmt.Sprintf("must be positive, got %g", reg.Lambda)})
-		return
-	}
-	data, err := s.sellerData(reg)
+	st, err := m.RegisterSeller(pool.Registration{
+		ID:            reg.ID,
+		Lambda:        reg.Lambda,
+		Rows:          reg.Rows,
+		Targets:       reg.Targets,
+		SyntheticRows: reg.SyntheticRows,
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
-	s.sellers = append(s.sellers, &market.Seller{ID: reg.ID, Lambda: reg.Lambda, Data: data})
-	if err := s.publishView(); err != nil {
-		// Roll the registration back: a roster the game rejects (e.g. a
-		// pathological λ passing the > 0 check but failing validation)
-		// must not be half-admitted.
-		s.sellers = s.sellers[:len(s.sellers)-1]
-		writeError(w, http.StatusBadRequest, err)
+	writeJSON(w, http.StatusCreated, SellerInfo{ID: st.ID, Lambda: st.Lambda, Rows: st.Rows})
+}
+
+func (s *Server) handleListSellers(w http.ResponseWriter, r *http.Request, m *pool.Market) {
+	v := m.View()
+	lo, hi, err := paginate(w, r, len(v.Sellers))
+	if err != nil {
+		writeError(w, err)
 		return
 	}
-	s.logf("httpapi: registered seller %q (%d rows, λ=%g)", reg.ID, data.Len(), reg.Lambda)
-	writeJSON(w, http.StatusCreated, SellerInfo{ID: reg.ID, Lambda: reg.Lambda, Rows: data.Len()})
-}
-
-func (s *Server) sellerData(reg SellerRegistration) (*dataset.Dataset, error) {
-	switch {
-	case reg.SyntheticRows > 0 && reg.Rows != nil:
-		return nil, errors.New("provide either inline rows or synthetic_rows, not both")
-	case reg.SyntheticRows > 0:
-		return dataset.SyntheticCCPP(reg.SyntheticRows, stat.NewRand(s.cfg.Seed+int64(len(s.sellers)))), nil
-	case len(reg.Rows) > 0:
-		if len(reg.Rows) != len(reg.Targets) {
-			return nil, fmt.Errorf("%d rows but %d targets", len(reg.Rows), len(reg.Targets))
-		}
-		d := &dataset.Dataset{X: reg.Rows, Y: reg.Targets}
-		if err := d.Validate(); err != nil {
-			return nil, err
-		}
-		return d, nil
-	default:
-		return nil, errors.New("seller data required: inline rows or synthetic_rows")
+	out := make([]SellerInfo, 0, hi-lo)
+	for _, st := range v.Sellers[lo:hi] {
+		out = append(out, SellerInfo{ID: st.ID, Lambda: st.Lambda, Rows: st.Rows, Weight: st.Weight})
 	}
-}
-
-func (s *Server) handleListSellers(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.view.Load().sellers)
+	writeJSON(w, http.StatusOK, out)
 }
 
 func quoteFromProfile(p *core.Profile, solver string) Quote {
@@ -508,30 +570,20 @@ func quoteFromProfile(p *core.Profile, solver string) Quote {
 	return q
 }
 
-// resolveSolver maps a request's solver field to the view's prepared
-// prototype for it, defaulting to the server's configured backend.
-func (s *Server) resolveSolver(v *marketView, requested string) (string, solve.Prepared, error) {
-	name := requested
-	if name == "" {
-		name = s.solver.Name()
+// solveError classifies an equilibrium-solve failure: the prepared game was
+// assembled from the market's own validated sellers and weights, so any
+// failure other than cancellation is attributable to the buyer's demand
+// parameters.
+func solveError(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
 	}
-	proto, ok := v.protos[name]
-	if !ok {
-		if _, err := solve.Lookup(name); err != nil {
-			return name, nil, &fieldError{"solver", err.Error()}
-		}
-		return name, nil, errors.New("no sellers registered")
-	}
-	return name, proto, nil
+	return apiErrorf(http.StatusBadRequest, CodeInvalidDemand, "%v", err)
 }
 
-// handleQuote solves the game against the published view — no locks, so
-// quotes stay responsive while a trade holds the write path. The clone
-// carries the view's Precompute snapshot: the seller-side aggregates are
-// reused and only the buyer parameters are re-validated per quote. The
-// demand's solver field picks any registered backend; the solve lands in
-// that backend's solve/<name> latency series.
-func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
+// handleQuote solves one demand against the market's published view — no
+// locks, so quotes stay responsive while a trade holds the write path.
+func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request, m *pool.Market) {
 	var d Demand
 	if err := decodeJSON(r, &d); err != nil {
 		writeDecodeError(w, err)
@@ -539,66 +591,77 @@ func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
 	}
 	b, err := d.buyer()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
-	v := s.view.Load()
-	name, proto, err := s.resolveSolver(v, d.Solver)
+	prof, name, err := m.Quote(r.Context(), b, d.Solver)
 	if err != nil {
-		var fe *fieldError
-		if errors.As(err, &fe) {
-			writeError(w, http.StatusBadRequest, err)
-		} else {
-			writeError(w, http.StatusConflict, err)
-		}
-		return
-	}
-	prep := proto.Clone()
-	prep.SetBuyer(b)
-	t0 := time.Now()
-	p, err := prep.Solve(r.Context())
-	if err != nil {
-		status := http.StatusBadRequest
-		if r.Context().Err() != nil {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, err)
-		return
-	}
-	if ep := s.solveObs[name]; ep != nil {
-		ep.Observe(time.Since(t0))
-	}
-	writeJSON(w, http.StatusOK, quoteFromProfile(p, name))
-}
-
-func (s *Server) handleTrade(w http.ResponseWriter, r *http.Request) {
-	var d Demand
-	if err := decodeJSON(r, &d); err != nil {
-		writeDecodeError(w, err)
-		return
-	}
-	b, err := d.buyer()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	if s.mkt == nil {
-		if len(s.sellers) == 0 {
-			writeError(w, http.StatusConflict, errors.New("no sellers registered"))
+		var fe *pool.FieldError
+		if errors.As(err, &fe) || errors.Is(err, pool.ErrNoSellers) {
+			writeError(w, err)
 			return
 		}
-		mkt, err := market.New(s.sellers, s.cfg)
+		writeError(w, solveError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, quoteFromProfile(prof, name))
+}
+
+// handleQuoteBatch solves a batch of demands concurrently against one
+// consistent view snapshot, fanned across the pool's shared worker budget.
+// The response is byte-identical for every worker count.
+func (s *Server) handleQuoteBatch(w http.ResponseWriter, r *http.Request, m *pool.Market) {
+	var req QuoteBatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if len(req.Demands) == 0 {
+		writeError(w, fieldErrorf("demands", "at least one demand is required"))
+		return
+	}
+	batch := make([]pool.BatchDemand, len(req.Demands))
+	for i, d := range req.Demands {
+		b, err := d.buyer()
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, &pool.BatchError{Index: i, Err: err})
 			return
 		}
-		s.mkt = mkt
+		batch[i] = pool.BatchDemand{Buyer: b, Solver: d.Solver}
 	}
-	builder, err := builderFor(d.Product, s.cfg.TestSet)
+	profiles, names, err := m.QuoteBatch(r.Context(), batch)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		var be *pool.BatchError
+		if errors.As(err, &be) {
+			var fe *pool.FieldError
+			if !errors.As(be.Err, &fe) && !errors.Is(be.Err, pool.ErrNoSellers) {
+				err = &pool.BatchError{Index: be.Index, Err: solveError(be.Err)}
+			}
+		}
+		writeError(w, err)
+		return
+	}
+	out := QuoteBatchResult{Quotes: make([]Quote, len(profiles))}
+	for i, p := range profiles {
+		out.Quotes[i] = quoteFromProfile(p, names[i])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTrade(w http.ResponseWriter, r *http.Request, m *pool.Market) {
+	var d Demand
+	if err := decodeJSON(r, &d); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	b, err := d.buyer()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	builder, err := builderFor(d.Product, m.TestSet())
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	if s.testHookTradeBuilder != nil {
@@ -608,51 +671,16 @@ func (s *Server) handleTrade(w http.ResponseWriter, r *http.Request) {
 	if d.Solver != "" {
 		backend, err = solve.Lookup(d.Solver)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, &fieldError{"solver", err.Error()})
+			writeError(w, &pool.FieldError{Field: "solver", Msg: err.Error()})
 			return
 		}
 	}
-	ctx := r.Context()
-	if s.tradeTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.tradeTimeout)
-		defer cancel()
-	}
-	tx, err := s.mkt.RunRoundBackend(ctx, b, builder, backend)
+	tx, err := m.Trade(r.Context(), b, builder, backend)
 	if err != nil {
-		writeError(w, tradeErrorStatus(err), err)
+		writeError(w, err)
 		return
 	}
-	if err := s.publishView(); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	if tx.Timings.WeightUpdate > 0 {
-		s.valuation.Observe(tx.Timings.WeightUpdate)
-	}
-	if ep := s.solveObs[tx.Solver]; ep != nil {
-		ep.Observe(tx.Timings.Strategy)
-	}
-	s.logf("httpapi: trade %d executed (p^M=%g, p^D=%g, EV=%.4f)",
-		tx.Round, tx.Profile.PM, tx.Profile.PD, tx.Metrics.Performance)
 	writeJSON(w, http.StatusCreated, tradeResult(tx))
-}
-
-// tradeErrorStatus classifies a RunRoundContext failure: demand-caused
-// errors are the client's fault (400), deadline expiry is 504, client
-// disconnection 503, and anything else — product training, valuation — is
-// an internal fault (500).
-func tradeErrorStatus(err error) int {
-	switch {
-	case errors.Is(err, market.ErrDemand):
-		return http.StatusBadRequest
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusInternalServerError
-	}
 }
 
 func tradeResult(tx *market.Transaction) TradeResult {
@@ -673,20 +701,53 @@ func tradeResult(tx *market.Transaction) TradeResult {
 	}
 }
 
-func (s *Server) handleListTrades(w http.ResponseWriter, r *http.Request) {
-	v := s.view.Load()
-	if v.trades == nil {
-		writeJSON(w, http.StatusOK, []TradeResult{})
+func (s *Server) handleListTrades(w http.ResponseWriter, r *http.Request, m *pool.Market) {
+	v := m.View()
+	lo, hi, err := paginate(w, r, len(v.Trades))
+	if err != nil {
+		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, v.trades)
+	out := make([]TradeResult, 0, hi-lo)
+	for _, tx := range v.Trades[lo:hi] {
+		out = append(out, tradeResult(tx))
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleWeights(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.view.Load().weights)
+func (s *Server) handleWeights(w http.ResponseWriter, r *http.Request, m *pool.Market) {
+	writeJSON(w, http.StatusOK, m.View().Weights)
 }
 
 // --- plumbing ---
+
+// paginate applies the limit/offset query parameters to a listing of
+// `total` items, returning the [lo, hi) window and stamping the
+// X-Total-Count header. Absent parameters return the full range; bad
+// values are a field-level 400.
+func paginate(w http.ResponseWriter, r *http.Request, total int) (lo, hi int, err error) {
+	q := r.URL.Query()
+	lo, hi = 0, total
+	if raw := q.Get("offset"); raw != "" {
+		n, perr := strconv.Atoi(raw)
+		if perr != nil || n < 0 {
+			return 0, 0, fieldErrorf("offset", "must be a non-negative integer, got %q", raw)
+		}
+		lo = min(n, total)
+		if hi < lo {
+			hi = lo
+		}
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, perr := strconv.Atoi(raw)
+		if perr != nil || n < 0 {
+			return 0, 0, fieldErrorf("limit", "must be a non-negative integer, got %q", raw)
+		}
+		hi = min(lo+n, total)
+	}
+	w.Header().Set("X-Total-Count", strconv.Itoa(total))
+	return lo, hi, nil
+}
 
 func decodeJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
@@ -706,18 +767,6 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
-// writeDecodeError maps body-decoding failures: a tripped MaxBytesReader is
-// 413, everything else (malformed JSON, unknown fields) is 400.
-func writeDecodeError(w http.ResponseWriter, err error) {
-	var tooBig *http.MaxBytesError
-	if errors.As(err, &tooBig) {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
-		return
-	}
-	writeError(w, http.StatusBadRequest, err)
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -726,8 +775,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		// the default logger.
 		log.Printf("httpapi: encoding response: %v", err)
 	}
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
 }

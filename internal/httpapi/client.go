@@ -7,14 +7,19 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
 	"share/internal/obs"
 )
 
-// Client is a typed Go client for a share-server instance. The zero value is
-// not usable; construct with NewClient.
+// Client is a typed Go client for a share-server instance. The flat
+// methods (Health, Quote, Trade, ...) address the /v1 aliases — the
+// server's default market; the *In variants and the market-lifecycle
+// methods address any market through /v2. The zero value is not usable;
+// construct with NewClient.
 type Client struct {
 	base string
 	http *http.Client
@@ -30,44 +35,73 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), http: hc}
 }
 
-// Health reports the server's liveness and market state.
+// Page selects a window of a listing; the zero value means "everything".
+type Page struct {
+	// Offset skips the first Offset items.
+	Offset int
+	// Limit caps the returned items; 0 means no explicit limit. To request
+	// an empty page (just the X-Total-Count header), use a negative Limit.
+	Limit int
+}
+
+// query renders the page as URL query parameters ("" when zero).
+func (p Page) query() string {
+	q := url.Values{}
+	if p.Offset > 0 {
+		q.Set("offset", strconv.Itoa(p.Offset))
+	}
+	if p.Limit > 0 {
+		q.Set("limit", strconv.Itoa(p.Limit))
+	} else if p.Limit < 0 {
+		q.Set("limit", "0")
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}
+
+// --- v1 aliases (default market) ---
+
+// Health reports the server's liveness and the default market's state.
 func (c *Client) Health(ctx context.Context) (map[string]any, error) {
 	var out map[string]any
 	return out, c.do(ctx, http.MethodGet, "/v1/health", nil, &out)
 }
 
-// RegisterSeller registers a seller; the server rejects registrations after
-// the first trade.
+// RegisterSeller registers a seller in the default market; the server
+// rejects registrations after the market's first trade.
 func (c *Client) RegisterSeller(ctx context.Context, reg SellerRegistration) (SellerInfo, error) {
 	var out SellerInfo
 	return out, c.do(ctx, http.MethodPost, "/v1/sellers", reg, &out)
 }
 
-// Sellers lists registered sellers with their current weights.
+// Sellers lists the default market's sellers with their current weights.
 func (c *Client) Sellers(ctx context.Context) ([]SellerInfo, error) {
 	var out []SellerInfo
 	return out, c.do(ctx, http.MethodGet, "/v1/sellers", nil, &out)
 }
 
-// Quote solves the game for a demand without executing a trade.
+// Quote solves the game for a demand in the default market without
+// executing a trade.
 func (c *Client) Quote(ctx context.Context, d Demand) (Quote, error) {
 	var out Quote
 	return out, c.do(ctx, http.MethodPost, "/v1/quote", d, &out)
 }
 
-// Trade executes one full trading round for the demand.
+// Trade executes one full trading round in the default market.
 func (c *Client) Trade(ctx context.Context, d Demand) (TradeResult, error) {
 	var out TradeResult
 	return out, c.do(ctx, http.MethodPost, "/v1/trades", d, &out)
 }
 
-// Trades returns the executed-transaction ledger.
+// Trades returns the default market's executed-transaction ledger.
 func (c *Client) Trades(ctx context.Context) ([]TradeResult, error) {
 	var out []TradeResult
 	return out, c.do(ctx, http.MethodGet, "/v1/trades", nil, &out)
 }
 
-// Weights returns the broker's current dataset weights.
+// Weights returns the default market's broker dataset weights.
 func (c *Client) Weights(ctx context.Context) ([]float64, error) {
 	var out []float64
 	return out, c.do(ctx, http.MethodGet, "/v1/weights", nil, &out)
@@ -80,16 +114,123 @@ func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
 	return out, c.do(ctx, http.MethodGet, "/v1/metrics", nil, &out)
 }
 
-// StatusError is returned for non-2xx responses, carrying the server's
-// error message.
+// --- v2 market lifecycle ---
+
+// CreateMarket creates a named market on the server.
+func (c *Client) CreateMarket(ctx context.Context, spec MarketSpec) (MarketInfo, error) {
+	var out MarketInfo
+	return out, c.do(ctx, http.MethodPost, "/v2/markets", spec, &out)
+}
+
+// Markets lists every market hosted by the server.
+func (c *Client) Markets(ctx context.Context) ([]MarketInfo, error) {
+	var out []MarketInfo
+	return out, c.do(ctx, http.MethodGet, "/v2/markets", nil, &out)
+}
+
+// Market fetches one market's state.
+func (c *Client) Market(ctx context.Context, id string) (MarketInfo, error) {
+	var out MarketInfo
+	return out, c.do(ctx, http.MethodGet, c.marketPath(id, ""), nil, &out)
+}
+
+// DeleteMarket drains and deletes a market. The server's default market
+// cannot be deleted (it backs the /v1 aliases).
+func (c *Client) DeleteMarket(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, c.marketPath(id, ""), nil, nil)
+}
+
+// --- v2 per-market operations ---
+
+// RegisterSellerIn registers a seller in the named market.
+func (c *Client) RegisterSellerIn(ctx context.Context, marketID string, reg SellerRegistration) (SellerInfo, error) {
+	var out SellerInfo
+	return out, c.do(ctx, http.MethodPost, c.marketPath(marketID, "/sellers"), reg, &out)
+}
+
+// SellersIn lists a page of the named market's sellers.
+func (c *Client) SellersIn(ctx context.Context, marketID string, page Page) ([]SellerInfo, error) {
+	var out []SellerInfo
+	return out, c.do(ctx, http.MethodGet, c.marketPath(marketID, "/sellers")+page.query(), nil, &out)
+}
+
+// QuoteBatch solves a batch of demands concurrently against one consistent
+// view of the named market. Results[i] answers demands[i]; the response is
+// deterministic regardless of the server's worker count.
+func (c *Client) QuoteBatch(ctx context.Context, marketID string, demands []Demand) ([]Quote, error) {
+	var out QuoteBatchResult
+	err := c.do(ctx, http.MethodPost, c.marketPath(marketID, "/quotes"), QuoteBatchRequest{Demands: demands}, &out)
+	return out.Quotes, err
+}
+
+// TradeIn executes one full trading round in the named market.
+func (c *Client) TradeIn(ctx context.Context, marketID string, d Demand) (TradeResult, error) {
+	var out TradeResult
+	return out, c.do(ctx, http.MethodPost, c.marketPath(marketID, "/trades"), d, &out)
+}
+
+// TradesIn returns a page of the named market's ledger.
+func (c *Client) TradesIn(ctx context.Context, marketID string, page Page) ([]TradeResult, error) {
+	var out []TradeResult
+	return out, c.do(ctx, http.MethodGet, c.marketPath(marketID, "/trades")+page.query(), nil, &out)
+}
+
+// WeightsIn returns the named market's broker dataset weights.
+func (c *Client) WeightsIn(ctx context.Context, marketID string) ([]float64, error) {
+	var out []float64
+	return out, c.do(ctx, http.MethodGet, c.marketPath(marketID, "/weights"), nil, &out)
+}
+
+func (c *Client) marketPath(id, suffix string) string {
+	return "/v2/markets/" + url.PathEscape(id) + suffix
+}
+
+// StatusError is returned for non-2xx responses, carrying the HTTP status
+// and the server's decoded error envelope.
 type StatusError struct {
-	Code    int
+	// Code is the HTTP status code.
+	Code int
+	// APICode is the server's stable machine-readable error code (one of
+	// the httpapi.Code* constants), "" when the body was not the standard
+	// envelope.
+	APICode string
+	// Field names the request field at fault for validation failures.
+	Field string
+	// Message is the server's human-readable description; for non-envelope
+	// bodies it falls back to the raw body or the HTTP status text.
 	Message string
 }
 
 // Error implements error.
 func (e *StatusError) Error() string {
-	return fmt.Sprintf("httpapi: server returned %d: %s", e.Code, e.Message)
+	switch {
+	case e.APICode != "" && e.Field != "":
+		return fmt.Sprintf("httpapi: server returned %d (%s, field %q): %s", e.Code, e.APICode, e.Field, e.Message)
+	case e.APICode != "":
+		return fmt.Sprintf("httpapi: server returned %d (%s): %s", e.Code, e.APICode, e.Message)
+	default:
+		return fmt.Sprintf("httpapi: server returned %d: %s", e.Code, e.Message)
+	}
+}
+
+// statusError decodes a non-2xx response body into a StatusError: the
+// unified envelope when present, the raw body as a fallback so no error
+// detail is ever silently dropped.
+func statusError(resp *http.Response) *StatusError {
+	se := &StatusError{Code: resp.StatusCode, Message: resp.Status}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || len(bytes.TrimSpace(raw)) == 0 {
+		return se
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		se.APICode = env.Error.Code
+		se.Field = env.Error.Field
+		se.Message = env.Error.Message
+		return se
+	}
+	se.Message = string(bytes.TrimSpace(raw))
+	return se
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
@@ -114,12 +255,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var apiErr apiError
-		msg := resp.Status
-		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
-			msg = apiErr.Error
-		}
-		return &StatusError{Code: resp.StatusCode, Message: msg}
+		return statusError(resp)
 	}
 	if out == nil {
 		return nil

@@ -1,139 +1,52 @@
 package httpapi
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
-	"os"
-	"path/filepath"
-
-	"share/internal/dataset"
-	"share/internal/market"
+	"share/internal/pool"
 )
 
-// ServerSnapshot is the crash-safe persisted state of one server: the full
-// seller roster (the market.Snapshot alone deliberately omits seller data —
-// the HTTP server owns the registrations, so it persists them) plus the
-// market's learned weights, ledger and cost log. A server restored from a
-// snapshot quotes and trades exactly as the one that saved it.
-type ServerSnapshot struct {
-	// Version guards the wire format.
-	Version int `json:"version"`
-	// Sellers is the registered roster in order.
-	Sellers []StoredSeller `json:"sellers"`
-	// Market is the trading state; nil when no trade has executed yet.
-	Market *market.Snapshot `json:"market,omitempty"`
-}
+// ServerSnapshot is the persisted state of the server's default market.
+// It is the pool's per-market snapshot format, which is a strict superset
+// of the historical single-market file: old files (no id/solver/seed)
+// restore unchanged.
+type ServerSnapshot = pool.MarketSnapshot
 
 // StoredSeller serializes one registration.
-type StoredSeller struct {
-	ID      string      `json:"id"`
-	Lambda  float64     `json:"lambda"`
-	Rows    [][]float64 `json:"rows"`
-	Targets []float64   `json:"targets"`
-}
+type StoredSeller = pool.StoredSeller
 
-// serverSnapshotVersion is the current wire-format version.
-const serverSnapshotVersion = 1
-
-// Snapshot captures the server's full persistent state. It takes the write
-// lock, so the snapshot is consistent with respect to concurrent trades.
+// Snapshot captures the default market's full persistent state. It takes
+// that market's write lock, so the snapshot is consistent with respect to
+// concurrent trades.
 func (s *Server) Snapshot() *ServerSnapshot {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	snap := &ServerSnapshot{Version: serverSnapshotVersion}
-	for _, sel := range s.sellers {
-		snap.Sellers = append(snap.Sellers, StoredSeller{
-			ID:      sel.ID,
-			Lambda:  sel.Lambda,
-			Rows:    sel.Data.X,
-			Targets: sel.Data.Y,
-		})
-	}
-	if s.mkt != nil {
-		snap.Market = s.mkt.Snapshot()
-	}
-	return snap
+	return s.mustDefault().Snapshot()
 }
 
-// SaveSnapshot atomically persists the server state to path: the JSON is
-// written to a temp file in the same directory, synced, and renamed over
-// the target, so a crash mid-save never corrupts an existing snapshot.
+// SaveSnapshot atomically persists the default market's state to path
+// (temp file + sync + rename — a crash mid-save never corrupts an
+// existing snapshot). This is the legacy single-file persistence mode;
+// multi-market servers use Options.SnapshotDir and the pool's
+// SaveAll/RestoreAll instead.
 func (s *Server) SaveSnapshot(path string) error {
-	snap := s.Snapshot()
-	raw, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return fmt.Errorf("httpapi: encoding snapshot: %w", err)
-	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".share-snapshot-*")
-	if err != nil {
-		return fmt.Errorf("httpapi: creating snapshot temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	// Any failure from here on removes the temp file; the target is only
-	// ever replaced by a complete, synced rename.
-	if _, err := tmp.Write(raw); err == nil {
-		err = tmp.Sync()
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("httpapi: writing snapshot: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("httpapi: publishing snapshot: %w", err)
-	}
-	return nil
+	return s.mustDefault().Save(path)
 }
 
 // RestoreSnapshot loads a SaveSnapshot file into a freshly-built server
-// (one with no registrations and no trades). The roster is re-registered
-// from the stored data and, when the snapshot was trading, the market is
-// rebuilt and its weights/ledger/cost log restored.
+// (one whose default market has no registrations and no trades). The
+// roster is re-registered from the stored data and, when the snapshot was
+// trading, the market is rebuilt and its weights/ledger/cost log restored.
 func (s *Server) RestoreSnapshot(path string) error {
-	raw, err := os.ReadFile(path)
+	snap, err := pool.ReadSnapshotFile(path)
 	if err != nil {
-		return fmt.Errorf("httpapi: reading snapshot: %w", err)
+		return err
 	}
-	var snap ServerSnapshot
-	if err := json.Unmarshal(raw, &snap); err != nil {
-		return fmt.Errorf("httpapi: decoding snapshot: %w", err)
+	return s.mustDefault().RestoreSnapshot(snap)
+}
+
+// mustDefault resolves the default market; it exists from boot and is
+// protected from deletion, so failure is a programming error.
+func (s *Server) mustDefault() *pool.Market {
+	m, err := s.pool.Get(s.defaultID)
+	if err != nil {
+		panic(err)
 	}
-	if snap.Version != serverSnapshotVersion {
-		return fmt.Errorf("httpapi: unsupported snapshot version %d", snap.Version)
-	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	if len(s.sellers) > 0 || s.mkt != nil {
-		return errors.New("httpapi: snapshot restore requires a fresh server")
-	}
-	sellers := make([]*market.Seller, len(snap.Sellers))
-	for i, st := range snap.Sellers {
-		d := &dataset.Dataset{X: st.Rows, Y: st.Targets}
-		if err := d.Validate(); err != nil {
-			return fmt.Errorf("httpapi: snapshot seller %q: %w", st.ID, err)
-		}
-		sellers[i] = &market.Seller{ID: st.ID, Lambda: st.Lambda, Data: d}
-	}
-	var mkt *market.Market
-	if snap.Market != nil {
-		mkt, err = market.New(sellers, s.cfg)
-		if err != nil {
-			return fmt.Errorf("httpapi: rebuilding market from snapshot: %w", err)
-		}
-		if err := mkt.Restore(snap.Market); err != nil {
-			return err
-		}
-	}
-	s.sellers = sellers
-	s.mkt = mkt
-	if err := s.publishView(); err != nil {
-		s.sellers, s.mkt = nil, nil
-		return fmt.Errorf("httpapi: snapshot state rejected: %w", err)
-	}
-	return nil
+	return m
 }

@@ -1,0 +1,47 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned by pool and market operations. The HTTP layer
+// maps each onto a stable machine-readable error code; everything else in
+// the repo matches them with errors.Is.
+var (
+	// ErrMarketNotFound: the named market is not hosted by this pool.
+	ErrMarketNotFound = errors.New("market not found")
+	// ErrMarketExists: Create was asked for an ID that is already hosted.
+	ErrMarketExists = errors.New("market already exists")
+	// ErrMarketClosed: the market is draining for deletion; no new rounds
+	// or registrations are admitted.
+	ErrMarketClosed = errors.New("market is shutting down")
+	// ErrNoSellers: a quote or trade was requested before any seller
+	// registered.
+	ErrNoSellers = errors.New("no sellers registered")
+	// ErrRegistrationClosed: a registration arrived after the market's
+	// first trade.
+	ErrRegistrationClosed = errors.New("market already trading; registration is closed")
+	// ErrSellerExists: a registration reused an existing seller ID.
+	ErrSellerExists = errors.New("seller already registered")
+)
+
+// FieldError reports a request field that failed validation. The HTTP layer
+// renders it as a field-level 400 with the field name in the error envelope.
+type FieldError struct {
+	Field string
+	Msg   string
+}
+
+func (e *FieldError) Error() string { return fmt.Sprintf("field %q: %s", e.Field, e.Msg) }
+
+// BatchError localizes a batch-quote failure to one demand. It unwraps to
+// the underlying error so errors.Is / errors.As classification still works.
+type BatchError struct {
+	Index int
+	Err   error
+}
+
+func (e *BatchError) Error() string { return fmt.Sprintf("demand %d: %v", e.Index, e.Err) }
+
+func (e *BatchError) Unwrap() error { return e.Err }

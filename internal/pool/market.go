@@ -1,0 +1,421 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"share/internal/core"
+	"share/internal/dataset"
+	"share/internal/market"
+	"share/internal/obs"
+	"share/internal/parallel"
+	"share/internal/product"
+	"share/internal/solve"
+	"share/internal/stat"
+)
+
+// Market is one hosted market: an independent broker with its own seller
+// roster, weight trajectory, ledger and solver default.
+//
+// Locking: writeMu serializes the mutating operations (registration,
+// trades, snapshot save/restore) of THIS market only. Read paths — View,
+// Quote, QuoteBatch, Info — never take it; they load the atomically
+// published View. stateMu guards only the admission gate (closed flag +
+// in-flight counter) used by Delete's drain.
+type Market struct {
+	id     string
+	p      *Pool
+	seed   int64
+	solver solve.Backend
+
+	stateMu  sync.Mutex
+	closed   bool
+	inFlight sync.WaitGroup
+
+	writeMu sync.Mutex
+	view    atomic.Pointer[View]
+	cfg     market.Config
+	sellers []*market.Seller // guarded by writeMu
+	mkt     *market.Market   // guarded by writeMu
+
+	quoteObs *obs.Endpoint // per-market equilibrium-quote latency
+	tradeObs *obs.Endpoint // per-market full-round latency
+}
+
+// View is an immutable snapshot of everything a market's read paths serve.
+// Writers build a fresh View under writeMu and publish it atomically;
+// nothing reachable from a published View is ever mutated.
+type View struct {
+	// Protos holds one validated, precomputed solver prototype per
+	// registered backend over the current sellers and weights (nil until
+	// the first seller registers). A quote Clones the requested backend's
+	// prototype — O(m) copy, seller aggregates carried.
+	Protos map[string]solve.Prepared
+	// Sellers is the roster with current weights.
+	Sellers []SellerState
+	// Weights is the broker's weight vector (uniform length-1 placeholder
+	// while the roster is empty, matching the single-market server).
+	Weights []float64
+	// Trades is the committed ledger; every entry is a deep copy.
+	Trades []*market.Transaction
+	// Trading reports whether the first round has executed (registration
+	// closes at that point).
+	Trading bool
+}
+
+// SellerState is one roster entry of a View.
+type SellerState struct {
+	ID     string
+	Lambda float64
+	Rows   int
+	Weight float64
+}
+
+// Registration is a seller joining a market. Exactly one of Rows/Targets
+// or SyntheticRows must supply data.
+type Registration struct {
+	ID            string
+	Lambda        float64
+	Rows          [][]float64
+	Targets       []float64
+	SyntheticRows int
+}
+
+// BatchDemand is one entry of a batch quote: a validated buyer plus the
+// requested solver backend ("" → the market's default).
+type BatchDemand struct {
+	Buyer  core.Buyer
+	Solver string
+}
+
+// newMarket builds an empty market with a published empty view. The
+// market's synthetic test set derives from its seed exactly as the
+// single-market server's did, so the pool's default market is
+// bit-compatible with the pre-pool service.
+func (p *Pool) newMarket(id string, backend solve.Backend, seed int64) *Market {
+	m := &Market{
+		id:     id,
+		p:      p,
+		seed:   seed,
+		solver: backend,
+		cfg: market.Config{
+			Cost:    p.cost,
+			TestSet: dataset.SyntheticCCPP(p.testRows, stat.NewRand(seed+7)),
+			Update:  p.update,
+			Solver:  backend,
+			Seed:    seed,
+		},
+		quoteObs: p.metrics.Endpoint("market/" + id + "/quote"),
+		tradeObs: p.metrics.Endpoint("market/" + id + "/trade"),
+	}
+	m.view.Store(&View{Weights: core.UniformWeights(1)})
+	return m
+}
+
+// ID returns the market's pool-unique name.
+func (m *Market) ID() string { return m.id }
+
+// Seed returns the market's random seed.
+func (m *Market) Seed() int64 { return m.seed }
+
+// Solver names the market's default equilibrium backend.
+func (m *Market) Solver() string { return m.solver.Name() }
+
+// TestSet exposes the market's held-out scoring dataset (the reference
+// data product builders calibrate against).
+func (m *Market) TestSet() *dataset.Dataset { return m.cfg.TestSet }
+
+// View returns the current immutable market view.
+func (m *Market) View() *View { return m.view.Load() }
+
+// Info summarizes the market from its lock-free view.
+func (m *Market) Info() Info {
+	v := m.view.Load()
+	return Info{
+		ID:      m.id,
+		Solver:  m.solver.Name(),
+		Seed:    m.seed,
+		Sellers: len(v.Sellers),
+		Trades:  len(v.Trades),
+		Trading: v.Trading,
+	}
+}
+
+// close marks the market as draining; subsequent begin calls fail.
+func (m *Market) close() {
+	m.stateMu.Lock()
+	m.closed = true
+	m.stateMu.Unlock()
+}
+
+// begin admits one mutating operation, failing once the market is
+// draining. The paired end releases the drain counter.
+func (m *Market) begin() error {
+	m.stateMu.Lock()
+	defer m.stateMu.Unlock()
+	if m.closed {
+		return fmt.Errorf("market %q: %w", m.id, ErrMarketClosed)
+	}
+	m.inFlight.Add(1)
+	return nil
+}
+
+func (m *Market) end() { m.inFlight.Done() }
+
+// RegisterSeller admits a seller before the first trade. The returned
+// state carries the seller's materialized row count.
+func (m *Market) RegisterSeller(reg Registration) (SellerState, error) {
+	if err := m.begin(); err != nil {
+		return SellerState{}, err
+	}
+	defer m.end()
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	if m.mkt != nil {
+		return SellerState{}, fmt.Errorf("market %q: %w", m.id, ErrRegistrationClosed)
+	}
+	if reg.ID == "" {
+		return SellerState{}, &FieldError{Field: "id", Msg: "seller id is required"}
+	}
+	for _, existing := range m.sellers {
+		if existing.ID == reg.ID {
+			return SellerState{}, fmt.Errorf("seller %q: %w", reg.ID, ErrSellerExists)
+		}
+	}
+	if !(reg.Lambda > 0) {
+		return SellerState{}, &FieldError{Field: "lambda", Msg: fmt.Sprintf("must be positive, got %g", reg.Lambda)}
+	}
+	data, err := m.sellerData(reg)
+	if err != nil {
+		return SellerState{}, err
+	}
+	// The market's LDP mechanism and product builders need one common
+	// schema; a mismatched roster would otherwise only blow up at the
+	// first trade.
+	if len(m.sellers) > 0 {
+		if want, got := m.sellers[0].Data.NumFeatures(), data.NumFeatures(); got != want {
+			return SellerState{}, &FieldError{Field: "rows", Msg: fmt.Sprintf(
+				"expected %d features per row to match the registered roster, got %d", want, got)}
+		}
+	}
+	m.sellers = append(m.sellers, &market.Seller{ID: reg.ID, Lambda: reg.Lambda, Data: data})
+	if err := m.publishView(); err != nil {
+		// Roll the registration back: a roster the game rejects (e.g. a
+		// pathological λ passing the > 0 check but failing validation)
+		// must not be half-admitted.
+		m.sellers = m.sellers[:len(m.sellers)-1]
+		return SellerState{}, &FieldError{Field: "lambda", Msg: err.Error()}
+	}
+	m.p.logf("pool: market %q registered seller %q (%d rows, λ=%g)", m.id, reg.ID, data.Len(), reg.Lambda)
+	return SellerState{ID: reg.ID, Lambda: reg.Lambda, Rows: data.Len()}, nil
+}
+
+// sellerData materializes a registration's dataset: inline rows validated,
+// or a synthetic CCPP-like set minted from the market seed and roster
+// position (identical to the single-market server's demo path).
+func (m *Market) sellerData(reg Registration) (*dataset.Dataset, error) {
+	switch {
+	case reg.SyntheticRows > 0 && reg.Rows != nil:
+		return nil, &FieldError{Field: "synthetic_rows", Msg: "provide either inline rows or synthetic_rows, not both"}
+	case reg.SyntheticRows > 0:
+		return dataset.SyntheticCCPP(reg.SyntheticRows, stat.NewRand(m.cfg.Seed+int64(len(m.sellers)))), nil
+	case len(reg.Rows) > 0:
+		if len(reg.Rows) != len(reg.Targets) {
+			return nil, &FieldError{Field: "targets", Msg: fmt.Sprintf("%d rows but %d targets", len(reg.Rows), len(reg.Targets))}
+		}
+		d := &dataset.Dataset{X: reg.Rows, Y: reg.Targets}
+		if err := d.Validate(); err != nil {
+			return nil, &FieldError{Field: "rows", Msg: err.Error()}
+		}
+		return d, nil
+	default:
+		return nil, &FieldError{Field: "rows", Msg: "seller data required: inline rows or synthetic_rows"}
+	}
+}
+
+// resolveProto maps a requested solver name onto the view's prepared
+// prototype, defaulting to the market's own backend.
+func (m *Market) resolveProto(v *View, requested string) (string, solve.Prepared, error) {
+	name := requested
+	if name == "" {
+		name = m.solver.Name()
+	}
+	proto, ok := v.Protos[name]
+	if !ok {
+		if _, err := solve.Lookup(name); err != nil {
+			return name, nil, &FieldError{Field: "solver", Msg: err.Error()}
+		}
+		return name, nil, fmt.Errorf("market %q: %w", m.id, ErrNoSellers)
+	}
+	return name, proto, nil
+}
+
+// Quote solves the game for one buyer against the published view — no
+// locks, so quotes stay responsive while a trade holds the write path.
+// The returned name is the backend that actually solved.
+func (m *Market) Quote(ctx context.Context, b core.Buyer, solverName string) (*core.Profile, string, error) {
+	v := m.view.Load()
+	name, proto, err := m.resolveProto(v, solverName)
+	if err != nil {
+		return nil, name, err
+	}
+	prep := proto.Clone()
+	prep.SetBuyer(b)
+	t0 := time.Now()
+	prof, err := prep.Solve(ctx)
+	if err != nil {
+		return nil, name, err
+	}
+	d := time.Since(t0)
+	if ep := m.p.solveObs[name]; ep != nil {
+		ep.Observe(d)
+	}
+	m.quoteObs.Observe(d)
+	return prof, name, nil
+}
+
+// QuoteBatch solves many demands concurrently against ONE consistent view
+// snapshot, fanned across the pool's shared worker budget. Each index owns
+// its clone and its output slot and results are collected in order, so the
+// batch is byte-identical for every worker count. A failing demand aborts
+// the batch with a BatchError naming the lowest failing index (quotes have
+// no side effects, so the all-or-nothing contract is cheap and keeps the
+// error deterministic).
+func (m *Market) QuoteBatch(ctx context.Context, demands []BatchDemand) ([]*core.Profile, []string, error) {
+	v := m.view.Load()
+	names := make([]string, len(demands))
+	t0 := time.Now()
+	profiles, err := parallel.Map(m.p.workers, len(demands), func(i int) (*core.Profile, error) {
+		name, proto, err := m.resolveProto(v, demands[i].Solver)
+		names[i] = name
+		if err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+		prep := proto.Clone()
+		prep.SetBuyer(demands[i].Buyer)
+		s0 := time.Now()
+		prof, err := prep.Solve(ctx)
+		if err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+		if ep := m.p.solveObs[name]; ep != nil {
+			ep.Observe(time.Since(s0))
+		}
+		return prof, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	m.quoteObs.Observe(time.Since(t0))
+	return profiles, names, nil
+}
+
+// Trade runs one full round of Algorithm 1 for the buyer, with this
+// market's write path held for the duration. builder nil means the
+// market's configured product; backend nil means the market's default
+// solver. On success the new view is published and, with persistence on,
+// the market's snapshot is refreshed (a failed save logs and never fails
+// the committed trade).
+func (m *Market) Trade(ctx context.Context, b core.Buyer, builder product.Builder, backend solve.Backend) (*market.Transaction, error) {
+	if err := m.begin(); err != nil {
+		return nil, err
+	}
+	defer m.end()
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	if m.mkt == nil {
+		if len(m.sellers) == 0 {
+			return nil, fmt.Errorf("market %q: %w", m.id, ErrNoSellers)
+		}
+		mkt, err := market.New(m.sellers, m.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("market %q: building market: %w", m.id, err)
+		}
+		m.mkt = mkt
+	}
+	if m.p.tradeTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.p.tradeTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	tx, err := m.mkt.RunRoundBackend(ctx, b, builder, backend)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.publishView(); err != nil {
+		return nil, fmt.Errorf("market %q: republishing view: %w", m.id, err)
+	}
+	if tx.Timings.WeightUpdate > 0 {
+		m.p.valuation.Observe(tx.Timings.WeightUpdate)
+	}
+	if ep := m.p.solveObs[tx.Solver]; ep != nil {
+		ep.Observe(tx.Timings.Strategy)
+	}
+	m.tradeObs.Observe(time.Since(start))
+	m.saveLocked()
+	m.p.logf("pool: market %q trade %d executed (p^M=%g, p^D=%g, EV=%.4f)",
+		m.id, tx.Round, tx.Profile.PM, tx.Profile.PD, tx.Metrics.Performance)
+	return tx, nil
+}
+
+// buildView renders the market's mutable state into a fresh immutable
+// view. Must be called with writeMu held.
+func (m *Market) buildView() (*View, error) {
+	v := &View{Trading: m.mkt != nil}
+
+	weights := core.UniformWeights(max(1, len(m.sellers)))
+	if m.mkt != nil {
+		weights = m.mkt.Weights()
+	}
+	v.Weights = weights
+
+	v.Sellers = make([]SellerState, len(m.sellers))
+	for i, sel := range m.sellers {
+		v.Sellers[i] = SellerState{ID: sel.ID, Lambda: sel.Lambda, Rows: sel.Data.Len(), Weight: weights[i]}
+	}
+
+	if m.mkt != nil {
+		v.Trades = m.mkt.Ledger()
+	}
+
+	if len(m.sellers) > 0 {
+		lambdas := make([]float64, len(m.sellers))
+		for i, sel := range m.sellers {
+			lambdas[i] = sel.Lambda
+		}
+		g := &core.Game{
+			Buyer:   core.PaperBuyer(), // placeholder; quotes overwrite it
+			Broker:  core.Broker{Cost: m.cfg.Cost, Weights: append([]float64(nil), weights...)},
+			Sellers: core.Sellers{Lambda: lambdas},
+		}
+		names := solve.Names()
+		v.Protos = make(map[string]solve.Prepared, len(names))
+		for _, name := range names {
+			b, err := solve.Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			p, err := b.Precompute(g)
+			if err != nil {
+				return nil, err
+			}
+			v.Protos[name] = p
+		}
+	}
+	return v, nil
+}
+
+// publishView renders and atomically publishes a new view. Must be called
+// with writeMu held.
+func (m *Market) publishView() error {
+	v, err := m.buildView()
+	if err != nil {
+		return err
+	}
+	m.view.Store(v)
+	return nil
+}

@@ -1,0 +1,309 @@
+// Package pool hosts many named Stackelberg-Nash markets in one process —
+// the multi-tenant core behind the service's /v2 resource API. The paper
+// frames the broker as an intermediary serving many concurrent buyer
+// demands over seller populations (§4, Algorithm 1); a Pool realizes that
+// at the process level: each market is an independent broker with its own
+// seller roster, weight trajectory, ledger and equilibrium solver default,
+// while all markets share one worker budget, one metrics registry and one
+// snapshot directory.
+//
+// Concurrency model (per market, inherited from the single-market server):
+// reads are lock-free against an immutable copy-on-write View; trades and
+// registrations serialize behind the market's own write mutex. Markets
+// never share locks — a round wedged in market A cannot delay a quote or a
+// trade in market B. The pool-level mutex guards only the name→market map
+// and is held for map operations alone, never across a solve or a round.
+//
+// Lifecycle: Create admits a market under a validated ID; Delete unlinks it
+// (new requests stop routing immediately) and then drains in-flight rounds
+// under the caller's context. With a snapshot directory configured, every
+// market persists to <dir>/<id>.json via atomic write-temp-then-rename:
+// after each trade, on SaveAll (shutdown), and restored by RestoreAll on
+// boot — a corrupt file is skipped with a logged warning, never fatal.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"share/internal/market"
+	"share/internal/obs"
+	"share/internal/solve"
+	"share/internal/translog"
+)
+
+// Options configure a Pool; they are the template every hosted market is
+// built from.
+type Options struct {
+	// Cost is the brokers' translog cost model (nil: paper defaults).
+	Cost *translog.Params
+	// TestRows sizes each market's held-out synthetic test set (0 → 500).
+	TestRows int
+	// Update configures Shapley weight refreshing (nil → the paper's
+	// ω' = 0.2ω + 0.8·SV with 20 permutations).
+	Update *market.WeightUpdate
+	// Workers is the shared worker budget: it caps the Shapley valuation
+	// pool per trade and the fan-out of each batch quote (0 keeps the
+	// Update's own setting for valuation and means GOMAXPROCS for batches).
+	Workers int
+	// Solver names the default equilibrium backend for new markets
+	// ("" → analytic). Unknown names fall back to the default with a log
+	// line, mirroring the server's historical behavior.
+	Solver string
+	// Seed is the base seed; each market derives its own from it unless a
+	// Spec pins one explicitly.
+	Seed int64
+	// TradeTimeout bounds one trading round beyond the caller's context
+	// (0 → none).
+	TradeTimeout time.Duration
+	// SnapshotDir enables per-market persistence under this directory
+	// ("" → disabled).
+	SnapshotDir string
+	// Metrics receives per-market and per-backend latency series (nil → a
+	// private registry).
+	Metrics *obs.Registry
+	// Logf receives pool-level log lines (nil → log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Pool hosts a set of named markets. Safe for concurrent use.
+type Pool struct {
+	cost         translog.Params
+	testRows     int
+	update       *market.WeightUpdate
+	workers      int
+	solver       solve.Backend
+	seed         int64
+	tradeTimeout time.Duration
+	snapshotDir  string
+	logf         func(format string, args ...any)
+
+	metrics   *obs.Registry
+	valuation *obs.Endpoint            // Shapley weight-update latency, all markets
+	solveObs  map[string]*obs.Endpoint // per-backend equilibrium-solve latency
+
+	mu      sync.RWMutex
+	markets map[string]*Market
+}
+
+// Spec names and configures one market to create.
+type Spec struct {
+	// ID is the market's name: 1–64 characters from [A-Za-z0-9._-],
+	// starting with a letter or digit (it doubles as the snapshot file
+	// stem and the metric-label segment).
+	ID string
+	// Solver overrides the pool's default equilibrium backend for this
+	// market ("" → pool default). Unknown names are a field-level error.
+	Solver string
+	// Seed pins the market's random seed (nil → derived deterministically
+	// from the pool seed and the ID).
+	Seed *int64
+}
+
+// Info is the externally visible state of one hosted market.
+type Info struct {
+	ID      string `json:"id"`
+	Solver  string `json:"solver"`
+	Seed    int64  `json:"seed"`
+	Sellers int    `json:"sellers"`
+	Trades  int    `json:"trades"`
+	Trading bool   `json:"trading"`
+}
+
+// New builds an empty pool. An unknown Options.Solver falls back to the
+// analytic default with a logged warning (CLI entry points validate the
+// flag before getting here).
+func New(opts Options) *Pool {
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	cost := translog.PaperDefaults()
+	if opts.Cost != nil {
+		cost = *opts.Cost
+	}
+	testRows := opts.TestRows
+	if testRows <= 0 {
+		testRows = 500
+	}
+	upd := opts.Update
+	if upd == nil {
+		upd = &market.WeightUpdate{Retain: 0.2, Permutations: 20, TruncateTol: 0.005}
+	}
+	if opts.Workers != 0 {
+		u := *upd // don't mutate the caller's struct
+		u.Workers = opts.Workers
+		upd = &u
+	}
+	backend, err := solve.Lookup(opts.Solver)
+	if err != nil {
+		logf("pool: %v; falling back to %q", err, solve.DefaultName)
+		backend, _ = solve.Lookup(solve.DefaultName)
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	p := &Pool{
+		cost:         cost,
+		testRows:     testRows,
+		update:       upd,
+		workers:      opts.Workers,
+		solver:       backend,
+		seed:         opts.Seed,
+		tradeTimeout: opts.TradeTimeout,
+		snapshotDir:  opts.SnapshotDir,
+		logf:         logf,
+		metrics:      metrics,
+		valuation:    metrics.Endpoint("trade/valuation"),
+		solveObs:     make(map[string]*obs.Endpoint, len(solve.Names())),
+		markets:      make(map[string]*Market),
+	}
+	for _, name := range solve.Names() {
+		p.solveObs[name] = p.metrics.Endpoint("solve/" + name)
+	}
+	return p
+}
+
+// Metrics exposes the registry the pool's markets report into.
+func (p *Pool) Metrics() *obs.Registry { return p.metrics }
+
+// Workers reports the pool's shared worker budget (0 = GOMAXPROCS for
+// batch fan-out).
+func (p *Pool) Workers() int { return p.workers }
+
+// DefaultSolver names the backend new markets default to.
+func (p *Pool) DefaultSolver() string { return p.solver.Name() }
+
+// ValidateID checks that id is usable as a market name, snapshot file stem
+// and metric-label segment.
+func ValidateID(id string) error {
+	if id == "" {
+		return &FieldError{Field: "id", Msg: "market id is required"}
+	}
+	if len(id) > 64 {
+		return &FieldError{Field: "id", Msg: fmt.Sprintf("market id exceeds 64 characters (%d)", len(id))}
+	}
+	for i, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case i > 0 && (r == '.' || r == '_' || r == '-'):
+		default:
+			return &FieldError{Field: "id", Msg: fmt.Sprintf(
+				"market id must match [A-Za-z0-9][A-Za-z0-9._-]*, got %q", id)}
+		}
+	}
+	return nil
+}
+
+// deriveSeed maps a market ID onto a deterministic per-market seed so a
+// recreated market (same pool seed, same ID) replays the same synthetic
+// test set and data sampling.
+func (p *Pool) deriveSeed(id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return p.seed + int64(h.Sum64()&0x7fffffff)
+}
+
+// Create admits a new empty market under spec.ID.
+func (p *Pool) Create(spec Spec) (*Market, error) {
+	if err := ValidateID(spec.ID); err != nil {
+		return nil, err
+	}
+	backend := p.solver
+	if spec.Solver != "" {
+		b, err := solve.Lookup(spec.Solver)
+		if err != nil {
+			return nil, &FieldError{Field: "solver", Msg: err.Error()}
+		}
+		backend = b
+	}
+	seed := p.deriveSeed(spec.ID)
+	if spec.Seed != nil {
+		seed = *spec.Seed
+	}
+	m := p.newMarket(spec.ID, backend, seed)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.markets[spec.ID]; ok {
+		return nil, fmt.Errorf("market %q: %w", spec.ID, ErrMarketExists)
+	}
+	p.markets[spec.ID] = m
+	return m, nil
+}
+
+// Get returns the named market or ErrMarketNotFound.
+func (p *Pool) Get(id string) (*Market, error) {
+	p.mu.RLock()
+	m := p.markets[id]
+	p.mu.RUnlock()
+	if m == nil {
+		return nil, fmt.Errorf("market %q: %w", id, ErrMarketNotFound)
+	}
+	return m, nil
+}
+
+// List reports every hosted market, sorted by ID.
+func (p *Pool) List() []Info {
+	p.mu.RLock()
+	ms := make([]*Market, 0, len(p.markets))
+	for _, m := range p.markets {
+		ms = append(ms, m)
+	}
+	p.mu.RUnlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].id < ms[j].id })
+	out := make([]Info, len(ms))
+	for i, m := range ms {
+		out[i] = m.Info()
+	}
+	return out
+}
+
+// Delete unlinks the named market — new requests stop routing to it
+// immediately — then drains its in-flight rounds under ctx. When the drain
+// completes (even after Delete has returned with ctx's error) the market's
+// snapshot file, if any, is removed so a later RestoreAll cannot resurrect
+// it. A ctx expiry means the market is gone from the pool but a wedged
+// round may still be finishing in the background.
+func (p *Pool) Delete(ctx context.Context, id string) error {
+	p.mu.Lock()
+	m, ok := p.markets[id]
+	if ok {
+		delete(p.markets, id)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("market %q: %w", id, ErrMarketNotFound)
+	}
+	m.close()
+	drained := make(chan struct{})
+	go func() {
+		m.inFlight.Wait()
+		p.removeSnapshot(id)
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("pool: draining market %q: %w", id, ctx.Err())
+	}
+}
+
+// removeSnapshot deletes a market's snapshot file, if persistence is on.
+func (p *Pool) removeSnapshot(id string) {
+	if p.snapshotDir == "" {
+		return
+	}
+	path := filepath.Join(p.snapshotDir, id+snapshotExt)
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		p.logf("pool: removing snapshot %s: %v", path, err)
+	}
+}

@@ -1,0 +1,315 @@
+package pool
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"share/internal/dataset"
+	"share/internal/market"
+	"share/internal/solve"
+	"share/internal/stat"
+)
+
+// MarketSnapshot is the crash-safe persisted state of one market: the full
+// seller roster (the market.Snapshot alone deliberately omits seller data —
+// the pool owns the registrations, so it persists them) plus the market's
+// learned weights, ledger and cost log. A market restored from a snapshot
+// quotes and trades exactly as the one that saved it.
+//
+// The format is a strict superset of the single-market server's historical
+// snapshot file (version 1): the ID, Solver and Seed fields are omitted by
+// old writers and optional for readers, so every pre-pool snapshot still
+// restores.
+type MarketSnapshot struct {
+	// Version guards the wire format.
+	Version int `json:"version"`
+	// ID names the market the snapshot belongs to ("" in legacy
+	// single-market files).
+	ID string `json:"id,omitempty"`
+	// Solver names the market's default equilibrium backend ("" keeps the
+	// restoring market's default).
+	Solver string `json:"solver,omitempty"`
+	// Seed pins the market seed (nil keeps the restoring market's seed).
+	Seed *int64 `json:"seed,omitempty"`
+	// Sellers is the registered roster in order.
+	Sellers []StoredSeller `json:"sellers"`
+	// Market is the trading state; nil when no trade has executed yet.
+	Market *market.Snapshot `json:"market,omitempty"`
+}
+
+// StoredSeller serializes one registration.
+type StoredSeller struct {
+	ID      string      `json:"id"`
+	Lambda  float64     `json:"lambda"`
+	Rows    [][]float64 `json:"rows"`
+	Targets []float64   `json:"targets"`
+}
+
+// snapshotVersion is the current wire-format version (shared with the
+// legacy single-market server snapshot).
+const snapshotVersion = 1
+
+// snapshotExt is the per-market snapshot file suffix under the pool's
+// snapshot directory.
+const snapshotExt = ".json"
+
+// Snapshot captures the market's full persistent state. It takes the
+// market's write lock, so the snapshot is consistent with respect to
+// concurrent trades.
+func (m *Market) Snapshot() *MarketSnapshot {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	return m.snapshotLocked()
+}
+
+// snapshotLocked is Snapshot with writeMu already held.
+func (m *Market) snapshotLocked() *MarketSnapshot {
+	seed := m.seed
+	snap := &MarketSnapshot{
+		Version: snapshotVersion,
+		ID:      m.id,
+		Solver:  m.solver.Name(),
+		Seed:    &seed,
+	}
+	for _, sel := range m.sellers {
+		snap.Sellers = append(snap.Sellers, StoredSeller{
+			ID:      sel.ID,
+			Lambda:  sel.Lambda,
+			Rows:    sel.Data.X,
+			Targets: sel.Data.Y,
+		})
+	}
+	if m.mkt != nil {
+		snap.Market = m.mkt.Snapshot()
+	}
+	return snap
+}
+
+// RestoreSnapshot loads a snapshot into a fresh market (no registrations,
+// no trades). The roster is re-registered from the stored data and, when
+// the snapshot was trading, the inner market is rebuilt with its weights,
+// ledger and cost log. A stored seed different from the market's rebuilds
+// the market's test set and sampling stream so post-restore behavior
+// matches the saving process, not the restoring one.
+func (m *Market) RestoreSnapshot(snap *MarketSnapshot) error {
+	if snap == nil {
+		return errors.New("pool: nil snapshot")
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("pool: unsupported snapshot version %d", snap.Version)
+	}
+	if snap.ID != "" && snap.ID != m.id {
+		return fmt.Errorf("pool: snapshot belongs to market %q, not %q", snap.ID, m.id)
+	}
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	if len(m.sellers) > 0 || m.mkt != nil {
+		return errors.New("pool: snapshot restore requires a fresh market")
+	}
+	if snap.Seed != nil && *snap.Seed != m.seed {
+		m.seed = *snap.Seed
+		m.cfg.Seed = *snap.Seed
+		m.cfg.TestSet = dataset.SyntheticCCPP(m.p.testRows, stat.NewRand(*snap.Seed+7))
+	}
+	if snap.Solver != "" && snap.Solver != m.solver.Name() {
+		// Legacy files never carry Solver, so this only fires for
+		// pool-written snapshots, whose backend was validated at save time.
+		b, err := solve.Lookup(snap.Solver)
+		if err != nil {
+			return fmt.Errorf("pool: restoring solver: %w", err)
+		}
+		m.solver = b
+		m.cfg.Solver = b
+	}
+	sellers := make([]*market.Seller, len(snap.Sellers))
+	for i, st := range snap.Sellers {
+		d := &dataset.Dataset{X: st.Rows, Y: st.Targets}
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("pool: snapshot seller %q: %w", st.ID, err)
+		}
+		// Same schema rule RegisterSeller enforces: a mixed-width roster
+		// would panic the LDP mechanism at the first trade.
+		if want := sellers[0]; i > 0 && d.NumFeatures() != want.Data.NumFeatures() {
+			return fmt.Errorf("pool: snapshot seller %q: %d features per row, roster has %d",
+				st.ID, d.NumFeatures(), want.Data.NumFeatures())
+		}
+		sellers[i] = &market.Seller{ID: st.ID, Lambda: st.Lambda, Data: d}
+	}
+	var mkt *market.Market
+	if snap.Market != nil {
+		var err error
+		mkt, err = market.New(sellers, m.cfg)
+		if err != nil {
+			return fmt.Errorf("pool: rebuilding market from snapshot: %w", err)
+		}
+		if err := mkt.Restore(snap.Market); err != nil {
+			return err
+		}
+	}
+	m.sellers = sellers
+	m.mkt = mkt
+	if err := m.publishView(); err != nil {
+		m.sellers, m.mkt = nil, nil
+		return fmt.Errorf("pool: snapshot state rejected: %w", err)
+	}
+	return nil
+}
+
+// Save persists the market's snapshot to path: the JSON is written to a
+// temp file in the same directory, synced, and renamed over the target, so
+// a crash mid-save never corrupts an existing snapshot.
+func (m *Market) Save(path string) error {
+	return writeSnapshotFile(path, m.Snapshot())
+}
+
+// saveLocked persists the market under the pool's snapshot directory with
+// writeMu already held (the after-trade hook). Failures log — a committed
+// trade must not be reported failed because the disk was.
+func (m *Market) saveLocked() {
+	if m.p.snapshotDir == "" {
+		return
+	}
+	path := filepath.Join(m.p.snapshotDir, m.id+snapshotExt)
+	if err := writeSnapshotFile(path, m.snapshotLocked()); err != nil {
+		m.p.logf("pool: snapshot after trade for market %q: %v", m.id, err)
+	}
+}
+
+// writeSnapshotFile atomically writes one snapshot: temp file, sync,
+// rename.
+func writeSnapshotFile(path string, snap *MarketSnapshot) error {
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("pool: encoding snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".share-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("pool: creating snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Any failure from here on removes the temp file; the target is only
+	// ever replaced by a complete, synced rename.
+	if _, err := tmp.Write(raw); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("pool: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("pool: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile loads one snapshot file written by Save or SaveAll.
+func ReadSnapshotFile(path string) (*MarketSnapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pool: reading snapshot: %w", err)
+	}
+	var snap MarketSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("pool: decoding snapshot %s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// SaveAll persists every hosted market under the snapshot directory (the
+// SIGTERM hook). Markets are saved in ID order; the first error aborts.
+func (p *Pool) SaveAll() error {
+	if p.snapshotDir == "" {
+		return errors.New("pool: no snapshot directory configured")
+	}
+	if err := os.MkdirAll(p.snapshotDir, 0o755); err != nil {
+		return fmt.Errorf("pool: creating snapshot directory: %w", err)
+	}
+	p.mu.RLock()
+	ids := make([]string, 0, len(p.markets))
+	byID := make(map[string]*Market, len(p.markets))
+	for id, m := range p.markets {
+		ids = append(ids, id)
+		byID[id] = m
+	}
+	p.mu.RUnlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := byID[id].Save(filepath.Join(p.snapshotDir, id+snapshotExt)); err != nil {
+			return fmt.Errorf("pool: saving market %q: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// RestoreAll rebuilds markets from every *.json file under the snapshot
+// directory (the boot hook). A file that fails to decode or restore —
+// corrupt JSON, roster the game rejects, ID mismatch — is skipped with a
+// logged warning; the remaining markets still restore. A snapshot whose
+// market already exists in the pool restores into it when that market is
+// still fresh (the server pre-creates its default market) and is skipped
+// otherwise. Returns the restored IDs in directory order.
+func (p *Pool) RestoreAll() ([]string, error) {
+	if p.snapshotDir == "" {
+		return nil, errors.New("pool: no snapshot directory configured")
+	}
+	entries, err := os.ReadDir(p.snapshotDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // first boot: nothing to restore
+		}
+		return nil, fmt.Errorf("pool: reading snapshot directory: %w", err)
+	}
+	var restored []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapshotExt) || strings.HasPrefix(name, ".") {
+			continue
+		}
+		id := strings.TrimSuffix(name, snapshotExt)
+		path := filepath.Join(p.snapshotDir, name)
+		if err := p.restoreOne(id, path); err != nil {
+			p.logf("pool: skipping snapshot %s: %v", path, err)
+			continue
+		}
+		restored = append(restored, id)
+	}
+	return restored, nil
+}
+
+// restoreOne loads one snapshot file into the pool, creating the market if
+// it does not exist yet. A half-created market is torn down on failure.
+func (p *Pool) restoreOne(id, path string) error {
+	snap, err := ReadSnapshotFile(path)
+	if err != nil {
+		return err
+	}
+	m, getErr := p.Get(id)
+	created := false
+	if getErr != nil {
+		spec := Spec{ID: id, Solver: snap.Solver, Seed: snap.Seed}
+		m, err = p.Create(spec)
+		if err != nil {
+			return err
+		}
+		created = true
+	}
+	if err := m.RestoreSnapshot(snap); err != nil {
+		if created {
+			p.mu.Lock()
+			delete(p.markets, id)
+			p.mu.Unlock()
+		}
+		return err
+	}
+	return nil
+}

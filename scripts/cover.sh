@@ -1,7 +1,7 @@
 #!/bin/sh
-# make cover: per-package statement coverage for the whole module, with a
-# hard floor on internal/solve — the solver-backend seam every consumer now
-# routes through must stay thoroughly tested.
+# make cover: per-package statement coverage for the whole module, with hard
+# floors on internal/solve — the solver-backend seam every consumer routes
+# through — and internal/pool — the multi-market engine behind the /v2 API.
 set -eu
 
 FLOOR=80.0
@@ -11,13 +11,19 @@ trap 'rm -f "$out"' EXIT
 
 go test -cover ./... | tee "$out"
 
-pct=$(awk '/share\/internal\/solve/ { if (match($0, /coverage: [0-9.]+%/)) { s = substr($0, RSTART + 10, RLENGTH - 11); print s; exit } }' "$out")
-if [ -z "$pct" ]; then
-    echo "cover: no coverage reported for share/internal/solve" >&2
-    exit 1
-fi
-if [ "$(awk -v p="$pct" -v f="$FLOOR" 'BEGIN { print (p + 0 >= f + 0) ? "ok" : "low" }')" != ok ]; then
-    echo "cover: share/internal/solve at ${pct}% is below the ${FLOOR}% floor" >&2
-    exit 1
-fi
-echo "cover: share/internal/solve at ${pct}% meets the ${FLOOR}% floor"
+check_floor() {
+    pkg="$1"
+    pct=$(awk -v pkg="$pkg" '$0 ~ pkg { if (match($0, /coverage: [0-9.]+%/)) { s = substr($0, RSTART + 10, RLENGTH - 11); print s; exit } }' "$out")
+    if [ -z "$pct" ]; then
+        echo "cover: no coverage reported for $pkg" >&2
+        exit 1
+    fi
+    if [ "$(awk -v p="$pct" -v f="$FLOOR" 'BEGIN { print (p + 0 >= f + 0) ? "ok" : "low" }')" != ok ]; then
+        echo "cover: $pkg at ${pct}% is below the ${FLOOR}% floor" >&2
+        exit 1
+    fi
+    echo "cover: $pkg at ${pct}% meets the ${FLOOR}% floor"
+}
+
+check_floor 'share/internal/solve'
+check_floor 'share/internal/pool'

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # serve_smoke.sh — boot share-server, exercise the full service surface
-# (register, quote, trade, metrics, snapshot), then SIGTERM it to verify
-# graceful shutdown and snapshot persistence. Run via `make serve-smoke`.
+# (register, quote, trade, metrics, snapshot, the /v2 market lifecycle),
+# then SIGTERM it to verify graceful shutdown and snapshot persistence —
+# single-file mode and per-market -snapshot-dir mode. Run via
+# `make serve-smoke`.
 set -eu
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
@@ -9,6 +11,7 @@ BASE="http://$ADDR"
 WORK="$(mktemp -d)"
 BIN="$WORK/share-server"
 SNAP="$WORK/market.json"
+SNAPDIR="$WORK/markets"
 LOG="$WORK/server.log"
 
 cleanup() {
@@ -24,16 +27,19 @@ go build -o "$BIN" ./cmd/share-server
 PID=$!
 
 # Wait for the server to come up.
-i=0
-until curl -fs "$BASE/v1/health" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "serve-smoke: server never became healthy" >&2
-        cat "$LOG" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_healthy() {
+    i=0
+    until curl -fs "$BASE/v1/health" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "serve-smoke: server never became healthy" >&2
+            cat "$LOG" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+wait_healthy
 echo "serve-smoke: server healthy"
 
 fail() {
@@ -50,12 +56,38 @@ curl -fs "$BASE/v1/trades" -d '{"n":120,"v":0.8}' | grep -q '"round": *1' \
 curl -fs "$BASE/v1/weights" >/dev/null || fail "weights failed"
 curl -fs "$BASE/v1/sellers" >/dev/null || fail "sellers failed"
 
-# Error paths: invalid demand is a field-level 400, never a 5xx.
+# Error paths: invalid demand is a field-level 400 in the unified envelope,
+# never a 5xx.
 code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/quote" -d '{"n":120,"v":0.8,"theta1":7}')
 [ "$code" = "400" ] || fail "invalid theta1 returned $code, want 400"
+curl -s "$BASE/v1/quote" -d '{"n":120,"v":0.8,"theta1":7}' | grep -q '"error"' \
+    || fail "400 body missing the error envelope"
 
-# Metrics report the traffic just generated.
+# v1 routes alias the default market on /v2.
+curl -fs "$BASE/v2/markets/default" | grep -q '"trades": *1' \
+    || fail "/v2 default-market alias missing the trade"
+
+# /v2 market lifecycle: create → register → batch quote → trade → delete.
+curl -fs "$BASE/v2/markets" -d '{"id":"smoke"}' | grep -q '"id": *"smoke"' \
+    || fail "create market failed"
+curl -fs "$BASE/v2/markets/smoke/sellers" -d '{"id":"s1","lambda":0.4,"synthetic_rows":80}' >/dev/null \
+    || fail "v2 seller registration failed"
+curl -fs "$BASE/v2/markets/smoke/sellers" -d '{"id":"s2","lambda":0.6,"synthetic_rows":80}' >/dev/null \
+    || fail "v2 seller registration failed"
+curl -fs "$BASE/v2/markets/smoke/quotes" -d '{"demands":[{"n":100,"v":0.8},{"n":200,"v":0.85}]}' \
+    | grep -q '"quotes"' || fail "batch quote failed"
+curl -fs "$BASE/v2/markets/smoke/trades" -d '{"n":90,"v":0.8}' | grep -q '"round": *1' \
+    || fail "v2 trade failed"
+curl -fs "$BASE/v2/markets/smoke/trades?limit=1" >/dev/null || fail "paginated ledger failed"
+curl -fsX DELETE "$BASE/v2/markets/smoke" || fail "delete market failed"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v2/markets/smoke")
+[ "$code" = "404" ] || fail "deleted market answered $code, want 404"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "$BASE/v2/markets/default")
+[ "$code" = "409" ] || fail "deleting the default market answered $code, want 409"
+
+# Metrics report the traffic just generated, including per-market series.
 curl -fs "$BASE/v1/metrics" | grep -q '"POST /v1/trades"' || fail "metrics missing trade endpoint"
+curl -fs "$BASE/v1/metrics" | grep -q 'market/smoke/trade' || fail "metrics missing per-market series"
 
 # Graceful shutdown on SIGTERM persists the snapshot and exits 0.
 kill -TERM "$PID"
@@ -69,15 +101,37 @@ grep -q '"ledger"' "$SNAP" || fail "snapshot missing ledger"
 # Reboot from the snapshot: the ledger must survive the restart.
 "$BIN" -addr "$ADDR" -snapshot "$SNAP" >"$LOG" 2>&1 &
 PID=$!
-i=0
-until curl -fs "$BASE/v1/health" >/dev/null 2>&1; do
-    i=$((i + 1))
-    [ "$i" -gt 100 ] && fail "restarted server never became healthy"
-    sleep 0.1
-done
+wait_healthy
 curl -fs "$BASE/v1/trades" | grep -q '"round": *1' || fail "ledger lost across restart"
 kill -TERM "$PID"
 wait "$PID" || fail "restarted server exited non-zero on SIGTERM"
 PID=""
 
-echo "serve-smoke: OK (quote, trade, metrics, graceful shutdown, snapshot restore)"
+# Per-market persistence: boot with -snapshot-dir, trade in a named market,
+# SIGTERM, reboot from the directory — every market must come back.
+"$BIN" -addr "$ADDR" -demo 3 -snapshot-dir "$SNAPDIR" >"$LOG" 2>&1 &
+PID=$!
+wait_healthy
+curl -fs "$BASE/v2/markets" -d '{"id":"beta"}' >/dev/null || fail "dir-mode create failed"
+curl -fs "$BASE/v2/markets/beta/sellers" -d '{"id":"b1","lambda":0.5,"synthetic_rows":80}' >/dev/null \
+    || fail "dir-mode registration failed"
+curl -fs "$BASE/v2/markets/beta/trades" -d '{"n":90,"v":0.8}' >/dev/null || fail "dir-mode trade failed"
+curl -fs "$BASE/v1/trades" -d '{"n":120,"v":0.8}' >/dev/null || fail "dir-mode default trade failed"
+kill -TERM "$PID"
+wait "$PID" || fail "dir-mode server exited non-zero on SIGTERM"
+PID=""
+[ -s "$SNAPDIR/beta.json" ] || fail "no per-market snapshot for beta"
+[ -s "$SNAPDIR/default.json" ] || fail "no per-market snapshot for default"
+
+"$BIN" -addr "$ADDR" -snapshot-dir "$SNAPDIR" >"$LOG" 2>&1 &
+PID=$!
+wait_healthy
+curl -fs "$BASE/v2/markets/beta/trades" | grep -q '"round": *1' \
+    || fail "beta ledger lost across dir-mode restart"
+curl -fs "$BASE/v1/trades" | grep -q '"round": *1' \
+    || fail "default ledger lost across dir-mode restart"
+kill -TERM "$PID"
+wait "$PID" || fail "dir-mode restarted server exited non-zero on SIGTERM"
+PID=""
+
+echo "serve-smoke: OK (quote, trade, metrics, v2 lifecycle, graceful shutdown, snapshot + snapshot-dir restore)"
