@@ -21,20 +21,23 @@ test:
 # race detector; the solver-backend pass pins cross-backend agreement, the
 # Jacobi determinism guarantee and the Stage-3 τ-boundary cases of the
 # general cascade; the pool pass pins per-market isolation, the
-# delete-drain race and batch-quote determinism under the race detector;
+# delete-drain race, batch-quote determinism, the WAL crash-recovery
+# torture sweep and concurrent group commit under the race detector;
 # and the serve-smoke end-to-end pass rides along so the gate also
 # exercises the live server lifecycle (boot, /v2 markets, trade, metrics,
-# SIGTERM drain, snapshot restore).
+# SIGTERM drain, snapshot restore, kill -9 WAL replay).
 race: vet
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestKernelEquivalence|TestRunRoundShapleyIdenticalAcrossWorkers' -count=1 ./internal/valuation ./internal/market
 	$(GO) test -race -run 'TestGeneralMatchesAnalytic|TestGeneralDeterministicAcrossWorkers|TestMapDeterministicAcrossWorkers|TestMeanFieldWithinTheoremBounds|TestSolveGeneralTau' -count=1 ./internal/solve ./internal/core
-	$(GO) test -race -run 'TestMarketsAreIsolated|TestDeleteDrainsInFlightRounds|TestBatchQuoteDeterminism' -count=1 ./internal/pool
+	$(GO) test -race -run 'TestMarketsAreIsolated|TestDeleteDrainsInFlightRounds|TestBatchQuoteDeterminism|TestWALTortureRecovery|TestConcurrentTradesGroupCommit' -count=1 ./internal/pool
+	$(GO) test -race -run 'TestConcurrentGroupCommit|TestTornTailTruncatedAtEveryOffset' -count=1 ./internal/wal
 	$(MAKE) serve-smoke
 
 # Statement coverage for every package, failing if internal/solve — the
-# backend seam every equilibrium consumer routes through — or internal/pool
-# — the multi-market engine behind /v2 — drops below 80%.
+# backend seam every equilibrium consumer routes through — internal/pool
+# — the multi-market engine behind /v2 — or internal/wal — the durability
+# layer under every committed trade — drops below 80%.
 cover:
 	sh scripts/cover.sh
 
@@ -47,11 +50,13 @@ serve-smoke:
 
 # Go benchmarks (valuation kernel, trade rounds, solver) plus the
 # machine-readable reports: BENCH_PR3.json (moment-cached Shapley kernel vs
-# the seed-era row-streaming estimator) and BENCH_PR4.json (per-round solve
-# latency of the analytic, mean-field and general backends).
+# the seed-era row-streaming estimator), BENCH_PR4.json (per-round solve
+# latency of the analytic, mean-field and general backends) and
+# BENCH_PR6.json (trade throughput and commit latency of the durability
+# modes: snapshot-per-trade vs the sync / group-commit / async WAL).
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/share-bench -fig none -out . -bench-pr3 -bench-pr4
+	$(GO) run ./cmd/share-bench -fig none -out . -bench-pr3 -bench-pr4 -bench-pr6
 
 # Regenerate every evaluation figure (full scale, ~30 s) into bench_out_full/,
 # plus BENCH.json with the solver/sweep performance probes.

@@ -31,6 +31,9 @@
 // -bench-pr4 runs the solve-backend probes and writes BENCH_PR4.json
 // (per-round equilibrium latency of the analytic, mean-field and general
 // backends at m ∈ {100, 1000}).
+// -bench-pr6 runs the durability probes and writes BENCH_PR6.json (trade
+// throughput and commit latency of snapshot-per-trade vs the write-ahead
+// log in sync, group-commit and async modes, at m ∈ {20, 100}).
 // -solver re-renders the sensitivity sweeps (Figs. 4–8) under a different
 // equilibrium backend (analytic | meanfield | general); the default analytic
 // backend reproduces every CSV byte-for-byte.
@@ -68,6 +71,7 @@ func main() {
 		bench   = flag.Bool("bench", false, "run performance probes and write BENCH.json")
 		bench3  = flag.Bool("bench-pr3", false, "run valuation-kernel probes and write BENCH_PR3.json")
 		bench4  = flag.Bool("bench-pr4", false, "run solve-backend probes and write BENCH_PR4.json")
+		bench6  = flag.Bool("bench-pr6", false, "run durability-mode probes and write BENCH_PR6.json")
 		solver  = flag.String("solver", "", "equilibrium backend for the sensitivity sweeps: analytic | meanfield | general (empty = analytic)")
 	)
 	flag.Parse()
@@ -94,6 +98,11 @@ func main() {
 	}
 	if *bench4 {
 		if err := writeBenchPR4(*outDir, *workers, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *bench6 {
+		if err := writeBenchPR6(*outDir, *seed); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -76,7 +76,7 @@ func usage() {
 commands:
   health         server liveness and default-market state
   markets        list hosted markets
-  create-market  create a market: -id ID [-solver NAME] [-seed N]
+  create-market  create a market: -id ID [-solver NAME] [-seed N] [-durability MODE]
   delete-market  drain and delete a market: -id ID
   register       register a seller: -id ID -lambda λ [-rows N]
   sellers        list registered sellers: [-limit N] [-offset N]
@@ -110,13 +110,14 @@ func dispatch(ctx context.Context, c *httpapi.Client, marketID, cmd string, args
 		id := fs.String("id", "", "market id (required)")
 		solver := fs.String("solver", "", "equilibrium backend for the market (empty = server default)")
 		seed := fs.Int64("seed", 0, "pin the market's random seed")
+		durability := fs.String("durability", "", "commit mode for the market: snapshot | sync | group | async (empty = server default)")
 		if err := fs.Parse(args); err != nil {
 			return err
 		}
 		if *id == "" {
 			return fmt.Errorf("create-market: -id is required")
 		}
-		spec := httpapi.MarketSpec{ID: *id, Solver: *solver}
+		spec := httpapi.MarketSpec{ID: *id, Solver: *solver, Durability: *durability}
 		if seedSet(fs) {
 			spec.Seed = seed
 		}

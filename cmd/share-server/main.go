@@ -6,9 +6,9 @@
 //
 // Usage:
 //
-//	share-server [-addr :8080] [-seed N] [-demo M] [-snapshot market.json]
-//	             [-max-body BYTES] [-trade-timeout D] [-drain D]
-//	             [-workers N] [-pprof ADDR] [-solver NAME]
+//	share-server [-addr :8080] [-seed N] [-demo M] [-snapshot-dir DIR]
+//	             [-durability MODE] [-max-body BYTES] [-trade-timeout D]
+//	             [-drain D] [-workers N] [-pprof ADDR] [-solver NAME]
 //
 // -solver picks the default equilibrium backend (analytic | meanfield |
 // general); individual requests override it with a "solver" field on the
@@ -33,11 +33,18 @@
 // With -snapshot PATH the server restores its default market from PATH on
 // boot (when the file exists) and persists it back — via an atomic
 // write-temp-then-rename — on graceful shutdown (SIGINT/SIGTERM) and after
-// every trade, so a crash loses at most the in-flight round. With
-// -snapshot-dir DIR every hosted market persists to DIR/<id>.json the same
-// way (after each trade and on shutdown) and the whole pool is restored on
-// boot; a corrupt file is skipped with a warning. The two flags are
-// mutually exclusive; prefer -snapshot-dir for multi-market (/v2) servers.
+// every trade, so a crash loses at most the in-flight round. The flag is
+// deprecated in favour of -snapshot-dir and kept as a compatibility shim.
+//
+// With -snapshot-dir DIR every hosted market persists under DIR: committed
+// trades append to a write-ahead log DIR/<id>.wal (group-committed fsyncs)
+// that is periodically compacted into DIR/<id>.json, and the whole pool —
+// snapshots plus WAL tails — is replayed on boot; a corrupt file is skipped
+// with a warning. -durability picks the default commit mode for new markets
+// (snapshot | sync | group | async; see internal/pool); individual markets
+// override it with a "durability" field on the /v2/markets create body. The
+// two snapshot flags are mutually exclusive; prefer -snapshot-dir for
+// multi-market (/v2) servers.
 package main
 
 import (
@@ -57,6 +64,7 @@ import (
 	"time"
 
 	"share/internal/httpapi"
+	"share/internal/pool"
 	"share/internal/solve"
 	"share/internal/stat"
 )
@@ -69,22 +77,29 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		seed         = flag.Int64("seed", 1, "random seed")
 		demo         = flag.Int("demo", 0, "pre-register this many synthetic sellers")
-		snapshot     = flag.String("snapshot", "", "restore the default market from this file on boot, persist on shutdown and after each trade")
-		snapshotDir  = flag.String("snapshot-dir", "", "per-market persistence directory: restore every market from DIR/<id>.json on boot, persist after each trade and on shutdown (mutually exclusive with -snapshot)")
+		snapshot     = flag.String("snapshot", "", "deprecated: restore the default market from this file on boot, persist on shutdown and after each trade (use -snapshot-dir)")
+		snapshotDir  = flag.String("snapshot-dir", "", "per-market persistence directory: restore snapshots and replay WAL tails from DIR on boot, group-commit trades to DIR/<id>.wal (mutually exclusive with -snapshot)")
 		maxBody      = flag.Int64("max-body", 0, "request body cap in bytes (0 = 8 MiB default)")
 		tradeTimeout = flag.Duration("trade-timeout", 0, "server-side deadline per trading round (0 = none)")
 		drain        = flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain window for in-flight requests")
 		workers      = flag.Int("workers", 0, "Shapley valuation worker pool per trade (0 or 1 = one worker; results are identical for every value)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = disabled)")
 		solver       = flag.String("solver", "", "default equilibrium backend: analytic | meanfield | general (empty = analytic); requests override per-trade via the demand's \"solver\" field")
+		durability   = flag.String("durability", "", "default market commit mode with -snapshot-dir: snapshot | sync | group | async (empty = group); /v2 market creation overrides per-market via the spec's \"durability\" field")
 	)
 	flag.Parse()
 
 	if _, err := solve.Lookup(*solver); err != nil {
 		log.Fatalf("-solver: %v", err)
 	}
+	if _, err := pool.ParseDurability(*durability); err != nil {
+		log.Fatalf("-durability: %v", err)
+	}
 	if *snapshot != "" && *snapshotDir != "" {
 		log.Fatalf("-snapshot and -snapshot-dir are mutually exclusive")
+	}
+	if msg := snapshotFlagDeprecation(*snapshot); msg != "" {
+		log.Printf("%s", msg)
 	}
 
 	if *pprofAddr != "" {
@@ -106,6 +121,7 @@ func main() {
 		Workers:      *workers,
 		Solver:       *solver,
 		SnapshotDir:  *snapshotDir,
+		Durability:   *durability,
 	})
 	handler := srv.Handler()
 
@@ -186,9 +202,22 @@ func main() {
 		if err := srv.Pool().SaveAll(); err != nil {
 			log.Fatalf("saving snapshot directory: %v", err)
 		}
+		srv.Pool().Close()
 		log.Printf("all markets saved under %s", *snapshotDir)
 	}
 	log.Printf("bye")
+}
+
+// snapshotFlagDeprecation returns the one-line warning emitted when the
+// deprecated -snapshot flag is in use, or "" when it isn't. The flag keeps
+// working so existing deployments don't break, but -snapshot-dir is the
+// supported path: it adds the write-ahead log, group commit and /v2
+// multi-market persistence.
+func snapshotFlagDeprecation(path string) string {
+	if path == "" {
+		return ""
+	}
+	return fmt.Sprintf("warning: -snapshot %s is deprecated; use -snapshot-dir DIR for WAL-backed persistence", path)
 }
 
 // withSnapshotAfterTrade persists the market after every successful trade

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotFlagDeprecation(t *testing.T) {
+	if got := snapshotFlagDeprecation(""); got != "" {
+		t.Fatalf("no warning expected without -snapshot, got %q", got)
+	}
+	got := snapshotFlagDeprecation("market.json")
+	if !strings.Contains(got, "deprecated") {
+		t.Fatalf("warning should say the flag is deprecated, got %q", got)
+	}
+	if !strings.Contains(got, "market.json") {
+		t.Fatalf("warning should echo the configured path, got %q", got)
+	}
+	if !strings.Contains(got, "-snapshot-dir") {
+		t.Fatalf("warning should point at -snapshot-dir, got %q", got)
+	}
+}

@@ -118,6 +118,12 @@ type Options struct {
 	// SnapshotDir enables per-market snapshot persistence under this
 	// directory ("" → disabled). See Server.RestoreMarkets / SaveMarkets.
 	SnapshotDir string
+	// Durability is the default persistence mode for markets: "snapshot"
+	// (legacy full snapshot per trade), "sync" (per-commit fsync), "group"
+	// (batched fsync, the default) or "async" (background flush). Markets
+	// may override it at creation. Unknown names fall back to the default
+	// (CLI entry points validate the flag before getting here).
+	Durability string
 	// DefaultMarket names the market the /v1 aliases operate on
 	// ("" → "default").
 	DefaultMarket string
@@ -154,6 +160,7 @@ func NewServer(opt Options) *Server {
 		Seed:         opt.Seed,
 		TradeTimeout: opt.TradeTimeout,
 		SnapshotDir:  opt.SnapshotDir,
+		Durability:   opt.Durability,
 		Metrics:      s.metrics,
 		Logf:         logf,
 	})
@@ -281,6 +288,10 @@ type MarketSpec struct {
 	// Seed pins the market's random seed (absent → derived from the
 	// server seed and the ID).
 	Seed *int64 `json:"seed,omitempty"`
+	// Durability overrides the server's default persistence mode for this
+	// market: "snapshot", "sync", "group" or "async" ("" → server
+	// default). Unknown names are a field-level error.
+	Durability string `json:"durability,omitempty"`
 }
 
 // MarketInfo is the market resource representation (POST/GET /v2/markets).
@@ -463,12 +474,12 @@ func (s *Server) handleCreateMarket(w http.ResponseWriter, r *http.Request) {
 		writeDecodeError(w, err)
 		return
 	}
-	m, err := s.pool.Create(pool.Spec{ID: spec.ID, Solver: spec.Solver, Seed: spec.Seed})
+	m, err := s.pool.Create(pool.Spec{ID: spec.ID, Solver: spec.Solver, Seed: spec.Seed, Durability: spec.Durability})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	s.logf("httpapi: created market %q (solver=%s, seed=%d)", m.ID(), m.Solver(), m.Seed())
+	s.logf("httpapi: created market %q (solver=%s, seed=%d, durability=%s)", m.ID(), m.Solver(), m.Seed(), m.Durability())
 	writeJSON(w, http.StatusCreated, m.Info())
 }
 

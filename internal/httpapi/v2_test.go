@@ -435,3 +435,50 @@ func TestClientV2(t *testing.T) {
 		t.Fatalf("Market after delete = %v", err)
 	}
 }
+
+// TestMarketDurabilityField covers the /v2 "durability" spec field: it is
+// validated on create, echoed in the market resource, and defaults to the
+// server-wide mode when omitted.
+func TestMarketDurabilityField(t *testing.T) {
+	srv := NewServer(Options{
+		Seed:        1,
+		Logf:        func(string, ...any) {},
+		SnapshotDir: t.TempDir(),
+		Durability:  "group",
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	info, err := c.CreateMarket(ctx, MarketSpec{ID: "synced", Durability: "sync"})
+	if err != nil {
+		t.Fatalf("CreateMarket with durability: %v", err)
+	}
+	if info.Durability != "sync" {
+		t.Fatalf("Durability = %q, want %q", info.Durability, "sync")
+	}
+
+	// Omitted durability inherits the pool default.
+	info, err = c.CreateMarket(ctx, MarketSpec{ID: "defaulted"})
+	if err != nil {
+		t.Fatalf("CreateMarket without durability: %v", err)
+	}
+	if info.Durability != "group" {
+		t.Fatalf("default Durability = %q, want %q", info.Durability, "group")
+	}
+
+	// GET echoes the mode back too.
+	got, err := c.Market(ctx, "synced")
+	if err != nil || got.Durability != "sync" {
+		t.Fatalf("Market(synced) = %+v, %v", got, err)
+	}
+
+	// Unknown mode fails field validation with the unified envelope.
+	var se *StatusError
+	_, err = c.CreateMarket(ctx, MarketSpec{ID: "bad", Durability: "fsync-maybe"})
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest ||
+		se.APICode != CodeInvalidField || se.Field != "durability" {
+		t.Fatalf("bad durability error = %+v", err)
+	}
+}

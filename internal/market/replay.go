@@ -1,0 +1,30 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+
+	"share/internal/translog"
+)
+
+// ApplyCommitted re-applies a transaction committed by a previous process —
+// the write-ahead-log replay path. The round is not re-run: the recorded
+// outcome is trusted. The broker's weights are replaced with the
+// transaction's post-update vector (staging the solver prototype first, so
+// a rejected vector leaves the market untouched), and the ledger and cost
+// log gain the recorded entries. obs is the round's manufacturing
+// observation, which the transaction alone does not carry.
+func (m *Market) ApplyCommitted(tx *Transaction, obs translog.Observation) error {
+	if tx == nil {
+		return errors.New("market: replaying nil transaction")
+	}
+	if want := len(m.ledger) + 1; tx.Round != want {
+		return fmt.Errorf("market: replaying round %d onto a ledger of %d entries", tx.Round, len(m.ledger))
+	}
+	if err := m.SetWeights(tx.Weights); err != nil {
+		return fmt.Errorf("market: replaying round %d: %w", tx.Round, err)
+	}
+	m.ledger = append(m.ledger, tx.Clone())
+	m.costLog = append(m.costLog, obs)
+	return nil
+}

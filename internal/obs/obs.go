@@ -162,17 +162,59 @@ func secs(d time.Duration) float64 {
 	return math.Round(d.Seconds()*1e6) / 1e6
 }
 
+// Counter is a monotonically increasing event counter (bytes written,
+// records appended). All methods are lock-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge tracks an instantaneous value (queue depth, batch size). All
+// methods are lock-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Registry owns the endpoint set and the process start time.
 type Registry struct {
 	start time.Time
 
 	mu        sync.RWMutex
 	endpoints map[string]*Endpoint
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
 }
 
 // NewRegistry builds an empty registry anchored at now.
 func NewRegistry() *Registry {
-	return &Registry{start: time.Now(), endpoints: make(map[string]*Endpoint)}
+	return &Registry{
+		start:     time.Now(),
+		endpoints: make(map[string]*Endpoint),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+	}
 }
 
 // Endpoint returns the metrics accumulator for label, creating it on first
@@ -194,11 +236,49 @@ func (r *Registry) Endpoint(label string) *Endpoint {
 	return e
 }
 
+// Counter returns the counter registered under label, creating it on first
+// use. The returned pointer is stable.
+func (r *Registry) Counter(label string) *Counter {
+	r.mu.RLock()
+	c := r.counters[label]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[label]; c == nil {
+		c = &Counter{}
+		r.counters[label] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under label, creating it on first use.
+// The returned pointer is stable.
+func (r *Registry) Gauge(label string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[label]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[label]; g == nil {
+		g = &Gauge{}
+		r.gauges[label] = g
+	}
+	return g
+}
+
 // Snapshot is the exported state of the whole registry (the /v1/metrics
 // response body).
 type Snapshot struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	Counters      map[string]uint64        `json:"counters,omitempty"`
+	Gauges        map[string]int64         `json:"gauges,omitempty"`
 }
 
 // Snapshot exports every endpoint's stats. Counters are read atomically per
@@ -214,11 +294,27 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, l := range labels {
 		eps[l] = r.endpoints[l]
 	}
+	var counters map[string]uint64
+	if len(r.counters) > 0 {
+		counters = make(map[string]uint64, len(r.counters))
+		for l, c := range r.counters {
+			counters[l] = c.Value()
+		}
+	}
+	var gauges map[string]int64
+	if len(r.gauges) > 0 {
+		gauges = make(map[string]int64, len(r.gauges))
+		for l, g := range r.gauges {
+			gauges[l] = g.Value()
+		}
+	}
 	r.mu.RUnlock()
 	sort.Strings(labels)
 	out := Snapshot{
 		UptimeSeconds: secs(time.Since(r.start)),
 		Endpoints:     make(map[string]EndpointStats, len(labels)),
+		Counters:      counters,
+		Gauges:        gauges,
 	}
 	for _, l := range labels {
 		out.Endpoints[l] = eps[l].Stats()

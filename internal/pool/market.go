@@ -15,6 +15,8 @@ import (
 	"share/internal/product"
 	"share/internal/solve"
 	"share/internal/stat"
+	"share/internal/translog"
+	"share/internal/wal"
 )
 
 // Market is one hosted market: an independent broker with its own seller
@@ -40,6 +42,13 @@ type Market struct {
 	cfg     market.Config
 	sellers []*market.Seller // guarded by writeMu
 	mkt     *market.Market   // guarded by writeMu
+
+	// durability selects the persistence mode; log is the market's WAL
+	// segment, opened lazily at the first persisted mutation (or attached
+	// with replay at restore). Both guarded by writeMu; the commit wait
+	// itself happens outside the lock so fsyncs overlap the next round.
+	durability Durability
+	log        *wal.Log
 
 	quoteObs *obs.Endpoint // per-market equilibrium-quote latency
 	tradeObs *obs.Endpoint // per-market full-round latency
@@ -95,12 +104,13 @@ type BatchDemand struct {
 // market's synthetic test set derives from its seed exactly as the
 // single-market server's did, so the pool's default market is
 // bit-compatible with the pre-pool service.
-func (p *Pool) newMarket(id string, backend solve.Backend, seed int64) *Market {
+func (p *Pool) newMarket(id string, backend solve.Backend, seed int64, durability Durability) *Market {
 	m := &Market{
-		id:     id,
-		p:      p,
-		seed:   seed,
-		solver: backend,
+		id:         id,
+		p:          p,
+		seed:       seed,
+		solver:     backend,
+		durability: durability,
 		cfg: market.Config{
 			Cost:    p.cost,
 			TestSet: dataset.SyntheticCCPP(p.testRows, stat.NewRand(seed+7)),
@@ -135,14 +145,18 @@ func (m *Market) View() *View { return m.view.Load() }
 func (m *Market) Info() Info {
 	v := m.view.Load()
 	return Info{
-		ID:      m.id,
-		Solver:  m.solver.Name(),
-		Seed:    m.seed,
-		Sellers: len(v.Sellers),
-		Trades:  len(v.Trades),
-		Trading: v.Trading,
+		ID:         m.id,
+		Solver:     m.solver.Name(),
+		Seed:       m.seed,
+		Durability: string(m.durability),
+		Sellers:    len(v.Sellers),
+		Trades:     len(v.Trades),
+		Trading:    v.Trading,
 	}
 }
+
+// Durability reports the market's persistence mode.
+func (m *Market) Durability() Durability { return m.durability }
 
 // close marks the market as draining; subsequent begin calls fail.
 func (m *Market) close() {
@@ -166,38 +180,51 @@ func (m *Market) begin() error {
 func (m *Market) end() { m.inFlight.Done() }
 
 // RegisterSeller admits a seller before the first trade. The returned
-// state carries the seller's materialized row count.
+// state carries the seller's materialized row count. With WAL persistence
+// on, the admission is logged and its durability barrier awaited before
+// returning.
 func (m *Market) RegisterSeller(reg Registration) (SellerState, error) {
 	if err := m.begin(); err != nil {
 		return SellerState{}, err
 	}
 	defer m.end()
+	st, l, seq, err := m.registerLocked(reg)
+	if err != nil {
+		return SellerState{}, err
+	}
+	m.commitWal(l, seq)
+	return st, nil
+}
+
+// registerLocked is RegisterSeller's write-lock section: admission checks,
+// roster append, view publication and the WAL append.
+func (m *Market) registerLocked(reg Registration) (SellerState, *wal.Log, uint64, error) {
 	m.writeMu.Lock()
 	defer m.writeMu.Unlock()
 	if m.mkt != nil {
-		return SellerState{}, fmt.Errorf("market %q: %w", m.id, ErrRegistrationClosed)
+		return SellerState{}, nil, 0, fmt.Errorf("market %q: %w", m.id, ErrRegistrationClosed)
 	}
 	if reg.ID == "" {
-		return SellerState{}, &FieldError{Field: "id", Msg: "seller id is required"}
+		return SellerState{}, nil, 0, &FieldError{Field: "id", Msg: "seller id is required"}
 	}
 	for _, existing := range m.sellers {
 		if existing.ID == reg.ID {
-			return SellerState{}, fmt.Errorf("seller %q: %w", reg.ID, ErrSellerExists)
+			return SellerState{}, nil, 0, fmt.Errorf("seller %q: %w", reg.ID, ErrSellerExists)
 		}
 	}
 	if !(reg.Lambda > 0) {
-		return SellerState{}, &FieldError{Field: "lambda", Msg: fmt.Sprintf("must be positive, got %g", reg.Lambda)}
+		return SellerState{}, nil, 0, &FieldError{Field: "lambda", Msg: fmt.Sprintf("must be positive, got %g", reg.Lambda)}
 	}
 	data, err := m.sellerData(reg)
 	if err != nil {
-		return SellerState{}, err
+		return SellerState{}, nil, 0, err
 	}
 	// The market's LDP mechanism and product builders need one common
 	// schema; a mismatched roster would otherwise only blow up at the
 	// first trade.
 	if len(m.sellers) > 0 {
 		if want, got := m.sellers[0].Data.NumFeatures(), data.NumFeatures(); got != want {
-			return SellerState{}, &FieldError{Field: "rows", Msg: fmt.Sprintf(
+			return SellerState{}, nil, 0, &FieldError{Field: "rows", Msg: fmt.Sprintf(
 				"expected %d features per row to match the registered roster, got %d", want, got)}
 		}
 	}
@@ -207,10 +234,11 @@ func (m *Market) RegisterSeller(reg Registration) (SellerState, error) {
 		// pathological λ passing the > 0 check but failing validation)
 		// must not be half-admitted.
 		m.sellers = m.sellers[:len(m.sellers)-1]
-		return SellerState{}, &FieldError{Field: "lambda", Msg: err.Error()}
+		return SellerState{}, nil, 0, &FieldError{Field: "lambda", Msg: err.Error()}
 	}
+	l, seq := m.persistRegisterLocked(StoredSeller{ID: reg.ID, Lambda: reg.Lambda, Rows: data.X, Targets: data.Y})
 	m.p.logf("pool: market %q registered seller %q (%d rows, λ=%g)", m.id, reg.ID, data.Len(), reg.Lambda)
-	return SellerState{ID: reg.ID, Lambda: reg.Lambda, Rows: data.Len()}, nil
+	return SellerState{ID: reg.ID, Lambda: reg.Lambda, Rows: data.Len()}, l, seq, nil
 }
 
 // sellerData materializes a registration's dataset: inline rows validated,
@@ -314,25 +342,39 @@ func (m *Market) QuoteBatch(ctx context.Context, demands []BatchDemand) ([]*core
 }
 
 // Trade runs one full round of Algorithm 1 for the buyer, with this
-// market's write path held for the duration. builder nil means the
+// market's write path held for the solve and commit. builder nil means the
 // market's configured product; backend nil means the market's default
 // solver. On success the new view is published and, with persistence on,
-// the market's snapshot is refreshed (a failed save logs and never fails
-// the committed trade).
+// the trade is made durable per the market's mode: a WAL record appended
+// under the lock and committed after it is released — so the fsync of this
+// trade overlaps the next round's solve, and concurrent commits share one
+// group-commit barrier — or, in snapshot mode, the legacy full-snapshot
+// rewrite. A failed write logs and never fails the committed trade.
 func (m *Market) Trade(ctx context.Context, b core.Buyer, builder product.Builder, backend solve.Backend) (*market.Transaction, error) {
 	if err := m.begin(); err != nil {
 		return nil, err
 	}
 	defer m.end()
+	tx, l, seq, err := m.tradeLocked(ctx, b, builder, backend)
+	if err != nil {
+		return nil, err
+	}
+	m.commitWal(l, seq)
+	return tx, nil
+}
+
+// tradeLocked is Trade's write-lock section: the round itself, view
+// publication, metrics and the WAL append (or snapshot fallback).
+func (m *Market) tradeLocked(ctx context.Context, b core.Buyer, builder product.Builder, backend solve.Backend) (*market.Transaction, *wal.Log, uint64, error) {
 	m.writeMu.Lock()
 	defer m.writeMu.Unlock()
 	if m.mkt == nil {
 		if len(m.sellers) == 0 {
-			return nil, fmt.Errorf("market %q: %w", m.id, ErrNoSellers)
+			return nil, nil, 0, fmt.Errorf("market %q: %w", m.id, ErrNoSellers)
 		}
 		mkt, err := market.New(m.sellers, m.cfg)
 		if err != nil {
-			return nil, fmt.Errorf("market %q: building market: %w", m.id, err)
+			return nil, nil, 0, fmt.Errorf("market %q: building market: %w", m.id, err)
 		}
 		m.mkt = mkt
 	}
@@ -344,10 +386,10 @@ func (m *Market) Trade(ctx context.Context, b core.Buyer, builder product.Builde
 	start := time.Now()
 	tx, err := m.mkt.RunRoundBackend(ctx, b, builder, backend)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	if err := m.publishView(); err != nil {
-		return nil, fmt.Errorf("market %q: republishing view: %w", m.id, err)
+		return nil, nil, 0, fmt.Errorf("market %q: republishing view: %w", m.id, err)
 	}
 	if tx.Timings.WeightUpdate > 0 {
 		m.p.valuation.Observe(tx.Timings.WeightUpdate)
@@ -356,10 +398,10 @@ func (m *Market) Trade(ctx context.Context, b core.Buyer, builder product.Builde
 		ep.Observe(tx.Timings.Strategy)
 	}
 	m.tradeObs.Observe(time.Since(start))
-	m.saveLocked()
+	l, seq := m.persistTradeLocked(tx, translog.Observation{N: b.N, V: b.V, Cost: tx.ManufacturingCost})
 	m.p.logf("pool: market %q trade %d executed (p^M=%g, p^D=%g, EV=%.4f)",
 		m.id, tx.Round, tx.Profile.PM, tx.Profile.PD, tx.Metrics.Performance)
-	return tx, nil
+	return tx, l, seq, nil
 }
 
 // buildView renders the market's mutable state into a fresh immutable

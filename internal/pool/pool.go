@@ -37,6 +37,7 @@ import (
 	"share/internal/obs"
 	"share/internal/solve"
 	"share/internal/translog"
+	"share/internal/wal"
 )
 
 // Options configure a Pool; they are the template every hosted market is
@@ -66,6 +67,18 @@ type Options struct {
 	// SnapshotDir enables per-market persistence under this directory
 	// ("" → disabled).
 	SnapshotDir string
+	// Durability is the default persistence mode for new markets:
+	// "snapshot" (legacy full snapshot per trade), "sync" (per-commit
+	// fsync), "group" (batched fsync, the default) or "async" (background
+	// flush). Unknown names fall back to the default with a log line,
+	// mirroring Solver.
+	Durability string
+	// CompactRecords triggers WAL compaction — snapshot plus truncate —
+	// once a market's segment holds this many records (0 → 256).
+	CompactRecords int
+	// CompactBytes triggers WAL compaction once a market's segment reaches
+	// this size (0 → 4 MiB).
+	CompactBytes int64
 	// Metrics receives per-market and per-backend latency series (nil → a
 	// private registry).
 	Metrics *obs.Registry
@@ -83,11 +96,16 @@ type Pool struct {
 	seed         int64
 	tradeTimeout time.Duration
 	snapshotDir  string
+	durability   Durability
 	logf         func(format string, args ...any)
+
+	compactRecords int
+	compactBytes   int64
 
 	metrics   *obs.Registry
 	valuation *obs.Endpoint            // Shapley weight-update latency, all markets
 	solveObs  map[string]*obs.Endpoint // per-backend equilibrium-solve latency
+	walMet    wal.Metrics              // shared WAL series, all markets
 
 	mu      sync.RWMutex
 	markets map[string]*Market
@@ -105,16 +123,20 @@ type Spec struct {
 	// Seed pins the market's random seed (nil → derived deterministically
 	// from the pool seed and the ID).
 	Seed *int64
+	// Durability overrides the pool's default persistence mode for this
+	// market ("" → pool default). Unknown names are a field-level error.
+	Durability string
 }
 
 // Info is the externally visible state of one hosted market.
 type Info struct {
-	ID      string `json:"id"`
-	Solver  string `json:"solver"`
-	Seed    int64  `json:"seed"`
-	Sellers int    `json:"sellers"`
-	Trades  int    `json:"trades"`
-	Trading bool   `json:"trading"`
+	ID         string `json:"id"`
+	Solver     string `json:"solver"`
+	Seed       int64  `json:"seed"`
+	Durability string `json:"durability"`
+	Sellers    int    `json:"sellers"`
+	Trades     int    `json:"trades"`
+	Trading    bool   `json:"trading"`
 }
 
 // New builds an empty pool. An unknown Options.Solver falls back to the
@@ -147,24 +169,47 @@ func New(opts Options) *Pool {
 		logf("pool: %v; falling back to %q", err, solve.DefaultName)
 		backend, _ = solve.Lookup(solve.DefaultName)
 	}
+	durability, err := ParseDurability(opts.Durability)
+	if err != nil {
+		logf("pool: %v; falling back to %q", err, DurGroup)
+		durability = DurGroup
+	}
+	compactRecords := opts.CompactRecords
+	if compactRecords <= 0 {
+		compactRecords = 256
+	}
+	compactBytes := opts.CompactBytes
+	if compactBytes <= 0 {
+		compactBytes = 4 << 20
+	}
 	metrics := opts.Metrics
 	if metrics == nil {
 		metrics = obs.NewRegistry()
 	}
 	p := &Pool{
-		cost:         cost,
-		testRows:     testRows,
-		update:       upd,
-		workers:      opts.Workers,
-		solver:       backend,
-		seed:         opts.Seed,
-		tradeTimeout: opts.TradeTimeout,
-		snapshotDir:  opts.SnapshotDir,
-		logf:         logf,
-		metrics:      metrics,
-		valuation:    metrics.Endpoint("trade/valuation"),
-		solveObs:     make(map[string]*obs.Endpoint, len(solve.Names())),
-		markets:      make(map[string]*Market),
+		cost:           cost,
+		testRows:       testRows,
+		update:         upd,
+		workers:        opts.Workers,
+		solver:         backend,
+		seed:           opts.Seed,
+		tradeTimeout:   opts.TradeTimeout,
+		snapshotDir:    opts.SnapshotDir,
+		durability:     durability,
+		compactRecords: compactRecords,
+		compactBytes:   compactBytes,
+		logf:           logf,
+		metrics:        metrics,
+		valuation:      metrics.Endpoint("trade/valuation"),
+		solveObs:       make(map[string]*obs.Endpoint, len(solve.Names())),
+		walMet: wal.Metrics{
+			Fsync:    metrics.Endpoint("wal/fsync"),
+			Fsyncs:   metrics.Counter("wal/fsyncs"),
+			Records:  metrics.Counter("wal/records"),
+			Bytes:    metrics.Counter("wal/bytes"),
+			BatchMax: metrics.Gauge("wal/batch_max"),
+		},
+		markets: make(map[string]*Market),
 	}
 	for _, name := range solve.Names() {
 		p.solveObs[name] = p.metrics.Endpoint("solve/" + name)
@@ -181,6 +226,9 @@ func (p *Pool) Workers() int { return p.workers }
 
 // DefaultSolver names the backend new markets default to.
 func (p *Pool) DefaultSolver() string { return p.solver.Name() }
+
+// DefaultDurability names the persistence mode new markets default to.
+func (p *Pool) DefaultDurability() Durability { return p.durability }
 
 // ValidateID checks that id is usable as a market name, snapshot file stem
 // and metric-label segment.
@@ -225,11 +273,19 @@ func (p *Pool) Create(spec Spec) (*Market, error) {
 		}
 		backend = b
 	}
+	durability := p.durability
+	if spec.Durability != "" {
+		d, err := ParseDurability(spec.Durability)
+		if err != nil {
+			return nil, &FieldError{Field: "durability", Msg: err.Error()}
+		}
+		durability = d
+	}
 	seed := p.deriveSeed(spec.ID)
 	if spec.Seed != nil {
 		seed = *spec.Seed
 	}
-	m := p.newMarket(spec.ID, backend, seed)
+	m := p.newMarket(spec.ID, backend, seed, durability)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, ok := p.markets[spec.ID]; ok {
@@ -269,9 +325,11 @@ func (p *Pool) List() []Info {
 // Delete unlinks the named market — new requests stop routing to it
 // immediately — then drains its in-flight rounds under ctx. When the drain
 // completes (even after Delete has returned with ctx's error) the market's
-// snapshot file, if any, is removed so a later RestoreAll cannot resurrect
-// it. A ctx expiry means the market is gone from the pool but a wedged
-// round may still be finishing in the background.
+// WAL segment is closed and its persisted files — snapshot and segment —
+// are removed, so a later RestoreAll (or a recreated market under the same
+// name) can never resurrect its state. A ctx expiry means the market is
+// gone from the pool but a wedged round may still be finishing in the
+// background.
 func (p *Pool) Delete(ctx context.Context, id string) error {
 	p.mu.Lock()
 	m, ok := p.markets[id]
@@ -286,6 +344,7 @@ func (p *Pool) Delete(ctx context.Context, id string) error {
 	drained := make(chan struct{})
 	go func() {
 		m.inFlight.Wait()
+		m.closeLog()
 		p.removeSnapshot(id)
 		close(drained)
 	}()
@@ -297,13 +356,20 @@ func (p *Pool) Delete(ctx context.Context, id string) error {
 	}
 }
 
-// removeSnapshot deletes a market's snapshot file, if persistence is on.
+// removeSnapshot deletes a market's persisted files — the snapshot and the
+// WAL segment — if persistence is on. An orphaned segment left behind here
+// would replay a dead market's trades into a recreated market of the same
+// name.
 func (p *Pool) removeSnapshot(id string) {
 	if p.snapshotDir == "" {
 		return
 	}
-	path := filepath.Join(p.snapshotDir, id+snapshotExt)
-	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-		p.logf("pool: removing snapshot %s: %v", path, err)
+	for _, path := range []string{
+		filepath.Join(p.snapshotDir, id+snapshotExt),
+		filepath.Join(p.snapshotDir, id+walExt),
+	} {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			p.logf("pool: removing %s: %v", path, err)
+		}
 	}
 }

@@ -431,11 +431,14 @@ func TestRestoreAllSkipsCorruptSnapshot(t *testing.T) {
 }
 
 // TestDeleteRemovesSnapshot: a deleted market's snapshot file must go with
-// it, so a reboot cannot resurrect it.
+// it, so a reboot cannot resurrect it. Pinned to snapshot durability — the
+// mode that writes <id>.json per trade; the WAL modes are covered by
+// TestDeleteRemovesWALSegment.
 func TestDeleteRemovesSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	opts := quietOptions()
 	opts.SnapshotDir = dir
+	opts.Durability = string(DurSnapshot)
 	p := New(opts)
 	m, err := p.Create(Spec{ID: "gone"})
 	if err != nil {

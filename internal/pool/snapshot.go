@@ -36,6 +36,13 @@ type MarketSnapshot struct {
 	Solver string `json:"solver,omitempty"`
 	// Seed pins the market seed (nil keeps the restoring market's seed).
 	Seed *int64 `json:"seed,omitempty"`
+	// Durability names the market's persistence mode ("" — including every
+	// pre-WAL file — keeps the restoring pool's default).
+	Durability string `json:"durability,omitempty"`
+	// WalSeq is the highest WAL sequence number this snapshot reflects
+	// (0 in pre-WAL files and for markets without WAL activity). Replay
+	// skips records at or below it.
+	WalSeq uint64 `json:"wal_seq,omitempty"`
 	// Sellers is the registered roster in order.
 	Sellers []StoredSeller `json:"sellers"`
 	// Market is the trading state; nil when no trade has executed yet.
@@ -71,10 +78,14 @@ func (m *Market) Snapshot() *MarketSnapshot {
 func (m *Market) snapshotLocked() *MarketSnapshot {
 	seed := m.seed
 	snap := &MarketSnapshot{
-		Version: snapshotVersion,
-		ID:      m.id,
-		Solver:  m.solver.Name(),
-		Seed:    &seed,
+		Version:    snapshotVersion,
+		ID:         m.id,
+		Solver:     m.solver.Name(),
+		Seed:       &seed,
+		Durability: string(m.durability),
+	}
+	if m.log != nil {
+		snap.WalSeq = m.log.LastSeq()
 	}
 	for _, sel := range m.sellers {
 		snap.Sellers = append(snap.Sellers, StoredSeller{
@@ -126,6 +137,15 @@ func (m *Market) RestoreSnapshot(snap *MarketSnapshot) error {
 		m.solver = b
 		m.cfg.Solver = b
 	}
+	if snap.Durability != "" {
+		// Same rule as Solver: legacy files never carry Durability, so a
+		// bare file keeps the restoring pool's default.
+		d, err := ParseDurability(snap.Durability)
+		if err != nil {
+			return fmt.Errorf("pool: restoring durability: %w", err)
+		}
+		m.durability = d
+	}
 	sellers := make([]*market.Seller, len(snap.Sellers))
 	for i, st := range snap.Sellers {
 		d := &dataset.Dataset{X: st.Rows, Y: st.Targets}
@@ -167,15 +187,21 @@ func (m *Market) Save(path string) error {
 	return writeSnapshotFile(path, m.Snapshot())
 }
 
+// snapshotPath is the market's snapshot file path under the pool's
+// snapshot directory.
+func (m *Market) snapshotPath() string {
+	return filepath.Join(m.p.snapshotDir, m.id+snapshotExt)
+}
+
 // saveLocked persists the market under the pool's snapshot directory with
-// writeMu already held (the after-trade hook). Failures log — a committed
-// trade must not be reported failed because the disk was.
+// writeMu already held (the snapshot-durability after-trade hook and the
+// WAL fallback). Failures log — a committed trade must not be reported
+// failed because the disk was.
 func (m *Market) saveLocked() {
 	if m.p.snapshotDir == "" {
 		return
 	}
-	path := filepath.Join(m.p.snapshotDir, m.id+snapshotExt)
-	if err := writeSnapshotFile(path, m.snapshotLocked()); err != nil {
+	if err := writeSnapshotFile(m.snapshotPath(), m.snapshotLocked()); err != nil {
 		m.p.logf("pool: snapshot after trade for market %q: %v", m.id, err)
 	}
 }
@@ -226,7 +252,10 @@ func ReadSnapshotFile(path string) (*MarketSnapshot, error) {
 }
 
 // SaveAll persists every hosted market under the snapshot directory (the
-// SIGTERM hook). Markets are saved in ID order; the first error aborts.
+// SIGTERM hook). Each market's snapshot and WAL truncation happen under
+// one write-lock hold, so a trade committed mid-SaveAll is captured by
+// either its snapshot or its (untruncated) log, never lost. Markets are
+// saved in ID order; the first error aborts.
 func (p *Pool) SaveAll() error {
 	if p.snapshotDir == "" {
 		return errors.New("pool: no snapshot directory configured")
@@ -244,20 +273,28 @@ func (p *Pool) SaveAll() error {
 	p.mu.RUnlock()
 	sort.Strings(ids)
 	for _, id := range ids {
-		if err := byID[id].Save(filepath.Join(p.snapshotDir, id+snapshotExt)); err != nil {
+		if err := byID[id].checkpoint(filepath.Join(p.snapshotDir, id+snapshotExt)); err != nil {
 			return fmt.Errorf("pool: saving market %q: %w", id, err)
 		}
 	}
 	return nil
 }
 
-// RestoreAll rebuilds markets from every *.json file under the snapshot
-// directory (the boot hook). A file that fails to decode or restore —
-// corrupt JSON, roster the game rejects, ID mismatch — is skipped with a
-// logged warning; the remaining markets still restore. A snapshot whose
-// market already exists in the pool restores into it when that market is
-// still fresh (the server pre-creates its default market) and is skipped
-// otherwise. Returns the restored IDs in directory order.
+// RestoreAll rebuilds markets from every *.json snapshot and *.wal segment
+// under the snapshot directory (the boot hook). A market's newest snapshot
+// restores first, then the WAL tail past the snapshot's watermark replays
+// on top — so trades committed after the last compaction or checkpoint
+// survive a crash. A market with a WAL segment but no snapshot (crashed
+// before its first compaction) rebuilds from the log alone. A file that
+// fails to decode or replay is skipped with a logged warning; the
+// remaining markets still restore. A snapshot whose market already exists
+// in the pool restores into it when that market is still fresh (the server
+// pre-creates its default market) and is skipped otherwise. Returns the
+// restored IDs in directory order.
+//
+// Call RestoreAll before serving traffic: a market that appends to its WAL
+// segment before RestoreAll reaches it treats the segment's contents as
+// orphaned and truncates them.
 func (p *Pool) RestoreAll() ([]string, error) {
 	if p.snapshotDir == "" {
 		return nil, errors.New("pool: no snapshot directory configured")
@@ -269,15 +306,46 @@ func (p *Pool) RestoreAll() ([]string, error) {
 		}
 		return nil, fmt.Errorf("pool: reading snapshot directory: %w", err)
 	}
-	var restored []string
+	type files struct {
+		snap string
+		wal  string
+	}
+	var ids []string
+	byID := make(map[string]*files)
+	note := func(id, path string, isWal bool) {
+		f := byID[id]
+		if f == nil {
+			f = &files{}
+			byID[id] = f
+			ids = append(ids, id)
+		}
+		if isWal {
+			f.wal = path
+		} else {
+			f.snap = path
+		}
+	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, snapshotExt) || strings.HasPrefix(name, ".") {
+		if e.IsDir() || strings.HasPrefix(name, ".") {
 			continue
 		}
-		id := strings.TrimSuffix(name, snapshotExt)
 		path := filepath.Join(p.snapshotDir, name)
-		if err := p.restoreOne(id, path); err != nil {
+		switch {
+		case strings.HasSuffix(name, snapshotExt):
+			note(strings.TrimSuffix(name, snapshotExt), path, false)
+		case strings.HasSuffix(name, walExt):
+			note(strings.TrimSuffix(name, walExt), path, true)
+		}
+	}
+	var restored []string
+	for _, id := range ids {
+		f := byID[id]
+		if err := p.restoreOne(id, f.snap, f.wal); err != nil {
+			path := f.snap
+			if path == "" {
+				path = f.wal
+			}
 			p.logf("pool: skipping snapshot %s: %v", path, err)
 			continue
 		}
@@ -286,30 +354,57 @@ func (p *Pool) RestoreAll() ([]string, error) {
 	return restored, nil
 }
 
-// restoreOne loads one snapshot file into the pool, creating the market if
-// it does not exist yet. A half-created market is torn down on failure.
-func (p *Pool) restoreOne(id, path string) error {
-	snap, err := ReadSnapshotFile(path)
-	if err != nil {
-		return err
+// restoreOne loads one market from its snapshot file and/or WAL segment,
+// creating the market if it does not exist yet. A half-created market is
+// torn down on failure.
+func (p *Pool) restoreOne(id, snapPath, walPath string) error {
+	var snap *MarketSnapshot
+	if snapPath != "" {
+		var err error
+		snap, err = ReadSnapshotFile(snapPath)
+		if err != nil {
+			return err
+		}
 	}
 	m, getErr := p.Get(id)
 	created := false
 	if getErr != nil {
-		spec := Spec{ID: id, Solver: snap.Solver, Seed: snap.Seed}
+		spec := Spec{ID: id}
+		if snap != nil {
+			spec.Solver = snap.Solver
+			spec.Seed = snap.Seed
+			spec.Durability = snap.Durability
+		}
+		var err error
 		m, err = p.Create(spec)
 		if err != nil {
 			return err
 		}
 		created = true
 	}
-	if err := m.RestoreSnapshot(snap); err != nil {
+	teardown := func(err error) error {
 		if created {
 			p.mu.Lock()
 			delete(p.markets, id)
 			p.mu.Unlock()
 		}
 		return err
+	}
+	var walFloor uint64
+	if snap != nil {
+		if err := m.RestoreSnapshot(snap); err != nil {
+			return teardown(err)
+		}
+		walFloor = snap.WalSeq
+	}
+	// Attach the WAL — replaying its tail when a segment exists, creating
+	// an empty one otherwise — so the restored market appends where the
+	// crashed process stopped. With no snapshot, the whole market rebuilds
+	// from the log, which requires a fresh target.
+	if walPath != "" || m.durability != DurSnapshot {
+		if err := m.attachLogReplay(walFloor, snap == nil); err != nil {
+			return teardown(err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,378 @@
+package pool
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"share/internal/dataset"
+	"share/internal/market"
+	"share/internal/translog"
+	"share/internal/wal"
+)
+
+// Durability names a market's trade-persistence mode: how a committed
+// trade reaches disk before (or after) it is acknowledged.
+type Durability string
+
+const (
+	// DurSnapshot is the legacy model (PR 2–5): a full market snapshot is
+	// atomically rewritten after every committed trade. O(market size)
+	// disk work per trade; kept for benchmarking and as a conservative
+	// fallback.
+	DurSnapshot Durability = "snapshot"
+	// DurSync appends one WAL record per commit and fsyncs it inline
+	// before acknowledging. Strongest latency-per-commit guarantee, no
+	// batching.
+	DurSync Durability = "sync"
+	// DurGroup (default) appends one WAL record per commit; a dedicated
+	// syncer goroutine batches concurrent commits into one fsync and each
+	// commit is acknowledged once its covering fsync lands.
+	DurGroup Durability = "group"
+	// DurAsync appends and acknowledges immediately; the syncer flushes in
+	// the background. A crash can lose the most recent commits.
+	DurAsync Durability = "async"
+)
+
+// ParseDurability maps a durability name onto a Durability ("" → DurGroup,
+// the group-commit default).
+func ParseDurability(s string) (Durability, error) {
+	switch Durability(s) {
+	case "":
+		return DurGroup, nil
+	case DurSnapshot, DurSync, DurGroup, DurAsync:
+		return Durability(s), nil
+	}
+	return "", fmt.Errorf("unknown durability %q (want snapshot, sync, group or async)", s)
+}
+
+// walMode maps the WAL-backed durability levels onto the log's commit
+// protocol.
+func (d Durability) walMode() wal.Mode {
+	switch d {
+	case DurSync:
+		return wal.ModeSync
+	case DurAsync:
+		return wal.ModeAsync
+	default:
+		return wal.ModeGroup
+	}
+}
+
+// walExt is the per-market WAL segment file suffix under the pool's
+// snapshot directory.
+const walExt = ".wal"
+
+// WAL record kinds.
+const (
+	// recordRegister logs one seller admission (payload: StoredSeller).
+	recordRegister = "register"
+	// recordTrade logs one committed trading round (payload: tradeRecord).
+	recordTrade = "trade"
+)
+
+// tradeRecord is the WAL payload of one committed trade: the transaction
+// (which carries the post-update weight vector) plus the round's
+// manufacturing-cost observation, which the transaction alone does not
+// carry but replay must restore into the cost log.
+type tradeRecord struct {
+	Tx  *market.Transaction  `json:"tx"`
+	Obs translog.Observation `json:"obs"`
+}
+
+// walPath is the market's WAL segment path.
+func (m *Market) walPath() string {
+	return filepath.Join(m.p.snapshotDir, m.id+walExt)
+}
+
+// ensureLogLocked opens the market's WAL segment on first use (writeMu
+// held). A leftover segment that still holds records belongs to no live
+// state — an orphan from a deleted same-named market whose cleanup failed —
+// and is truncated with a warning rather than ever replayed into this
+// market. If the segment cannot be opened the market downgrades to
+// snapshot-per-trade durability so committed trades stay persistent.
+// Reports whether a usable log is attached.
+func (m *Market) ensureLogLocked() bool {
+	if m.log != nil {
+		return true
+	}
+	if m.p.snapshotDir == "" || m.durability == DurSnapshot {
+		return false
+	}
+	err := os.MkdirAll(m.p.snapshotDir, 0o755)
+	var l *wal.Log
+	if err == nil {
+		l, err = wal.Open(m.walPath(), wal.Options{Mode: m.durability.walMode(), Metrics: m.p.walMet})
+	}
+	if err != nil {
+		m.p.logf("pool: market %q: opening wal: %v; falling back to snapshot-per-trade durability", m.id, err)
+		m.durability = DurSnapshot
+		return false
+	}
+	if n := l.Records(); n > 0 {
+		m.p.logf("pool: market %q: truncating orphaned wal segment (%d stale records)", m.id, n)
+		if err := l.Reset(); err != nil {
+			m.p.logf("pool: market %q: resetting orphaned wal: %v; falling back to snapshot-per-trade durability", m.id, err)
+			l.Close()
+			m.durability = DurSnapshot
+			return false
+		}
+	}
+	// Until the first compaction the market's whole history lives in the
+	// log, which carries records but not configuration. Drop a roster-free
+	// spec snapshot next to the fresh segment so a crash-reboot restores
+	// the market's solver, seed and durability before replaying — the
+	// roster itself replays from the log (every admission is a record).
+	if _, err := os.Stat(m.snapshotPath()); errors.Is(err, os.ErrNotExist) {
+		seed := m.seed
+		spec := &MarketSnapshot{
+			Version:    snapshotVersion,
+			ID:         m.id,
+			Solver:     m.solver.Name(),
+			Seed:       &seed,
+			Durability: string(m.durability),
+		}
+		if err := writeSnapshotFile(m.snapshotPath(), spec); err != nil {
+			m.p.logf("pool: market %q: writing spec snapshot: %v", m.id, err)
+		}
+	}
+	m.log = l
+	return true
+}
+
+// attachLogReplay opens the market's WAL segment at restore time and
+// replays every record past the snapshot watermark into the market
+// (RestoreAll's boot path). requireFresh guards the no-snapshot case: a
+// market that already holds state must not absorb a log replay on top of
+// it. For snapshot-durability markets a leftover segment (the market
+// traded under a WAL mode in a previous life) is folded into a fresh
+// snapshot and removed.
+func (m *Market) attachLogReplay(walFloor uint64, requireFresh bool) error {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	if m.log != nil {
+		return fmt.Errorf("pool: market %q already has an open wal segment", m.id)
+	}
+	if requireFresh && (len(m.sellers) > 0 || m.mkt != nil) {
+		return fmt.Errorf("pool: market %q is not fresh; refusing wal replay", m.id)
+	}
+	path := m.walPath()
+	fold := false
+	if m.durability == DurSnapshot {
+		if _, err := os.Stat(path); err != nil {
+			return nil // snapshot-mode market, no segment: nothing to do
+		}
+		fold = true
+	}
+	applied := 0
+	l, err := wal.Open(path, wal.Options{
+		Mode:    m.durability.walMode(),
+		MinSeq:  walFloor,
+		Metrics: m.p.walMet,
+		Replay: func(rec *wal.Record) error {
+			if rec.Seq <= walFloor {
+				return nil // already reflected in the restored snapshot
+			}
+			if err := m.applyRecordLocked(rec); err != nil {
+				return err
+			}
+			applied++
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if applied > 0 {
+		if err := m.publishView(); err != nil {
+			l.Close()
+			return fmt.Errorf("pool: market %q: replayed wal state rejected: %w", m.id, err)
+		}
+		m.p.logf("pool: market %q: replayed %d wal record(s) past snapshot seq %d", m.id, applied, walFloor)
+	}
+	if fold {
+		// Snapshot-durability market: persist the replayed state as a
+		// fresh snapshot and retire the segment.
+		err := writeSnapshotFile(m.snapshotPath(), m.snapshotLocked())
+		if cerr := l.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("pool: market %q: folding wal into snapshot: %w", m.id, err)
+		}
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			m.p.logf("pool: market %q: removing folded wal segment: %v", m.id, err)
+		}
+		return nil
+	}
+	m.log = l
+	return nil
+}
+
+// applyRecordLocked replays one WAL record into the market (writeMu held).
+// The caller publishes the view once after the batch.
+func (m *Market) applyRecordLocked(rec *wal.Record) error {
+	switch rec.Kind {
+	case recordRegister:
+		if m.mkt != nil {
+			return fmt.Errorf("pool: register record %d after trading began", rec.Seq)
+		}
+		var st StoredSeller
+		if err := json.Unmarshal(rec.Data, &st); err != nil {
+			return fmt.Errorf("pool: decoding register record %d: %w", rec.Seq, err)
+		}
+		d := &dataset.Dataset{X: st.Rows, Y: st.Targets}
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("pool: register record %d seller %q: %w", rec.Seq, st.ID, err)
+		}
+		if len(m.sellers) > 0 && d.NumFeatures() != m.sellers[0].Data.NumFeatures() {
+			return fmt.Errorf("pool: register record %d seller %q: %d features per row, roster has %d",
+				rec.Seq, st.ID, d.NumFeatures(), m.sellers[0].Data.NumFeatures())
+		}
+		m.sellers = append(m.sellers, &market.Seller{ID: st.ID, Lambda: st.Lambda, Data: d})
+		return nil
+	case recordTrade:
+		var tr tradeRecord
+		if err := json.Unmarshal(rec.Data, &tr); err != nil {
+			return fmt.Errorf("pool: decoding trade record %d: %w", rec.Seq, err)
+		}
+		if m.mkt == nil {
+			if len(m.sellers) == 0 {
+				return fmt.Errorf("pool: trade record %d with an empty roster", rec.Seq)
+			}
+			mkt, err := market.New(m.sellers, m.cfg)
+			if err != nil {
+				return fmt.Errorf("pool: rebuilding market for wal replay: %w", err)
+			}
+			m.mkt = mkt
+		}
+		if err := m.mkt.ApplyCommitted(tr.Tx, tr.Obs); err != nil {
+			return fmt.Errorf("pool: trade record %d: %w", rec.Seq, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("pool: unknown wal record kind %q (record %d)", rec.Kind, rec.Seq)
+	}
+}
+
+// persistTradeLocked makes one committed trade durable (writeMu held). WAL
+// modes append a record and return its sequence number for the caller to
+// Commit outside the lock; snapshot mode (and any WAL failure) falls back
+// to the legacy full-snapshot write and returns 0. A committed trade is
+// never failed because the disk was — failures log, matching saveLocked.
+func (m *Market) persistTradeLocked(tx *market.Transaction, obs translog.Observation) (*wal.Log, uint64) {
+	if m.p.snapshotDir == "" {
+		return nil, 0
+	}
+	if !m.ensureLogLocked() {
+		m.saveLocked()
+		return nil, 0
+	}
+	seq, err := m.log.Append(recordTrade, tradeRecord{Tx: tx, Obs: obs})
+	if err != nil {
+		m.p.logf("pool: market %q: wal append failed: %v; writing full snapshot instead", m.id, err)
+		m.saveLocked()
+		return nil, 0
+	}
+	m.maybeCompactLocked()
+	return m.log, seq
+}
+
+// persistRegisterLocked logs one seller admission (writeMu held). Snapshot
+// mode keeps the legacy behavior — registrations persist at the next
+// SaveAll — so it returns 0.
+func (m *Market) persistRegisterLocked(st StoredSeller) (*wal.Log, uint64) {
+	if m.p.snapshotDir == "" || !m.ensureLogLocked() {
+		return nil, 0
+	}
+	seq, err := m.log.Append(recordRegister, st)
+	if err != nil {
+		m.p.logf("pool: market %q: wal append failed: %v; writing full snapshot instead", m.id, err)
+		m.saveLocked()
+		return nil, 0
+	}
+	m.maybeCompactLocked()
+	return m.log, seq
+}
+
+// commitWal waits out one record's durability barrier per the log's mode.
+// Called outside writeMu so fsyncs overlap the next round's solve — that
+// overlap is what the group-commit syncer batches.
+func (m *Market) commitWal(l *wal.Log, seq uint64) {
+	if l == nil || seq == 0 {
+		return
+	}
+	if err := l.Commit(seq); err != nil {
+		m.p.logf("pool: market %q: wal commit (seq %d): %v", m.id, seq, err)
+	}
+}
+
+// maybeCompactLocked folds the WAL into a fresh snapshot and truncates the
+// segment once it crosses the pool's record-count or byte threshold
+// (writeMu held), bounding boot-time replay. The snapshot records the
+// covered watermark (WalSeq) so a reboot never replays compacted records.
+func (m *Market) maybeCompactLocked() {
+	l := m.log
+	if l == nil {
+		return
+	}
+	if l.Records() < m.p.compactRecords && l.Size() < m.p.compactBytes {
+		return
+	}
+	if err := writeSnapshotFile(m.snapshotPath(), m.snapshotLocked()); err != nil {
+		m.p.logf("pool: market %q: compaction snapshot: %v", m.id, err)
+		return
+	}
+	if err := l.Reset(); err != nil {
+		m.p.logf("pool: market %q: truncating wal after compaction: %v", m.id, err)
+		return
+	}
+	m.p.logf("pool: market %q: compacted wal into snapshot (seq %d)", m.id, l.LastSeq())
+}
+
+// checkpoint persists the market's snapshot to path and truncates its WAL
+// under one write-lock hold, so no record committed between the two steps
+// can be lost to the truncation (SaveAll's shutdown path).
+func (m *Market) checkpoint(path string) error {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	if err := writeSnapshotFile(path, m.snapshotLocked()); err != nil {
+		return err
+	}
+	if m.log != nil {
+		if err := m.log.Reset(); err != nil {
+			m.p.logf("pool: market %q: truncating wal after checkpoint: %v", m.id, err)
+		}
+	}
+	return nil
+}
+
+// closeLog flushes and closes the market's WAL segment, if open.
+func (m *Market) closeLog() {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	if m.log == nil {
+		return
+	}
+	if err := m.log.Close(); err != nil {
+		m.p.logf("pool: market %q: closing wal: %v", m.id, err)
+	}
+	m.log = nil
+}
+
+// Close flushes and closes every market's WAL segment (the shutdown hook,
+// after SaveAll). The pool remains usable — a later trade reopens the
+// segment — but callers should treat Close as the end of the pool's life.
+func (p *Pool) Close() {
+	p.mu.RLock()
+	ms := make([]*Market, 0, len(p.markets))
+	for _, m := range p.markets {
+		ms = append(ms, m)
+	}
+	p.mu.RUnlock()
+	for _, m := range ms {
+		m.closeLog()
+	}
+}

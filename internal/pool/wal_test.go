@@ -1,0 +1,585 @@
+package pool
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"share/internal/market"
+	"share/internal/wal"
+)
+
+// fastWalOptions builds pool options tuned for WAL tests: persistence into
+// dir, a cheap weight update so trades take milliseconds, and compaction
+// pushed out of the way unless a test lowers it.
+func fastWalOptions(dir string) Options {
+	opts := quietOptions()
+	opts.SnapshotDir = dir
+	opts.Update = &market.WeightUpdate{Retain: 0.2, Permutations: 2, TruncateTol: 0.005}
+	opts.CompactRecords = 1 << 20
+	opts.CompactBytes = 1 << 40
+	return opts
+}
+
+// canonicalState renders everything a restored market must reproduce —
+// roster, weights, ledger, trading flag — as canonical JSON. Both the
+// reference and the replayed state pass through one marshal/unmarshal
+// round trip, so float formatting is identical on both sides.
+func canonicalState(t *testing.T, m *Market) string {
+	t.Helper()
+	v := m.View()
+	raw, err := json.Marshal(struct {
+		Sellers []SellerState         `json:"sellers"`
+		Weights []float64             `json:"weights"`
+		Trades  []*market.Transaction `json:"trades"`
+		Trading bool                  `json:"trading"`
+	}{v.Sellers, v.Weights, v.Trades, v.Trading})
+	if err != nil {
+		t.Fatalf("marshaling market state: %v", err)
+	}
+	var any1 any
+	if err := json.Unmarshal(raw, &any1); err != nil {
+		t.Fatal(err)
+	}
+	norm, err := json.Marshal(any1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(norm)
+}
+
+// TestWALTortureRecovery is the crash-recovery torture test: build a
+// market whose whole history lives in the WAL, record the canonical state
+// after every logged record, then truncate the segment at a dense sweep of
+// byte offsets — record boundaries, off-by-one and mid-record cuts — and
+// assert that replay restores exactly the state of the longest committed
+// prefix that survived the cut.
+func TestWALTortureRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := fastWalOptions(dir)
+	p := New(opts)
+	m, err := p.Create(Spec{ID: "tort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// states[k] is the canonical state after k WAL records.
+	states := []string{canonicalState(t, m)}
+	for i := 0; i < 3; i++ {
+		if _, err := m.RegisterSeller(Registration{
+			ID:            fmt.Sprintf("s%02d", i+1),
+			Lambda:        0.3 + 0.1*float64(i),
+			SyntheticRows: 40,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, canonicalState(t, m))
+	}
+	const trades = 5
+	for i := 0; i < trades; i++ {
+		if _, err := m.Trade(context.Background(), demoBuyer(80+10*float64(i), 0.8), nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, canonicalState(t, m))
+	}
+	p.Close()
+
+	walPath := filepath.Join(dir, "tort"+walExt)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []int64
+	if _, _, err := wal.Scan(walPath, func(_ *wal.Record, end int64) error {
+		ends = append(ends, end)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ends) != len(states)-1 {
+		t.Fatalf("wal holds %d records, want %d", len(ends), len(states)-1)
+	}
+	if ends[len(ends)-1] != int64(len(raw)) {
+		t.Fatalf("last record ends at %d, file is %d bytes", ends[len(ends)-1], len(raw))
+	}
+
+	// Cut points: every record boundary, boundary±1 and ±3, each record's
+	// midpoint, plus a coarse stride over the whole file.
+	cuts := map[int64]bool{0: true, int64(len(raw)): true}
+	prev := int64(0)
+	for _, e := range ends {
+		for _, c := range []int64{e, e - 1, e + 1, e - 3, e + 3, (prev + e) / 2} {
+			if c >= 0 && c <= int64(len(raw)) {
+				cuts[c] = true
+			}
+		}
+		prev = e
+	}
+	stride := int64(len(raw) / 64)
+	if stride < 1 {
+		stride = 1
+	}
+	for c := int64(0); c <= int64(len(raw)); c += stride {
+		cuts[c] = true
+	}
+
+	for cut := range cuts {
+		// Committed prefix: every record fully inside the cut.
+		want := 0
+		for _, e := range ends {
+			if e <= cut {
+				want++
+			}
+		}
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, "tort"+walExt), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p2 := New(fastWalOptions(sub))
+		restored, err := p2.RestoreAll()
+		if err != nil {
+			t.Fatalf("cut %d: RestoreAll: %v", cut, err)
+		}
+		if len(restored) != 1 || restored[0] != "tort" {
+			t.Fatalf("cut %d: restored %v, want [tort]", cut, restored)
+		}
+		m2, err := p2.Get("tort")
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if got := canonicalState(t, m2); got != states[want] {
+			t.Fatalf("cut %d: replayed state diverges from the %d-record reference\n got: %.200s\nwant: %.200s",
+				cut, want, got, states[want])
+		}
+		p2.Close()
+	}
+}
+
+// TestWALRecoveredMarketKeepsTrading: after a mid-record truncation, the
+// restored market must accept new registrations-free trades and persist
+// them — recovery is a working market, not a read-only archive.
+func TestWALRecoveredMarketKeepsTrading(t *testing.T) {
+	dir := t.TempDir()
+	p := New(fastWalOptions(dir))
+	m, err := p.Create(Spec{ID: "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, m, 2)
+	if _, err := m.Trade(context.Background(), demoBuyer(90, 0.8), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Trade(context.Background(), demoBuyer(100, 0.8), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	// Tear the final record.
+	walPath := filepath.Join(dir, "alpha"+walExt)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2 := New(fastWalOptions(dir))
+	if _, err := p2.RestoreAll(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p2.Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m2.View().Trades); got != 1 {
+		t.Fatalf("restored ledger has %d trades, want 1 (second record torn)", got)
+	}
+	if _, err := m2.Trade(context.Background(), demoBuyer(110, 0.8), nil, nil); err != nil {
+		t.Fatalf("trade after recovery: %v", err)
+	}
+	p2.Close()
+	// The post-recovery trade must itself survive the next reboot.
+	p3 := New(fastWalOptions(dir))
+	if _, err := p3.RestoreAll(); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := p3.Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m3.View().Trades); got != 2 {
+		t.Fatalf("ledger has %d trades after second reboot, want 2", got)
+	}
+	p3.Close()
+}
+
+// TestDeleteRemovesWALSegment: Delete must remove the market's WAL segment
+// with its snapshot, and a recreated market under the same name must start
+// empty — an orphaned log replayed into it would resurrect the deleted
+// market's trades.
+func TestDeleteRemovesWALSegment(t *testing.T) {
+	dir := t.TempDir()
+	p := New(fastWalOptions(dir))
+	m, err := p.Create(Spec{ID: "gone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, m, 2)
+	if _, err := m.Trade(context.Background(), demoBuyer(90, 0.8), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "gone"+walExt)
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("wal segment missing or empty after trade: %v", err)
+	}
+	if err := p.Delete(context.Background(), "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(walPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("wal segment survives delete: %v", err)
+	}
+	// Same name, new life: must be empty, and a reboot must not resurrect
+	// the deleted market's history.
+	m2, err := p.Create(Spec{ID: "gone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, m2, 1)
+	p.Close()
+	p2 := New(fastWalOptions(dir))
+	if _, err := p2.RestoreAll(); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := p2.Get("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m3.View()
+	if len(v.Sellers) != 1 || len(v.Trades) != 0 {
+		t.Fatalf("recreated market restored %d sellers / %d trades, want 1 / 0", len(v.Sellers), len(v.Trades))
+	}
+	p2.Close()
+}
+
+// TestOrphanedWALSegmentTruncatedNotReplayed: a stray segment left under a
+// market's name (a cleanup that never ran) must be truncated at the
+// market's first append, never replayed into it.
+func TestOrphanedWALSegmentTruncatedNotReplayed(t *testing.T) {
+	dir := t.TempDir()
+	// Mint a real segment under the name "reborn" from a throwaway pool.
+	p0 := New(fastWalOptions(dir))
+	m0, err := p0.Create(Spec{ID: "reborn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, m0, 2)
+	if _, err := m0.Trade(context.Background(), demoBuyer(90, 0.8), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	p0.Close()
+
+	// A fresh pool creates "reborn" anew without restoring — the stale
+	// segment is now an orphan.
+	var warnings []string
+	var mu sync.Mutex
+	opts := fastWalOptions(dir)
+	opts.Logf = func(format string, args ...any) {
+		mu.Lock()
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	p := New(opts)
+	m, err := p.Create(Spec{ID: "reborn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, m, 1)
+	v := m.View()
+	if len(v.Sellers) != 1 || v.Trading {
+		t.Fatalf("orphaned wal leaked into the new market: %d sellers, trading=%v", len(v.Sellers), v.Trading)
+	}
+	mu.Lock()
+	warned := false
+	for _, w := range warnings {
+		if strings.Contains(w, "orphaned wal") {
+			warned = true
+		}
+	}
+	mu.Unlock()
+	if !warned {
+		t.Fatalf("no orphaned-wal warning in %q", warnings)
+	}
+	p.Close()
+	// Reboot: only the new market's single registration replays.
+	p2 := New(fastWalOptions(dir))
+	if _, err := p2.RestoreAll(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p2.Get("reborn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := m2.View()
+	if len(v2.Sellers) != 1 || len(v2.Trades) != 0 {
+		t.Fatalf("reboot restored %d sellers / %d trades, want 1 / 0", len(v2.Sellers), len(v2.Trades))
+	}
+	p2.Close()
+}
+
+// TestLegacyDirRestoresWithoutWAL: a PR 5-era snapshot directory — .json
+// files only, no wal_seq or durability fields, no segments — must boot
+// cleanly under the WAL-era pool, and the restored market must trade and
+// log into a fresh segment.
+func TestLegacyDirRestoresWithoutWAL(t *testing.T) {
+	dir := t.TempDir()
+	// Produce a snapshot via the legacy per-trade path, then strip the
+	// WAL-era fields to mimic a PR 5 file byte-for-byte.
+	opts := fastWalOptions(dir)
+	opts.Durability = string(DurSnapshot)
+	p0 := New(opts)
+	m0, err := p0.Create(Spec{ID: "old"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, m0, 2)
+	if _, err := m0.Trade(context.Background(), demoBuyer(90, 0.8), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	p0.Close()
+	path := filepath.Join(dir, "old.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	delete(doc, "durability")
+	delete(doc, "wal_seq")
+	stripped, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p := New(fastWalOptions(dir))
+	restored, err := p.RestoreAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 1 || restored[0] != "old" {
+		t.Fatalf("restored %v, want [old]", restored)
+	}
+	m, err := p.Get("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bare legacy file keeps the restoring pool's default mode.
+	if m.Durability() != DurGroup {
+		t.Fatalf("legacy market durability = %q, want %q", m.Durability(), DurGroup)
+	}
+	if got := len(m.View().Trades); got != 1 {
+		t.Fatalf("legacy ledger has %d trades, want 1", got)
+	}
+	if _, err := m.Trade(context.Background(), demoBuyer(100, 0.8), nil, nil); err != nil {
+		t.Fatalf("trade after legacy restore: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "old"+walExt)); err != nil || fi.Size() == 0 {
+		t.Fatalf("post-restore trade not logged to wal: %v", err)
+	}
+	p.Close()
+}
+
+// TestDurabilityModes: each mode round-trips Create → Info → reboot, and
+// an unknown mode is a field-level error.
+func TestDurabilityModes(t *testing.T) {
+	dir := t.TempDir()
+	p := New(fastWalOptions(dir))
+	for _, d := range []Durability{DurSnapshot, DurSync, DurGroup, DurAsync} {
+		id := "m-" + string(d)
+		m, err := p.Create(Spec{ID: id, Durability: string(d)})
+		if err != nil {
+			t.Fatalf("Create(%s): %v", d, err)
+		}
+		if m.Info().Durability != string(d) {
+			t.Fatalf("Info().Durability = %q, want %q", m.Info().Durability, d)
+		}
+		register(t, m, 2)
+		if _, err := m.Trade(context.Background(), demoBuyer(90, 0.8), nil, nil); err != nil {
+			t.Fatalf("trade under %s: %v", d, err)
+		}
+	}
+	var fe *FieldError
+	if _, err := p.Create(Spec{ID: "bad", Durability: "fsync-maybe"}); !errors.As(err, &fe) || fe.Field != "durability" {
+		t.Fatalf("unknown durability = %v, want FieldError on durability", err)
+	}
+	if err := p.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	p2 := New(fastWalOptions(dir))
+	if _, err := p2.RestoreAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Durability{DurSnapshot, DurSync, DurGroup, DurAsync} {
+		m, err := p2.Get("m-" + string(d))
+		if err != nil {
+			t.Fatalf("Get(m-%s): %v", d, err)
+		}
+		if m.Durability() != d {
+			t.Fatalf("restored durability = %q, want %q", m.Durability(), d)
+		}
+		if got := len(m.View().Trades); got != 1 {
+			t.Fatalf("mode %s: restored ledger has %d trades, want 1", d, got)
+		}
+	}
+	p2.Close()
+}
+
+// TestWALCompaction: crossing the record threshold folds the log into a
+// snapshot and truncates the segment, and the snapshot's watermark stops a
+// reboot from double-replaying compacted records.
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opts := fastWalOptions(dir)
+	opts.CompactRecords = 4
+	p := New(opts)
+	m, err := p.Create(Spec{ID: "cpt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, m, 2) // 2 records
+	for i := 0; i < 3; i++ { // crosses the 4-record threshold
+		if _, err := m.Trade(context.Background(), demoBuyer(90+float64(i), 0.8), nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := canonicalState(t, m)
+	snap, err := ReadSnapshotFile(filepath.Join(dir, "cpt.json"))
+	if err != nil {
+		t.Fatalf("no compaction snapshot: %v", err)
+	}
+	if snap.WalSeq == 0 {
+		t.Fatal("compaction snapshot has no wal watermark")
+	}
+	p.Close()
+	p2 := New(opts)
+	if _, err := p2.RestoreAll(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p2.Get("cpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := canonicalState(t, m2); got != want {
+		t.Fatalf("state diverges after compaction + reboot\n got: %.200s\nwant: %.200s", got, want)
+	}
+	p2.Close()
+}
+
+// TestConcurrentTradesGroupCommit: concurrent traders on one group-commit
+// market all succeed, every commit lands in the WAL, and a reboot replays
+// the full ledger — the group-commit path loses nothing under contention.
+func TestConcurrentTradesGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	p := New(fastWalOptions(dir))
+	m, err := p.Create(Spec{ID: "busy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, m, 2)
+	const traders, per = 4, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, traders)
+	for w := 0; w < traders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := m.Trade(context.Background(), demoBuyer(80+float64(w*per+i), 0.8), nil, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent trade: %v", err)
+	}
+	want := canonicalState(t, m)
+	p.Close()
+	p2 := New(fastWalOptions(dir))
+	if _, err := p2.RestoreAll(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p2.Get("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m2.View().Trades); got != traders*per {
+		t.Fatalf("replayed %d trades, want %d", got, traders*per)
+	}
+	if got := canonicalState(t, m2); got != want {
+		t.Fatal("replayed state diverges from the committed state")
+	}
+	p2.Close()
+}
+
+// TestWALOnlyMarketKeepsSpec: a market that crashes before its first
+// compaction has no full snapshot — only the WAL segment plus the
+// roster-free spec snapshot written when the segment was created. Reboot
+// must restore the market's pinned solver, seed and durability, not the
+// pool defaults, and replay the whole history from the log.
+func TestWALOnlyMarketKeepsSpec(t *testing.T) {
+	dir := t.TempDir()
+	p := New(fastWalOptions(dir)) // pool defaults: analytic solver, group durability
+	seed := int64(4242)
+	m, err := p.Create(Spec{ID: "spec", Solver: "meanfield", Seed: &seed, Durability: string(DurSync)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RegisterSeller(Registration{ID: "s1", Lambda: 0.4, SyntheticRows: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Trade(context.Background(), demoBuyer(90, 0.8), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalState(t, m)
+	// Crash: flush the log but never SaveAll, so the snapshot on disk
+	// stays the roster-free spec written at segment creation.
+	p.Close()
+	snap, err := ReadSnapshotFile(filepath.Join(dir, "spec.json"))
+	if err != nil {
+		t.Fatalf("spec snapshot missing: %v", err)
+	}
+	if len(snap.Sellers) != 0 || snap.Market != nil {
+		t.Fatalf("spec snapshot should be roster-free, got %d sellers", len(snap.Sellers))
+	}
+
+	p2 := New(fastWalOptions(dir))
+	if _, err := p2.RestoreAll(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p2.Get("spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := m2.Info()
+	if info.Durability != string(DurSync) || info.Solver != "meanfield" || info.Seed != seed {
+		t.Fatalf("restored spec = solver %q seed %d durability %q, want meanfield/%d/sync",
+			info.Solver, info.Seed, info.Durability, seed)
+	}
+	if got := canonicalState(t, m2); got != want {
+		t.Fatalf("replayed state differs from pre-crash state\n got: %s\nwant: %s", got, want)
+	}
+}

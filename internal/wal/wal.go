@@ -1,0 +1,493 @@
+// Package wal implements the append-only write-ahead log behind the pool's
+// trade path. Committed transactions append one small framed record instead
+// of rewriting the full market snapshot, turning per-trade durability from
+// O(market size) into O(record size) disk work.
+//
+// Frame format. Each record is
+//
+//	[4B little-endian payload length][4B little-endian CRC32-IEEE][payload]
+//
+// where payload is the JSON encoding of Record. The CRC covers the payload
+// only; a record whose length or checksum does not verify marks the end of
+// the readable prefix. Open truncates everything past that prefix — the
+// torn-final-record case after a crash mid-append — so replay always sees a
+// clean sequence of fully committed records.
+//
+// Group commit. Append buffers the record and assigns it a monotonically
+// increasing sequence number; Commit makes it durable according to the
+// log's mode. In ModeGroup a dedicated syncer goroutine flushes and fsyncs
+// on demand: every appender waiting in Commit when an fsync lands is
+// released by that single fsync, so concurrent commits amortize the disk
+// barrier. ModeSync fsyncs inline per commit; ModeAsync acknowledges
+// immediately and lets the syncer flush in the background.
+//
+// Compaction. Once the caller has persisted a snapshot capturing all
+// records up to LastSeq, Reset truncates the file; Options.MinSeq on the
+// next Open restores the sequence floor so post-compaction records can
+// never be confused with pre-compaction ones.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"share/internal/obs"
+)
+
+// Mode selects how Commit trades durability against latency.
+type Mode int
+
+const (
+	// ModeGroup (default) batches concurrent commits into one fsync issued
+	// by the syncer goroutine; Commit returns once the covering fsync lands.
+	ModeGroup Mode = iota
+	// ModeSync flushes and fsyncs inline on every Commit.
+	ModeSync
+	// ModeAsync acknowledges immediately; the syncer fsyncs in the
+	// background. A crash can lose the most recently acknowledged records.
+	ModeAsync
+)
+
+// String names the mode as accepted by ParseMode.
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModeAsync:
+		return "async"
+	default:
+		return "group"
+	}
+}
+
+// ParseMode maps a mode name onto a Mode ("" → ModeGroup).
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "group":
+		return ModeGroup, nil
+	case "sync":
+		return ModeSync, nil
+	case "async":
+		return ModeAsync, nil
+	}
+	return 0, fmt.Errorf("wal: unknown mode %q (want sync, group or async)", s)
+}
+
+// Record is one logged entry: a sequence number, a caller-defined kind tag
+// and the kind-specific payload.
+type Record struct {
+	Seq  uint64          `json:"seq"`
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Metrics are the optional observability hooks a Log reports into. Any
+// field may be nil.
+type Metrics struct {
+	// Fsync observes the latency of each fsync barrier.
+	Fsync *obs.Endpoint
+	// Fsyncs counts fsync barriers issued.
+	Fsyncs *obs.Counter
+	// Records counts appended records.
+	Records *obs.Counter
+	// Bytes counts appended bytes (frame headers included).
+	Bytes *obs.Counter
+	// BatchMax is the high-water mark of commits covered by one fsync.
+	BatchMax *obs.Gauge
+}
+
+// Options configure Open.
+type Options struct {
+	// Mode selects the Commit durability protocol.
+	Mode Mode
+	// MinSeq floors the next assigned sequence number. Pass the WalSeq of
+	// the snapshot the log was last compacted into, so records appended
+	// after a restart never reuse sequence numbers the snapshot already
+	// covers.
+	MinSeq uint64
+	// Replay, when non-nil, receives every intact record found in the file
+	// during Open, in order. An error aborts Open.
+	Replay func(*Record) error
+	// Metrics receives the log's observability series.
+	Metrics Metrics
+}
+
+// headerSize is the per-record frame overhead: length + CRC.
+const headerSize = 8
+
+// maxRecordBytes bounds a single record's payload. A length prefix above
+// this is treated as torn-tail garbage, not an allocation request.
+const maxRecordBytes = 64 << 20
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is one append-only segment file. Safe for concurrent use.
+type Log struct {
+	path string
+	mode Mode
+	met  Metrics
+
+	// mu serializes file writes, sequence assignment and truncation.
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	seq     uint64
+	size    int64
+	records int
+	closed  bool
+
+	// syncMu guards the durability watermark the syncer advances and
+	// Commit waits on.
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	synced   uint64
+	syncErr  error
+
+	syncReq chan struct{}
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// Open opens (creating if absent) the segment at path, replays every intact
+// record through opts.Replay, truncates any torn tail, and starts the
+// syncer goroutine. The caller must Close the returned log.
+func Open(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	records := 0
+	lastSeq, clean, err := scan(f, func(rec *Record, _ int64) error {
+		records++
+		if opts.Replay != nil {
+			return opts.Replay(rec)
+		}
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: replaying %s: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err == nil && fi.Size() > clean {
+		// Torn tail: a crash mid-append left a partial record. Everything
+		// before it is intact; drop the rest.
+		err = f.Truncate(clean)
+	}
+	if err == nil {
+		_, err = f.Seek(clean, io.SeekStart)
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: preparing %s for append: %w", path, err)
+	}
+	seq := lastSeq
+	if opts.MinSeq > seq {
+		seq = opts.MinSeq
+	}
+	l := &Log{
+		path:    path,
+		mode:    opts.Mode,
+		met:     opts.Metrics,
+		f:       f,
+		w:       bufio.NewWriter(f),
+		seq:     seq,
+		size:    clean,
+		records: records,
+		synced:  seq,
+		syncReq: make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	go l.syncLoop()
+	return l, nil
+}
+
+// scan reads frames from the start of f, calling fn with each intact record
+// and the file offset just past it. It stops — without error — at the first
+// frame that is incomplete or fails its checksum, returning the clean
+// prefix length. A CRC-valid record that does not decode, or one whose
+// sequence number does not increase, is a format error, not a torn tail.
+func scan(f *os.File, fn func(*Record, int64) error) (lastSeq uint64, clean int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	r := bufio.NewReader(f)
+	var hdr [headerSize]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return lastSeq, clean, nil // clean end or torn header
+			}
+			return lastSeq, clean, err
+		}
+		ln := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if ln == 0 || ln > maxRecordBytes {
+			return lastSeq, clean, nil // garbage length: torn tail
+		}
+		payload := make([]byte, ln)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return lastSeq, clean, nil // torn payload
+			}
+			return lastSeq, clean, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return lastSeq, clean, nil // corrupt record: end of trusted prefix
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return lastSeq, clean, fmt.Errorf("record at offset %d: %w", clean, err)
+		}
+		if rec.Seq <= lastSeq {
+			return lastSeq, clean, fmt.Errorf("record at offset %d: sequence %d not above %d", clean, rec.Seq, lastSeq)
+		}
+		end := clean + headerSize + int64(ln)
+		if fn != nil {
+			if err := fn(&rec, end); err != nil {
+				return lastSeq, clean, err
+			}
+		}
+		lastSeq = rec.Seq
+		clean = end
+	}
+}
+
+// Scan reads every intact record of the segment at path without opening it
+// for writing. fn receives each record and the byte offset just past its
+// frame. Returns the last sequence number and the clean prefix length.
+func Scan(path string, fn func(rec *Record, end int64) error) (lastSeq uint64, clean int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return scan(f, fn)
+}
+
+// Append marshals v into a framed record of the given kind and buffers it,
+// returning the assigned sequence number. The record is NOT durable until a
+// Commit covering the sequence number returns (or, in ModeAsync, until the
+// background flush lands).
+func (l *Log) Append(kind string, v any) (uint64, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, fmt.Errorf("wal: encoding %s record: %w", kind, err)
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	payload, err := json.Marshal(Record{Seq: l.seq + 1, Kind: kind, Data: data})
+	if err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: framing %s record: %w", kind, err)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(hdr[:]); err == nil {
+		_, err = l.w.Write(payload)
+	}
+	if err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: appending to %s: %w", l.path, err)
+	}
+	l.seq++
+	l.size += headerSize + int64(len(payload))
+	l.records++
+	seq := l.seq
+	l.mu.Unlock()
+	if l.met.Records != nil {
+		l.met.Records.Add(1)
+	}
+	if l.met.Bytes != nil {
+		l.met.Bytes.Add(headerSize + uint64(len(payload)))
+	}
+	return seq, nil
+}
+
+// Commit makes the record at seq durable according to the log's mode:
+// ModeSync flushes and fsyncs inline, ModeGroup waits for the syncer's next
+// covering fsync, ModeAsync schedules a background flush and returns
+// immediately. An fsync failure is sticky — once the log has failed to make
+// data durable, every subsequent Commit reports it.
+func (l *Log) Commit(seq uint64) error {
+	switch l.mode {
+	case ModeSync:
+		return l.syncNow()
+	case ModeAsync:
+		l.kick()
+		return nil
+	default:
+		l.kick()
+		return l.waitSynced(seq)
+	}
+}
+
+// kick schedules one syncer pass; a pass already pending covers this
+// request too.
+func (l *Log) kick() {
+	select {
+	case l.syncReq <- struct{}{}:
+	default:
+	}
+}
+
+// waitSynced blocks until the durability watermark covers seq or the log
+// fails.
+func (l *Log) waitSynced(seq uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	for l.synced < seq && l.syncErr == nil {
+		l.syncCond.Wait()
+	}
+	if l.synced >= seq {
+		return nil
+	}
+	return l.syncErr
+}
+
+// syncNow flushes the buffer and fsyncs, then advances the watermark to
+// every sequence number the barrier covered.
+func (l *Log) syncNow() error {
+	l.mu.Lock()
+	target := l.seq
+	err := l.w.Flush()
+	f := l.f
+	l.mu.Unlock()
+	if err == nil {
+		t0 := time.Now()
+		err = f.Sync()
+		if l.met.Fsync != nil {
+			l.met.Fsync.Observe(time.Since(t0))
+		}
+		if l.met.Fsyncs != nil {
+			l.met.Fsyncs.Add(1)
+		}
+	}
+	l.finishSync(target, err)
+	return err
+}
+
+// finishSync publishes a completed barrier: on success the watermark
+// advances to target and every waiting Commit at or below it is released;
+// on failure the error is recorded sticky.
+func (l *Log) finishSync(target uint64, err error) {
+	l.syncMu.Lock()
+	if err != nil {
+		if l.syncErr == nil {
+			l.syncErr = err
+		}
+	} else if target > l.synced {
+		if l.met.BatchMax != nil {
+			l.met.BatchMax.SetMax(int64(target - l.synced))
+		}
+		l.synced = target
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+}
+
+// syncLoop is the group-commit syncer: each requested pass fsyncs once,
+// covering every record appended before the flush — concurrent committers
+// share the barrier.
+func (l *Log) syncLoop() {
+	defer close(l.stopped)
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-l.syncReq:
+			l.syncNow() // failure is recorded sticky by finishSync
+		}
+	}
+}
+
+// Reset truncates the log. Call only after a durable snapshot captures
+// every record up to LastSeq — compaction. Waiting committers are released:
+// the snapshot that justified the reset covers them. Sequence numbers keep
+// climbing; they are never reused.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	// Buffered-but-unflushed records are superseded by the snapshot too;
+	// drop them with the file contents.
+	l.w.Reset(l.f)
+	err := l.f.Truncate(0)
+	if err == nil {
+		_, err = l.f.Seek(0, io.SeekStart)
+	}
+	if err == nil {
+		err = l.f.Sync()
+	}
+	l.size, l.records = 0, 0
+	target := l.seq
+	l.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: resetting %s: %w", l.path, err)
+	}
+	l.finishSync(target, nil)
+	return nil
+}
+
+// Close stops the syncer, flushes and fsyncs any buffered records, and
+// closes the file. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.stopped
+	err := l.syncNow()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LastSeq returns the most recently assigned sequence number (or the MinSeq
+// floor if nothing has been appended).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Size returns the byte length of the log's record prefix, buffered writes
+// included.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Records returns the number of records in the current segment (since the
+// last Reset), buffered writes included.
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Path returns the segment's file path.
+func (l *Log) Path() string { return l.path }

@@ -1,7 +1,8 @@
 #!/bin/sh
 # make cover: per-package statement coverage for the whole module, with hard
 # floors on internal/solve — the solver-backend seam every consumer routes
-# through — and internal/pool — the multi-market engine behind the /v2 API.
+# through — internal/pool — the multi-market engine behind the /v2 API —
+# and internal/wal — the write-ahead log every committed trade rides on.
 set -eu
 
 FLOOR=80.0
@@ -27,3 +28,4 @@ check_floor() {
 
 check_floor 'share/internal/solve'
 check_floor 'share/internal/pool'
+check_floor 'share/internal/wal'

@@ -130,8 +130,28 @@ curl -fs "$BASE/v2/markets/beta/trades" | grep -q '"round": *1' \
     || fail "beta ledger lost across dir-mode restart"
 curl -fs "$BASE/v1/trades" | grep -q '"round": *1' \
     || fail "default ledger lost across dir-mode restart"
-kill -TERM "$PID"
-wait "$PID" || fail "dir-mode restarted server exited non-zero on SIGTERM"
+
+# Crash recovery: trade again so the newest round lives only in the
+# write-ahead log (the snapshot on disk still ends at round 1), verify the
+# WAL series are live in /v1/metrics, then kill -9 — no drain, no SaveAll —
+# and reboot. Replay must reconstruct the post-snapshot round from the WAL.
+curl -fs "$BASE/v2/markets/beta/trades" -d '{"n":110,"v":0.8}' | grep -q '"round": *2' \
+    || fail "pre-crash beta trade failed"
+curl -fs "$BASE/v1/metrics" | grep -q '"wal/fsyncs"' || fail "metrics missing wal/fsyncs counter"
+[ -s "$SNAPDIR/beta.wal" ] || fail "no WAL segment for beta before crash"
+kill -KILL "$PID"
+wait "$PID" 2>/dev/null || true
 PID=""
 
-echo "serve-smoke: OK (quote, trade, metrics, v2 lifecycle, graceful shutdown, snapshot + snapshot-dir restore)"
+"$BIN" -addr "$ADDR" -snapshot-dir "$SNAPDIR" >"$LOG" 2>&1 &
+PID=$!
+wait_healthy
+curl -fs "$BASE/v2/markets/beta/trades" | grep -q '"round": *2' \
+    || fail "WAL replay lost the post-snapshot round after kill -9"
+curl -fs "$BASE/v1/trades" | grep -q '"round": *1' \
+    || fail "default ledger lost across crash reboot"
+kill -TERM "$PID"
+wait "$PID" || fail "crash-recovered server exited non-zero on SIGTERM"
+PID=""
+
+echo "serve-smoke: OK (quote, trade, metrics, v2 lifecycle, graceful shutdown, snapshot + snapshot-dir restore, kill -9 WAL replay)"
