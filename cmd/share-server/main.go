@@ -8,7 +8,16 @@
 //
 //	share-server [-addr :8080] [-seed N] [-demo M] [-snapshot-dir DIR]
 //	             [-durability MODE] [-max-body BYTES] [-trade-timeout D]
-//	             [-drain D] [-workers N] [-pprof ADDR] [-solver NAME]
+//	             [-trade-queue N] [-trade-concurrency N] [-drain D]
+//	             [-workers N] [-pprof ADDR] [-solver NAME]
+//
+// -trade-concurrency and -trade-queue set every market's admission
+// envelope: at most N trades execute per market while up to Q more wait in
+// a bounded queue; trades beyond that answer 429 with a Retry-After hint
+// instead of piling onto the write path. /v2 market creation overrides both
+// per market via the spec's "trade_concurrency" and "trade_queue" fields.
+// During graceful shutdown the pool drains first, so late writes get 503 +
+// Retry-After while in-flight rounds finish.
 //
 // -solver picks the default equilibrium backend (analytic | meanfield |
 // general); individual requests override it with a "solver" field on the
@@ -84,6 +93,8 @@ func main() {
 		drain        = flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain window for in-flight requests")
 		workers      = flag.Int("workers", 0, "Shapley valuation worker pool per trade (0 or 1 = one worker; results are identical for every value)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = disabled)")
+		tradeQueue   = flag.Int("trade-queue", 0, "per-market trade waiting room: trades beyond -trade-concurrency park here, the rest get 429 + Retry-After (0 = default 64, negative = no waiting room)")
+		tradeConc    = flag.Int("trade-concurrency", 0, "max trades executing per market at once (0 = default 1); /v2 market creation overrides via the spec's \"trade_concurrency\" field")
 		solver       = flag.String("solver", "", "default equilibrium backend: analytic | meanfield | general (empty = analytic); requests override per-trade via the demand's \"solver\" field")
 		durability   = flag.String("durability", "", "default market commit mode with -snapshot-dir: snapshot | sync | group | async (empty = group); /v2 market creation overrides per-market via the spec's \"durability\" field")
 	)
@@ -114,14 +125,16 @@ func main() {
 	}
 
 	srv := httpapi.NewServer(httpapi.Options{
-		Seed:         *seed,
-		Logf:         log.Printf,
-		MaxBodyBytes: *maxBody,
-		TradeTimeout: *tradeTimeout,
-		Workers:      *workers,
-		Solver:       *solver,
-		SnapshotDir:  *snapshotDir,
-		Durability:   *durability,
+		Seed:             *seed,
+		Logf:             log.Printf,
+		MaxBodyBytes:     *maxBody,
+		TradeTimeout:     *tradeTimeout,
+		Workers:          *workers,
+		Solver:           *solver,
+		SnapshotDir:      *snapshotDir,
+		Durability:       *durability,
+		TradeConcurrency: *tradeConc,
+		TradeQueue:       *tradeQueue,
 	})
 	handler := srv.Handler()
 
@@ -184,6 +197,10 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	case <-ctx.Done():
 		stop()
+		// Refuse new writes right away: parked and late trades answer 503 +
+		// Retry-After instead of hanging into a dying process, while rounds
+		// already executing finish and quotes keep serving through the drain.
+		srv.Pool().Drain()
 		log.Printf("shutdown signal received; draining (up to %s)", *drain)
 	}
 
@@ -202,9 +219,11 @@ func main() {
 		if err := srv.Pool().SaveAll(); err != nil {
 			log.Fatalf("saving snapshot directory: %v", err)
 		}
-		srv.Pool().Close()
 		log.Printf("all markets saved under %s", *snapshotDir)
 	}
+	// Terminal close: waits out any straggling rounds and flushes async WAL
+	// tails so an orderly exit never loses acknowledged trades.
+	srv.Pool().Close()
 	log.Printf("bye")
 }
 

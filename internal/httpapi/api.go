@@ -115,6 +115,14 @@ type Options struct {
 	// TradeTimeout bounds one trading round beyond the request's own
 	// context; expired rounds return 504 (0 → no server-side deadline).
 	TradeTimeout time.Duration
+	// TradeConcurrency caps in-flight trades per market (0 → the pool
+	// default, one). Markets may override it at creation.
+	TradeConcurrency int
+	// TradeQueue sizes each market's trade waiting room (0 → the pool
+	// default, 64; negative → no waiting room). Trades past the queue
+	// answer 429 with a Retry-After hint. Markets may override it at
+	// creation.
+	TradeQueue int
 	// SnapshotDir enables per-market snapshot persistence under this
 	// directory ("" → disabled). See Server.RestoreMarkets / SaveMarkets.
 	SnapshotDir string
@@ -152,17 +160,19 @@ func NewServer(opt Options) *Server {
 		maxBody:   maxBody,
 	}
 	s.pool = pool.New(pool.Options{
-		Cost:         opt.Cost,
-		TestRows:     opt.TestRows,
-		Update:       opt.Update,
-		Workers:      opt.Workers,
-		Solver:       opt.Solver,
-		Seed:         opt.Seed,
-		TradeTimeout: opt.TradeTimeout,
-		SnapshotDir:  opt.SnapshotDir,
-		Durability:   opt.Durability,
-		Metrics:      s.metrics,
-		Logf:         logf,
+		Cost:             opt.Cost,
+		TestRows:         opt.TestRows,
+		Update:           opt.Update,
+		Workers:          opt.Workers,
+		Solver:           opt.Solver,
+		Seed:             opt.Seed,
+		TradeTimeout:     opt.TradeTimeout,
+		TradeConcurrency: opt.TradeConcurrency,
+		TradeQueue:       opt.TradeQueue,
+		SnapshotDir:      opt.SnapshotDir,
+		Durability:       opt.Durability,
+		Metrics:          s.metrics,
+		Logf:             logf,
 	})
 	seed := opt.Seed
 	if _, err := s.pool.Create(pool.Spec{ID: defaultID, Seed: &seed}); err != nil {
@@ -292,6 +302,14 @@ type MarketSpec struct {
 	// market: "snapshot", "sync", "group" or "async" ("" → server
 	// default). Unknown names are a field-level error.
 	Durability string `json:"durability,omitempty"`
+	// TradeConcurrency overrides the server's in-flight trade cap for this
+	// market (absent → server default; must be ≥ 1).
+	TradeConcurrency *int `json:"trade_concurrency,omitempty"`
+	// TradeQueue overrides the server's trade waiting-room size for this
+	// market (absent → server default; an explicit 0 rejects the moment
+	// every slot is busy; must be ≥ 0). Trades past the queue answer 429
+	// with a Retry-After hint.
+	TradeQueue *int `json:"trade_queue,omitempty"`
 }
 
 // MarketInfo is the market resource representation (POST/GET /v2/markets).
@@ -474,7 +492,14 @@ func (s *Server) handleCreateMarket(w http.ResponseWriter, r *http.Request) {
 		writeDecodeError(w, err)
 		return
 	}
-	m, err := s.pool.Create(pool.Spec{ID: spec.ID, Solver: spec.Solver, Seed: spec.Seed, Durability: spec.Durability})
+	m, err := s.pool.Create(pool.Spec{
+		ID:               spec.ID,
+		Solver:           spec.Solver,
+		Seed:             spec.Seed,
+		Durability:       spec.Durability,
+		TradeConcurrency: spec.TradeConcurrency,
+		TradeQueue:       spec.TradeQueue,
+	})
 	if err != nil {
 		writeError(w, err)
 		return
@@ -734,7 +759,9 @@ func (s *Server) handleWeights(w http.ResponseWriter, r *http.Request, m *pool.M
 
 // paginate applies the limit/offset query parameters to a listing of
 // `total` items, returning the [lo, hi) window and stamping the
-// X-Total-Count header. Absent parameters return the full range; bad
+// X-Total-Count header. Absent parameters return the full range; an
+// explicit limit=0 is a valid empty page (the header still carries the
+// total); an offset past the end is an empty page, not an error; bad
 // values are a field-level 400.
 func paginate(w http.ResponseWriter, r *http.Request, total int) (lo, hi int, err error) {
 	q := r.URL.Query()
@@ -754,7 +781,14 @@ func paginate(w http.ResponseWriter, r *http.Request, total int) (lo, hi int, er
 		if perr != nil || n < 0 {
 			return 0, 0, fieldErrorf("limit", "must be a non-negative integer, got %q", raw)
 		}
-		hi = min(lo+n, total)
+		// Overflow-safe: lo+n wraps negative for n near MaxInt, and a
+		// negative hi panics the [lo:hi] slice below — compare against the
+		// remaining span instead of adding.
+		if n < total-lo {
+			hi = lo + n
+		} else {
+			hi = total
+		}
 	}
 	w.Header().Set("X-Total-Count", strconv.Itoa(total))
 	return lo, hi, nil

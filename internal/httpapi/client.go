@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -163,6 +164,19 @@ func (c *Client) QuoteBatch(ctx context.Context, marketID string, demands []Dema
 	return out.Quotes, err
 }
 
+// QuoteIn solves one demand in the named market — a batch of one on the
+// /v2 quotes endpoint.
+func (c *Client) QuoteIn(ctx context.Context, marketID string, d Demand) (Quote, error) {
+	qs, err := c.QuoteBatch(ctx, marketID, []Demand{d})
+	if err != nil {
+		return Quote{}, err
+	}
+	if len(qs) != 1 {
+		return Quote{}, fmt.Errorf("httpapi: batch of one answered %d quotes", len(qs))
+	}
+	return qs[0], nil
+}
+
 // TradeIn executes one full trading round in the named market.
 func (c *Client) TradeIn(ctx context.Context, marketID string, d Demand) (TradeResult, error) {
 	var out TradeResult
@@ -199,6 +213,18 @@ type StatusError struct {
 	// Message is the server's human-readable description; for non-envelope
 	// bodies it falls back to the raw body or the HTTP status text.
 	Message string
+	// RetryAfter is the server's backoff hint on 429/503 responses, parsed
+	// from the Retry-After header (delta-seconds or HTTP-date form) with
+	// the envelope's retry_after_seconds as fallback; 0 when the server
+	// sent none. Retry honors it over its own exponential schedule.
+	RetryAfter time.Duration
+}
+
+// Temporary reports whether the failure is worth retrying: 429 (the market
+// queue was full) and 503 (draining or a dropped round). Everything else —
+// validation, conflicts, timeouts the server already waited out — is not.
+func (e *StatusError) Temporary() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
 }
 
 // Error implements error.
@@ -218,6 +244,7 @@ func (e *StatusError) Error() string {
 // detail is ever silently dropped.
 func statusError(resp *http.Response) *StatusError {
 	se := &StatusError{Code: resp.StatusCode, Message: resp.Status}
+	se.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil || len(bytes.TrimSpace(raw)) == 0 {
 		return se
@@ -227,10 +254,101 @@ func statusError(resp *http.Response) *StatusError {
 		se.APICode = env.Error.Code
 		se.Field = env.Error.Field
 		se.Message = env.Error.Message
+		if se.RetryAfter == 0 && env.Error.RetryAfter > 0 {
+			se.RetryAfter = time.Duration(env.Error.RetryAfter) * time.Second
+		}
 		return se
 	}
 	se.Message = string(bytes.TrimSpace(raw))
 	return se
+}
+
+// parseRetryAfter decodes a Retry-After header value in either RFC 9110
+// form — delta-seconds ("7") or an HTTP-date ("Wed, 21 Oct 2015 07:28:00
+// GMT", relative to now). Unparseable or past values report 0.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// RetryPolicy bounds Retry's exponential backoff. The zero value selects
+// the defaults noted per field.
+type RetryPolicy struct {
+	// Attempts is the total try budget including the first call (0 → 4).
+	Attempts int
+	// Base is the first backoff sleep, doubled after each retry (0 → 100ms).
+	Base time.Duration
+	// Max caps every individual sleep, including server Retry-After hints
+	// (0 → 5s).
+	Max time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	return p
+}
+
+// Retry runs fn with bounded exponential backoff until it succeeds, fails
+// terminally, or the attempt budget is spent. Only temporary StatusErrors
+// — 429 overloaded and 503 draining/canceled — are retried; each sleep is
+// the longer of the exponential schedule and the server's Retry-After
+// hint, capped at the policy's Max.
+//
+// Retry is opt-in by design: the Client never retries on its own, and
+// callers must not wrap non-idempotent calls like Trade or TradeIn — a
+// request that died on the wire may still have committed server-side, and
+// replaying it would execute a second round. Quotes, listings and metrics
+// reads are safe.
+func Retry(ctx context.Context, p RetryPolicy, fn func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	delay := p.Base
+	for attempt := 1; ; attempt++ {
+		err := fn(ctx)
+		if err == nil || attempt >= p.Attempts {
+			return err
+		}
+		var se *StatusError
+		if !errors.As(err, &se) || !se.Temporary() {
+			return err
+		}
+		sleep := delay
+		if se.RetryAfter > sleep {
+			sleep = se.RetryAfter
+		}
+		if sleep > p.Max {
+			sleep = p.Max
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+		delay *= 2
+	}
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {

@@ -3,8 +3,10 @@ package httpapi
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 func newClientPair(t *testing.T) *Client {
@@ -119,4 +121,131 @@ func TestClientBadBaseURL(t *testing.T) {
 	if _, err := c.Health(context.Background()); err == nil {
 		t.Error("unreachable server should error")
 	}
+}
+
+// TestParseRetryAfter covers both RFC 9110 header forms plus the junk the
+// parser must shrug off.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"7", 7 * time.Second},
+		{" 2 ", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{now.Add(10 * time.Second).Format(http.TimeFormat), 10 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // past dates mean "now"
+		{"soon", 0},
+		{"", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in, now); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestStatusErrorCarriesRetryAfter pins the client-side half of the
+// overload contract: the backoff hint must survive into StatusError from
+// the header (either form), or failing that from the envelope — pre-fix it
+// was dropped on the floor and Retry had nothing to honor.
+func TestStatusErrorCarriesRetryAfter(t *testing.T) {
+	cases := []struct {
+		name    string
+		handler http.HandlerFunc
+		wantMin time.Duration
+		wantMax time.Duration
+	}{
+		{"delta-seconds header", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "7")
+			writeJSON(w, http.StatusTooManyRequests, errorEnvelope{Error: &Error{Code: CodeOverloaded, Message: "full"}})
+		}, 7 * time.Second, 7 * time.Second},
+		{"http-date header", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", time.Now().Add(10*time.Second).UTC().Format(http.TimeFormat))
+			writeJSON(w, http.StatusServiceUnavailable, errorEnvelope{Error: &Error{Code: CodeDraining, Message: "bye"}})
+		}, 8 * time.Second, 10 * time.Second},
+		{"envelope fallback", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusTooManyRequests, errorEnvelope{Error: &Error{Code: CodeOverloaded, Message: "full", RetryAfter: 3}})
+		}, 3 * time.Second, 3 * time.Second},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ts := httptest.NewServer(c.handler)
+			t.Cleanup(ts.Close)
+			_, err := NewClient(ts.URL, nil).Quote(context.Background(), Demand{N: 10, V: 0.5})
+			var se *StatusError
+			if !errors.As(err, &se) {
+				t.Fatalf("error = %v (%T), want *StatusError", err, err)
+			}
+			if !se.Temporary() {
+				t.Errorf("Temporary() = false for status %d", se.Code)
+			}
+			if se.RetryAfter < c.wantMin || se.RetryAfter > c.wantMax {
+				t.Errorf("RetryAfter = %v, want in [%v, %v]", se.RetryAfter, c.wantMin, c.wantMax)
+			}
+		})
+	}
+}
+
+// TestRetryBackoff drives the Retry helper against a canned error sequence:
+// temporary failures are retried honoring the server hint, terminal ones
+// and exhausted budgets are returned as-is.
+func TestRetryBackoff(t *testing.T) {
+	t.Run("succeeds after temporary failures", func(t *testing.T) {
+		calls := 0
+		err := Retry(context.Background(), RetryPolicy{Attempts: 4, Base: time.Millisecond, Max: 5 * time.Millisecond}, func(context.Context) error {
+			calls++
+			if calls < 3 {
+				return &StatusError{Code: http.StatusTooManyRequests, RetryAfter: 2 * time.Millisecond}
+			}
+			return nil
+		})
+		if err != nil || calls != 3 {
+			t.Errorf("err = %v, calls = %d, want nil after 3", err, calls)
+		}
+	})
+	t.Run("terminal errors are not retried", func(t *testing.T) {
+		calls := 0
+		want := &StatusError{Code: http.StatusBadRequest}
+		err := Retry(context.Background(), RetryPolicy{Base: time.Millisecond}, func(context.Context) error {
+			calls++
+			return want
+		})
+		if !errors.Is(err, want) || calls != 1 {
+			t.Errorf("err = %v, calls = %d, want the 400 after 1 call", err, calls)
+		}
+	})
+	t.Run("budget exhausted returns last error", func(t *testing.T) {
+		calls := 0
+		err := Retry(context.Background(), RetryPolicy{Attempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond}, func(context.Context) error {
+			calls++
+			return &StatusError{Code: http.StatusServiceUnavailable}
+		})
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable || calls != 3 {
+			t.Errorf("err = %v, calls = %d, want the 503 after 3 calls", err, calls)
+		}
+	})
+	t.Run("context cancels the sleep", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		calls := 0
+		done := make(chan error, 1)
+		go func() {
+			done <- Retry(ctx, RetryPolicy{Attempts: 2, Base: time.Hour}, func(context.Context) error {
+				calls++
+				cancel() // cancel while Retry sleeps after this failure
+				return &StatusError{Code: http.StatusTooManyRequests}
+			})
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) || calls != 1 {
+				t.Errorf("err = %v, calls = %d, want context.Canceled after 1", err, calls)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Retry ignored context cancellation mid-sleep")
+		}
+	})
 }

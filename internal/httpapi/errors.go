@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"share/internal/market"
 	"share/internal/pool"
@@ -28,6 +30,10 @@ type Error struct {
 	Field string `json:"field,omitempty"`
 	// Message is the human-readable description.
 	Message string `json:"message"`
+	// RetryAfter, when positive, is the server's backoff hint in seconds
+	// (429 overloaded / 503 draining). It is also emitted as the standard
+	// Retry-After response header.
+	RetryAfter int `json:"retry_after_seconds,omitempty"`
 }
 
 // Error implements error.
@@ -53,8 +59,15 @@ const (
 	CodeSellerExists       = "seller_exists"       // 409: duplicate seller ID
 	CodeTimeout            = "timeout"             // 504: the round outran its deadline
 	CodeCanceled           = "canceled"            // 503: the client disconnected mid-round
+	CodeOverloaded         = "overloaded"          // 429: the market's trade queue is full; honor Retry-After
+	CodeDraining           = "draining"            // 503: the server is shutting down; retry against a healthy instance
 	CodeInternal           = "internal"            // 500: market-side fault
 )
+
+// drainRetryAfterSeconds is the Retry-After hint attached to 503 draining
+// responses: long enough for a load balancer to fail the client over,
+// short enough that a restarting single instance is retried promptly.
+const drainRetryAfterSeconds = 5
 
 // apiErrorf builds a typed Error in one line.
 func apiErrorf(status int, code, format string, args ...any) *Error {
@@ -97,7 +110,27 @@ func classifyError(err error) *Error {
 		return apiErrorf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 			"request body exceeds %d bytes", tooBig.Limit)
 	}
+	var oe *pool.OverloadError
+	if errors.As(err, &oe) {
+		secs := int((oe.RetryAfter + time.Second - 1) / time.Second) // ceil: never hint "0"
+		if secs < 1 {
+			secs = 1
+		}
+		e := apiErrorf(http.StatusTooManyRequests, CodeOverloaded, "%v", err)
+		e.RetryAfter = secs
+		return e
+	}
 	switch {
+	case errors.Is(err, pool.ErrOverloaded):
+		// An overload rejection without the typed wrapper still answers 429
+		// with the floor hint.
+		e := apiErrorf(http.StatusTooManyRequests, CodeOverloaded, "%v", err)
+		e.RetryAfter = 1
+		return e
+	case errors.Is(err, pool.ErrDraining):
+		e := apiErrorf(http.StatusServiceUnavailable, CodeDraining, "%v", err)
+		e.RetryAfter = drainRetryAfterSeconds
+		return e
 	case errors.Is(err, pool.ErrMarketNotFound):
 		return apiErrorf(http.StatusNotFound, CodeMarketNotFound, "%v", err)
 	case errors.Is(err, pool.ErrMarketExists):
@@ -126,9 +159,15 @@ type errorEnvelope struct {
 	Error *Error `json:"error"`
 }
 
-// writeError classifies err and writes the unified envelope.
+// writeError classifies err and writes the unified envelope. Backoff hints
+// ride both in the envelope (retry_after_seconds) and the standard
+// Retry-After header, so header-only clients and body-parsing clients see
+// the same hint.
 func writeError(w http.ResponseWriter, err error) {
 	e := classifyError(err)
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
 	writeJSON(w, e.Status, errorEnvelope{Error: e})
 }
 

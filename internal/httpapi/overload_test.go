@@ -1,0 +1,210 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOverloadIsolationAcrossMarkets is the admission-control contract under
+// saturation: a market with a full trade queue answers 429 (with a
+// Retry-After hint in both the header and the envelope) without degrading a
+// sibling market's quote path, and the parked trades drain normally once the
+// wedge clears. Run under -race this also gates the admission bookkeeping.
+func TestOverloadIsolationAcrossMarkets(t *testing.T) {
+	srv := NewServer(Options{Seed: 1, Logf: func(string, ...any) {}})
+	bb := &blockingBuilder{started: make(chan struct{}), release: make(chan struct{})}
+	srv.testHookTradeBuilder = bb
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Market "hot" has the smallest possible admission envelope: one slot,
+	// a one-deep waiting room. Market "cold" keeps the server defaults.
+	one := 1
+	resp, body := postJSON(t, ts.URL+"/v2/markets", MarketSpec{ID: "hot", TradeConcurrency: &one, TradeQueue: &one})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create hot: %d %s", resp.StatusCode, body)
+	}
+	var info MarketInfo
+	getJSON(t, ts.URL+"/v2/markets/hot", &info)
+	if info.TradeConcurrency != 1 || info.TradeQueue != 1 {
+		t.Fatalf("hot admission config = conc %d queue %d, want 1/1", info.TradeConcurrency, info.TradeQueue)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v2/markets", MarketSpec{ID: "cold"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create cold: %d %s", resp.StatusCode, body)
+	}
+	for _, m := range []string{"hot", "cold"} {
+		for i := 0; i < 3; i++ {
+			resp, body := postJSON(t, ts.URL+"/v2/markets/"+m+"/sellers", SellerRegistration{
+				ID: "S" + strconv.Itoa(i), Lambda: 0.3 + 0.1*float64(i), SyntheticRows: 80,
+			})
+			if resp.StatusCode != http.StatusCreated {
+				t.Fatalf("register %s/S%d: %d %s", m, i, resp.StatusCode, body)
+			}
+		}
+	}
+
+	// Saturate hot: six concurrent trades against one slot plus one queue
+	// position. Exactly one parks inside Build, one waits for the slot, and
+	// the remaining four must be rejected immediately.
+	const floods = 6
+	type outcome struct {
+		status     int
+		env        *Error
+		retryAfter string
+	}
+	results := make(chan outcome, floods)
+	for i := 0; i < floods; i++ {
+		go func() {
+			resp, body := postJSON(t, ts.URL+"/v2/markets/hot/trades", Demand{N: 90, V: 0.8})
+			out := outcome{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+			if resp.StatusCode >= 400 {
+				// Decode without t.Fatal — this is not the test goroutine.
+				var env errorEnvelope
+				if err := json.Unmarshal(body, &env); err == nil {
+					out.env = env.Error
+				}
+			}
+			results <- out
+		}()
+	}
+	select {
+	case <-bb.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no trade reached manufacturing")
+	}
+
+	// The four rejections return while the wedge holds.
+	for i := 0; i < floods-2; i++ {
+		select {
+		case out := <-results:
+			if out.status != http.StatusTooManyRequests {
+				t.Fatalf("flooded trade status = %d, want 429 (%+v)", out.status, out.env)
+			}
+			if out.env == nil {
+				t.Fatal("429 response did not carry the error envelope")
+			}
+			if out.env.Code != CodeOverloaded {
+				t.Errorf("429 envelope code = %q, want %q", out.env.Code, CodeOverloaded)
+			}
+			if out.env.RetryAfter < 1 {
+				t.Errorf("429 retry_after_seconds = %d, want >= 1", out.env.RetryAfter)
+			}
+			if secs, err := strconv.Atoi(out.retryAfter); err != nil || secs < 1 {
+				t.Errorf("429 Retry-After header = %q, want integer >= 1", out.retryAfter)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d overload rejections arrived, want %d", i, floods-2)
+		}
+	}
+
+	// With hot saturated, cold's quote path must still answer promptly —
+	// admission is per market, and quotes are never gated at all.
+	const quotes = 8
+	var wg sync.WaitGroup
+	quoteErrs := make(chan int, quotes)
+	for i := 0; i < quotes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/v2/markets/cold/quotes", QuoteBatchRequest{Demands: []Demand{{N: 100, V: 0.8}}})
+			if resp.StatusCode != http.StatusOK {
+				quoteErrs <- resp.StatusCode
+			}
+		}()
+	}
+	quotesDone := make(chan struct{})
+	go func() { wg.Wait(); close(quotesDone) }()
+	select {
+	case <-quotesDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cold-market quotes blocked behind hot-market saturation")
+	}
+	close(quoteErrs)
+	for code := range quoteErrs {
+		t.Errorf("cold quote status = %d, want 200", code)
+	}
+
+	// The rejections are visible as admission counters and the waiter as
+	// queue depth.
+	var metrics struct {
+		Counters map[string]uint64 `json:"counters"`
+		Gauges   map[string]int64  `json:"gauges"`
+	}
+	getJSON(t, ts.URL+"/v1/metrics", &metrics)
+	if got := metrics.Counters["market/hot/trades_rejected"]; got != floods-2 {
+		t.Errorf("trades_rejected = %d, want %d", got, floods-2)
+	}
+	if got := metrics.Gauges["market/hot/queue_depth"]; got != 1 {
+		t.Errorf("queue_depth while one trade waits = %d, want 1", got)
+	}
+
+	// Release the wedge: the slot holder and the queued waiter both land.
+	close(bb.release)
+	for i := 0; i < 2; i++ {
+		select {
+		case out := <-results:
+			if out.status != http.StatusCreated {
+				t.Errorf("admitted trade status = %d, want 201 (%+v)", out.status, out.env)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("admitted trades never completed after release")
+		}
+	}
+	getJSON(t, ts.URL+"/v2/markets/hot", &info)
+	if info.Trades != 2 {
+		t.Errorf("hot ledger = %d trades, want 2", info.Trades)
+	}
+	getJSON(t, ts.URL+"/v1/metrics", &metrics)
+	if got := metrics.Counters["market/hot/trades_admitted"]; got != 2 {
+		t.Errorf("trades_admitted = %d, want 2", got)
+	}
+}
+
+// TestDrainAnswers503: once the pool is draining for shutdown, writes answer
+// 503 with the draining code and a Retry-After hint, while the ungated quote
+// path keeps serving so in-flight readers finish cleanly.
+func TestDrainAnswers503(t *testing.T) {
+	srv := NewServer(Options{Seed: 1, Logf: func(string, ...any) {}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	registerSynthetic(t, ts.URL, 3)
+
+	srv.Pool().Drain()
+
+	resp, body := postJSON(t, ts.URL+"/v1/trades", Demand{N: 90, V: 0.8})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("trade during drain = %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	env := decodeErrorEnvelope(t, body)
+	if env.Code != CodeDraining {
+		t.Errorf("drain envelope code = %q, want %q", env.Code, CodeDraining)
+	}
+	if env.RetryAfter != drainRetryAfterSeconds {
+		t.Errorf("drain retry_after_seconds = %d, want %d", env.RetryAfter, drainRetryAfterSeconds)
+	}
+	if got := resp.Header.Get("Retry-After"); got != strconv.Itoa(drainRetryAfterSeconds) {
+		t.Errorf("drain Retry-After header = %q, want %q", got, strconv.Itoa(drainRetryAfterSeconds))
+	}
+
+	// Registration is a write too.
+	resp, _ = postJSON(t, ts.URL+"/v1/sellers", SellerRegistration{ID: "late", Lambda: 0.5, SyntheticRows: 10})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("register during drain = %d, want 503", resp.StatusCode)
+	}
+	// Creating a market is refused at the pool.
+	resp, _ = postJSON(t, ts.URL+"/v2/markets", MarketSpec{ID: "late"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("create during drain = %d, want 503", resp.StatusCode)
+	}
+
+	// Quotes are read-only against the published view and keep answering.
+	resp, body = postJSON(t, ts.URL+"/v1/quote", Demand{N: 100, V: 0.8})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("quote during drain = %d, want 200 (%s)", resp.StatusCode, body)
+	}
+}

@@ -331,6 +331,73 @@ func TestPagination(t *testing.T) {
 	}
 }
 
+// TestPaginationOverflowSafe pins the paginate arithmetic fix: an offset
+// combined with a limit near MaxInt64 used to compute lo+limit, wrap
+// negative, and panic the slice expression — killing the connection instead
+// of returning the page. Both paginated collections (sellers and trades) are
+// exercised, each with an offset so lo+limit actually overflows.
+func TestPaginationOverflowSafe(t *testing.T) {
+	ts := newTestServer(t)
+	registerSynthetic(t, ts.URL, 5)
+	if resp, body := postJSON(t, ts.URL+"/v2/markets/default/trades", Demand{N: 90, V: 0.8}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("seeding trade: %d %s", resp.StatusCode, body)
+	}
+
+	const hugeLimit = "9223372036854775807" // MaxInt64
+	cases := []struct {
+		path      string
+		wantTotal string
+		wantLen   int
+	}{
+		{"/v2/markets/default/sellers?offset=1&limit=" + hugeLimit, "5", 4},
+		{"/v2/markets/default/trades?offset=1&limit=" + hugeLimit, "1", 0},
+		{"/v1/sellers?offset=5&limit=" + hugeLimit, "5", 0},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(ts.URL + c.path)
+		if err != nil {
+			// Pre-fix the handler panicked and the server reset the
+			// connection, which surfaces here as a transport error.
+			t.Fatalf("GET %s: %v", c.path, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d %s", c.path, resp.StatusCode, raw)
+		}
+		if got := resp.Header.Get("X-Total-Count"); got != c.wantTotal {
+			t.Errorf("%s: X-Total-Count = %q, want %q", c.path, got, c.wantTotal)
+		}
+		var page []json.RawMessage
+		if err := json.Unmarshal(raw, &page); err != nil {
+			t.Fatalf("%s: body not a JSON array: %s", c.path, raw)
+		}
+		if len(page) != c.wantLen {
+			t.Errorf("%s: page length = %d, want %d", c.path, len(page), c.wantLen)
+		}
+	}
+
+	// Explicit limit=0 after an offset is still a valid empty page with the
+	// total intact, on trades as well as sellers.
+	for _, path := range []string{"/v2/markets/default/trades?offset=1&limit=0", "/v2/markets/default/sellers?limit=0"} {
+		resp, raw := func() (*http.Response, []byte) {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			return resp, raw
+		}()
+		if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(raw)) != "[]" {
+			t.Errorf("%s = %d %s, want 200 []", path, resp.StatusCode, raw)
+		}
+		if resp.Header.Get("X-Total-Count") == "" {
+			t.Errorf("%s: X-Total-Count missing", path)
+		}
+	}
+}
+
 // TestBatchQuoteDeterministicAcrossWorkers runs the same batch through
 // servers configured with different worker budgets; the HTTP response body
 // must be byte-identical.

@@ -37,8 +37,15 @@ type Endpoint struct {
 	inFlight atomic.Int64  // currently executing
 
 	buckets [bucketCount]atomic.Uint64
-	sumNS   atomic.Int64 // total latency, nanoseconds
-	maxNS   atomic.Int64 // slowest observed request, nanoseconds
+	// bucketMax tracks the slowest sample seen per bucket, stored as
+	// nanoseconds+1 so 0 means "no sample yet" (a bucket full of 0ns
+	// samples still caps at 0). Quantile interpolation is capped at the
+	// containing bucket's own maximum, not just the global one — without
+	// it a handful of fast samples in a wide bucket interpolate toward the
+	// bucket's upper bound and overstate p99 by the bucket's full width.
+	bucketMax [bucketCount]atomic.Int64
+	sumNS     atomic.Int64 // total latency, nanoseconds
+	maxNS     atomic.Int64 // slowest observed request, nanoseconds
 }
 
 // Begin records the start of a request. Pair with End.
@@ -69,9 +76,15 @@ func (e *Endpoint) Observe(d time.Duration) {
 	}
 	e.buckets[idx].Add(1)
 	e.sumNS.Add(int64(d))
+	casMax(&e.bucketMax[idx], int64(d)+1)
+	casMax(&e.maxNS, int64(d))
+}
+
+// casMax lock-free-raises *v to x if x exceeds it.
+func casMax(v *atomic.Int64, x int64) {
 	for {
-		cur := e.maxNS.Load()
-		if int64(d) <= cur || e.maxNS.CompareAndSwap(cur, int64(d)) {
+		cur := v.Load()
+		if x <= cur || v.CompareAndSwap(cur, x) {
 			return
 		}
 	}
@@ -103,10 +116,14 @@ func (e *Endpoint) quantile(q float64, counts []uint64, total uint64) time.Durat
 			}
 			frac := (rank - cum) / float64(c)
 			est := lo + time.Duration(frac*float64(hi-lo))
-			// A wide bucket can interpolate past the slowest real sample;
-			// the observed maximum is a hard upper bound on any quantile.
-			if mx := time.Duration(e.maxNS.Load()); est > mx {
-				est = mx
+			// A wide bucket can interpolate past the slowest real sample in
+			// it; that bucket's own observed maximum is a hard upper bound
+			// on any quantile landing inside it. (The global maximum is not
+			// — one slow outlier in a later bucket would defeat the cap.)
+			if raw := e.bucketMax[i].Load(); raw > 0 {
+				if mx := time.Duration(raw - 1); est > mx {
+					est = mx
+				}
 			}
 			return est
 		}
@@ -158,8 +175,14 @@ func (e *Endpoint) Stats() EndpointStats {
 }
 
 // secs rounds a duration to microsecond-precision seconds for stable JSON.
+// Non-finite inputs (impossible from Duration arithmetic today, but fatal
+// to the /v1/metrics JSON encoder if they ever appeared) report 0.
 func secs(d time.Duration) float64 {
-	return math.Round(d.Seconds()*1e6) / 1e6
+	s := math.Round(d.Seconds()*1e6) / 1e6
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0
+	}
+	return s
 }
 
 // Counter is a monotonically increasing event counter (bytes written,

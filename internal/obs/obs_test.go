@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"sync"
 	"testing"
 	"time"
@@ -48,6 +49,61 @@ func TestQuantilesOrdered(t *testing.T) {
 	}
 	if l.MaxSeconds < 0.999 || l.MaxSeconds > 1.001 {
 		t.Errorf("max = %gs, want 1s", l.MaxSeconds)
+	}
+}
+
+// TestQuantileCappedByBucketMax pins the small-count interpolation fix: 99
+// samples at 50µs plus one 10ms outlier. Every quantile up to p99 lands in
+// the first bucket, whose real maximum is 50µs — but pre-fix the
+// interpolation ran to the bucket's 100µs upper bound (the global-max cap
+// is defeated by the outlier in a later bucket), overstating p50 and p99
+// by 2×.
+func TestQuantileCappedByBucketMax(t *testing.T) {
+	ep := NewRegistry().Endpoint("x")
+	for i := 0; i < 99; i++ {
+		ep.Observe(50 * time.Microsecond)
+	}
+	ep.Observe(10 * time.Millisecond)
+	l := ep.Stats().Latency
+	if l.P50Seconds != 0.00005 {
+		t.Errorf("p50 = %gs, want 0.00005 (the in-bucket maximum)", l.P50Seconds)
+	}
+	if l.P99Seconds != 0.00005 {
+		t.Errorf("p99 = %gs, want 0.00005 (the in-bucket maximum)", l.P99Seconds)
+	}
+	if l.MaxSeconds != 0.01 {
+		t.Errorf("max = %gs, want 0.01", l.MaxSeconds)
+	}
+}
+
+// TestZeroOnlyHistogram: a bucket holding nothing but 0ns samples must
+// report 0 for every quantile, not interpolate into the bucket's width.
+func TestZeroOnlyHistogram(t *testing.T) {
+	ep := NewRegistry().Endpoint("x")
+	for i := 0; i < 10; i++ {
+		ep.Observe(0)
+	}
+	l := ep.Stats().Latency
+	if l.P50Seconds != 0 || l.P99Seconds != 0 {
+		t.Errorf("zero-sample quantiles = p50 %g, p99 %g, want 0", l.P50Seconds, l.P99Seconds)
+	}
+}
+
+// TestEmptyHistogramJSONFinite: an empty endpoint's exported stats must
+// encode as JSON — a NaN or Inf quantile would make the whole /v1/metrics
+// response unencodable.
+func TestEmptyHistogramJSONFinite(t *testing.T) {
+	st := NewRegistry().Endpoint("empty").Stats()
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("empty endpoint stats not JSON-encodable: %v", err)
+	}
+	var round EndpointStats
+	if err := json.Unmarshal(raw, &round); err != nil {
+		t.Fatalf("decoding round trip: %v", err)
+	}
+	if round.Latency.P50Seconds != 0 || round.Latency.P99Seconds != 0 || round.Latency.MeanSeconds != 0 {
+		t.Errorf("empty latency stats = %+v, want zeros", round.Latency)
 	}
 }
 

@@ -1,0 +1,125 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"share/internal/obs"
+)
+
+// Admission-control defaults for Options.TradeQueue and
+// Options.TradeConcurrency (0 in either selects the default).
+const (
+	// DefaultTradeQueue is the per-market waiting room: trades beyond the
+	// concurrency limit queue here; arrivals past it are rejected with
+	// ErrOverloaded. Sized so a short burst rides out a slow Shapley round
+	// without letting a sustained flood pin unbounded goroutines.
+	DefaultTradeQueue = 64
+	// DefaultTradeConcurrency is the per-market in-flight trade limit.
+	// Trades serialize behind the market's write mutex anyway, so one slot
+	// is the honest default; raising it only adds writeMu contention overlap.
+	DefaultTradeConcurrency = 1
+)
+
+// Bounds on the Retry-After estimate attached to an OverloadError: always
+// at least a second (sub-second retries would re-saturate the queue) and
+// never more than a minute (beyond that the estimate is noise).
+const (
+	minRetryAfter = 1 * time.Second
+	maxRetryAfter = 60 * time.Second
+)
+
+// gate is one market's trade-admission control: a slot semaphore bounding
+// in-flight rounds plus a counted waiting room bounding the queue behind
+// them. Arrivals past the waiting room are rejected immediately — the
+// bounded queue is what keeps a saturating trade flood from pinning
+// unbounded goroutines (and their request bodies) while quotes stay
+// lock-free and ungated.
+type gate struct {
+	slots    chan struct{} // semaphore: capacity = in-flight concurrency
+	queueCap int           // waiting room size; 0 = reject when all slots busy
+	waiting  atomic.Int64  // current waiting-room occupancy
+
+	depth    *obs.Gauge    // market/<id>/queue_depth
+	waitObs  *obs.Endpoint // market/<id>/queue_wait — time spent queued
+	admitted *obs.Counter  // market/<id>/trades_admitted
+	rejected *obs.Counter  // market/<id>/trades_rejected
+}
+
+// newGate builds a market's admission gate and registers its obs series.
+func newGate(reg *obs.Registry, marketID string, concurrency, queue int) *gate {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &gate{
+		slots:    make(chan struct{}, concurrency),
+		queueCap: queue,
+		depth:    reg.Gauge("market/" + marketID + "/queue_depth"),
+		waitObs:  reg.Endpoint("market/" + marketID + "/queue_wait"),
+		admitted: reg.Counter("market/" + marketID + "/trades_admitted"),
+		rejected: reg.Counter("market/" + marketID + "/trades_rejected"),
+	}
+}
+
+// release frees one in-flight slot, waking the longest-waiting queued trade.
+func (g *gate) release() { <-g.slots }
+
+// acquireTrade admits one trade through the market's gate, returning the
+// release func. The fast path takes a free slot without queueing; otherwise
+// the trade joins the bounded waiting room until a slot frees, the caller's
+// context expires, or the market starts draining. A full waiting room
+// rejects immediately with an OverloadError carrying a Retry-After estimate
+// — the caller never blocks on a queue it has no position in.
+func (m *Market) acquireTrade(ctx context.Context) (func(), error) {
+	g := m.adm
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return g.release, nil
+	default:
+	}
+	pos := g.waiting.Add(1)
+	if pos > int64(g.queueCap) {
+		g.depth.Set(g.waiting.Add(-1))
+		g.rejected.Add(1)
+		return nil, m.overloadError(pos)
+	}
+	g.depth.Set(pos)
+	t0 := time.Now()
+	defer func() { g.depth.Set(g.waiting.Add(-1)) }()
+	select {
+	case g.slots <- struct{}{}:
+		g.waitObs.Observe(time.Since(t0))
+		g.admitted.Add(1)
+		return g.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-m.closing:
+		return nil, fmt.Errorf("market %q: %w", m.id, m.closeReason())
+	}
+}
+
+// overloadError builds the rejection for a trade that found the waiting
+// room full. The Retry-After estimate is the queue's expected drain time:
+// position × the market's observed mean round latency, divided by the slot
+// count, clamped to [1s, 60s]. A market that has never traded estimates one
+// second — the floor, not a guess at round cost.
+func (m *Market) overloadError(pos int64) error {
+	mean := m.tradeObs.Stats().Latency.MeanSeconds
+	if mean <= 0 {
+		mean = 0 // floor below covers the no-history case
+	}
+	est := time.Duration(float64(pos) * mean / float64(cap(m.adm.slots)) * float64(time.Second))
+	if est < minRetryAfter {
+		est = minRetryAfter
+	}
+	if est > maxRetryAfter {
+		est = maxRetryAfter
+	}
+	return &OverloadError{Market: m.id, Queue: m.adm.queueCap, RetryAfter: est}
+}

@@ -3,6 +3,7 @@ package pool
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Sentinel errors returned by pool and market operations. The HTTP layer
@@ -24,7 +25,34 @@ var (
 	ErrRegistrationClosed = errors.New("market already trading; registration is closed")
 	// ErrSellerExists: a registration reused an existing seller ID.
 	ErrSellerExists = errors.New("seller already registered")
+	// ErrOverloaded: the market's trade queue is full; the caller should
+	// back off and retry. Rejections carry an *OverloadError (which unwraps
+	// to this sentinel) with a Retry-After estimate.
+	ErrOverloaded = errors.New("market trade queue is full")
+	// ErrDraining: the pool is shutting down; no new trades or
+	// registrations are admitted anywhere. Distinct from ErrMarketClosed
+	// (one market deleted) so the HTTP layer can answer 503 + Retry-After
+	// instead of a terminal 409.
+	ErrDraining = errors.New("pool is draining for shutdown")
 )
+
+// OverloadError rejects a trade that found the market's bounded waiting
+// room full. It unwraps to ErrOverloaded; RetryAfter estimates when the
+// queue should have drained enough to admit a retry.
+type OverloadError struct {
+	// Market names the overloaded market.
+	Market string
+	// Queue is the market's configured waiting-room capacity.
+	Queue int
+	// RetryAfter is the server's backoff hint, clamped to [1s, 60s].
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("market %q: %v (queue %d, retry after %s)", e.Market, ErrOverloaded, e.Queue, e.RetryAfter)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // FieldError reports a request field that failed validation. The HTTP layer
 // renders it as a field-level 400 with the field name in the error envelope.

@@ -34,8 +34,13 @@ type Market struct {
 	solver solve.Backend
 
 	stateMu  sync.Mutex
-	closed   bool
+	closeErr error         // nil while open; the begin-rejection reason once closing
+	closing  chan struct{} // closed (once) alongside closeErr being set
 	inFlight sync.WaitGroup
+
+	// adm is the trade-admission gate: a slot semaphore bounding in-flight
+	// rounds plus a bounded waiting room. Quotes are never gated.
+	adm *gate
 
 	writeMu sync.Mutex
 	view    atomic.Pointer[View]
@@ -104,12 +109,14 @@ type BatchDemand struct {
 // market's synthetic test set derives from its seed exactly as the
 // single-market server's did, so the pool's default market is
 // bit-compatible with the pre-pool service.
-func (p *Pool) newMarket(id string, backend solve.Backend, seed int64, durability Durability) *Market {
+func (p *Pool) newMarket(id string, backend solve.Backend, seed int64, durability Durability, concurrency, queue int) *Market {
 	m := &Market{
 		id:         id,
 		p:          p,
 		seed:       seed,
 		solver:     backend,
+		closing:    make(chan struct{}),
+		adm:        newGate(p.metrics, id, concurrency, queue),
 		durability: durability,
 		cfg: market.Config{
 			Cost:    p.cost,
@@ -145,24 +152,38 @@ func (m *Market) View() *View { return m.view.Load() }
 func (m *Market) Info() Info {
 	v := m.view.Load()
 	return Info{
-		ID:         m.id,
-		Solver:     m.solver.Name(),
-		Seed:       m.seed,
-		Durability: string(m.durability),
-		Sellers:    len(v.Sellers),
-		Trades:     len(v.Trades),
-		Trading:    v.Trading,
+		ID:               m.id,
+		Solver:           m.solver.Name(),
+		Seed:             m.seed,
+		Durability:       string(m.durability),
+		TradeConcurrency: cap(m.adm.slots),
+		TradeQueue:       m.adm.queueCap,
+		Sellers:          len(v.Sellers),
+		Trades:           len(v.Trades),
+		Trading:          v.Trading,
 	}
 }
 
 // Durability reports the market's persistence mode.
 func (m *Market) Durability() Durability { return m.durability }
 
-// close marks the market as draining; subsequent begin calls fail.
-func (m *Market) close() {
+// close marks the market as draining with the given begin-rejection
+// reason (ErrMarketClosed for a Delete, ErrDraining for pool shutdown) and
+// wakes every trade parked in the admission queue. The first reason wins.
+func (m *Market) close(reason error) {
 	m.stateMu.Lock()
-	m.closed = true
+	if m.closeErr == nil {
+		m.closeErr = reason
+		close(m.closing)
+	}
 	m.stateMu.Unlock()
+}
+
+// closeReason reports why the market is draining (nil while open).
+func (m *Market) closeReason() error {
+	m.stateMu.Lock()
+	defer m.stateMu.Unlock()
+	return m.closeErr
 }
 
 // begin admits one mutating operation, failing once the market is
@@ -170,8 +191,8 @@ func (m *Market) close() {
 func (m *Market) begin() error {
 	m.stateMu.Lock()
 	defer m.stateMu.Unlock()
-	if m.closed {
-		return fmt.Errorf("market %q: %w", m.id, ErrMarketClosed)
+	if m.closeErr != nil {
+		return fmt.Errorf("market %q: %w", m.id, m.closeErr)
 	}
 	m.inFlight.Add(1)
 	return nil
@@ -350,12 +371,25 @@ func (m *Market) QuoteBatch(ctx context.Context, demands []BatchDemand) ([]*core
 // trade overlaps the next round's solve, and concurrent commits share one
 // group-commit barrier — or, in snapshot mode, the legacy full-snapshot
 // rewrite. A failed write logs and never fails the committed trade.
+//
+// Admission: before touching the write path the trade passes the market's
+// gate — a bounded concurrency limit plus a bounded waiting room — so a
+// saturating flood is rejected with ErrOverloaded (wrapped in an
+// *OverloadError carrying a Retry-After estimate) instead of queueing
+// unboundedly on writeMu. The slot is released after the write lock is
+// dropped but before the commit wait, preserving the fsync/next-solve
+// overlap group commit batches on.
 func (m *Market) Trade(ctx context.Context, b core.Buyer, builder product.Builder, backend solve.Backend) (*market.Transaction, error) {
 	if err := m.begin(); err != nil {
 		return nil, err
 	}
 	defer m.end()
+	release, err := m.acquireTrade(ctx)
+	if err != nil {
+		return nil, err
+	}
 	tx, l, seq, err := m.tradeLocked(ctx, b, builder, backend)
+	release()
 	if err != nil {
 		return nil, err
 	}

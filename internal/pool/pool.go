@@ -64,6 +64,15 @@ type Options struct {
 	// TradeTimeout bounds one trading round beyond the caller's context
 	// (0 → none).
 	TradeTimeout time.Duration
+	// TradeConcurrency caps in-flight trades per market (0 →
+	// DefaultTradeConcurrency; values < 1 are clamped to 1). Markets may
+	// override it at creation via Spec.TradeConcurrency.
+	TradeConcurrency int
+	// TradeQueue sizes each market's trade waiting room (0 →
+	// DefaultTradeQueue; negative → no waiting room, reject the moment
+	// every slot is busy). Arrivals past the queue fail with ErrOverloaded.
+	// Markets may override it at creation via Spec.TradeQueue.
+	TradeQueue int
 	// SnapshotDir enables per-market persistence under this directory
 	// ("" → disabled).
 	SnapshotDir string
@@ -101,14 +110,17 @@ type Pool struct {
 
 	compactRecords int
 	compactBytes   int64
+	tradeConc      int
+	tradeQueue     int
 
 	metrics   *obs.Registry
 	valuation *obs.Endpoint            // Shapley weight-update latency, all markets
 	solveObs  map[string]*obs.Endpoint // per-backend equilibrium-solve latency
 	walMet    wal.Metrics              // shared WAL series, all markets
 
-	mu      sync.RWMutex
-	markets map[string]*Market
+	mu       sync.RWMutex
+	markets  map[string]*Market
+	draining bool // set by Drain/Close; Create refuses with ErrDraining
 }
 
 // Spec names and configures one market to create.
@@ -126,17 +138,27 @@ type Spec struct {
 	// Durability overrides the pool's default persistence mode for this
 	// market ("" → pool default). Unknown names are a field-level error.
 	Durability string
+	// TradeConcurrency overrides the pool's in-flight trade cap for this
+	// market (nil → pool default; values < 1 are a field-level error).
+	TradeConcurrency *int
+	// TradeQueue overrides the pool's trade waiting-room size for this
+	// market (nil → pool default). An explicit 0 means no waiting room —
+	// reject the moment every slot is busy; negative values are a
+	// field-level error.
+	TradeQueue *int
 }
 
 // Info is the externally visible state of one hosted market.
 type Info struct {
-	ID         string `json:"id"`
-	Solver     string `json:"solver"`
-	Seed       int64  `json:"seed"`
-	Durability string `json:"durability"`
-	Sellers    int    `json:"sellers"`
-	Trades     int    `json:"trades"`
-	Trading    bool   `json:"trading"`
+	ID               string `json:"id"`
+	Solver           string `json:"solver"`
+	Seed             int64  `json:"seed"`
+	Durability       string `json:"durability"`
+	TradeConcurrency int    `json:"trade_concurrency"`
+	TradeQueue       int    `json:"trade_queue"`
+	Sellers          int    `json:"sellers"`
+	Trades           int    `json:"trades"`
+	Trading          bool   `json:"trading"`
 }
 
 // New builds an empty pool. An unknown Options.Solver falls back to the
@@ -182,6 +204,20 @@ func New(opts Options) *Pool {
 	if compactBytes <= 0 {
 		compactBytes = 4 << 20
 	}
+	tradeConc := opts.TradeConcurrency
+	if tradeConc == 0 {
+		tradeConc = DefaultTradeConcurrency
+	}
+	if tradeConc < 1 {
+		tradeConc = 1
+	}
+	tradeQueue := opts.TradeQueue
+	if tradeQueue == 0 {
+		tradeQueue = DefaultTradeQueue
+	}
+	if tradeQueue < 0 {
+		tradeQueue = 0
+	}
 	metrics := opts.Metrics
 	if metrics == nil {
 		metrics = obs.NewRegistry()
@@ -198,6 +234,8 @@ func New(opts Options) *Pool {
 		durability:     durability,
 		compactRecords: compactRecords,
 		compactBytes:   compactBytes,
+		tradeConc:      tradeConc,
+		tradeQueue:     tradeQueue,
 		logf:           logf,
 		metrics:        metrics,
 		valuation:      metrics.Endpoint("trade/valuation"),
@@ -285,9 +323,26 @@ func (p *Pool) Create(spec Spec) (*Market, error) {
 	if spec.Seed != nil {
 		seed = *spec.Seed
 	}
-	m := p.newMarket(spec.ID, backend, seed, durability)
+	conc := p.tradeConc
+	if spec.TradeConcurrency != nil {
+		if *spec.TradeConcurrency < 1 {
+			return nil, &FieldError{Field: "trade_concurrency", Msg: fmt.Sprintf("must be at least 1, got %d", *spec.TradeConcurrency)}
+		}
+		conc = *spec.TradeConcurrency
+	}
+	queue := p.tradeQueue
+	if spec.TradeQueue != nil {
+		if *spec.TradeQueue < 0 {
+			return nil, &FieldError{Field: "trade_queue", Msg: fmt.Sprintf("must be non-negative, got %d", *spec.TradeQueue)}
+		}
+		queue = *spec.TradeQueue
+	}
+	m := p.newMarket(spec.ID, backend, seed, durability, conc, queue)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.draining {
+		return nil, fmt.Errorf("market %q: %w", spec.ID, ErrDraining)
+	}
 	if _, ok := p.markets[spec.ID]; ok {
 		return nil, fmt.Errorf("market %q: %w", spec.ID, ErrMarketExists)
 	}
@@ -340,7 +395,7 @@ func (p *Pool) Delete(ctx context.Context, id string) error {
 	if !ok {
 		return fmt.Errorf("market %q: %w", id, ErrMarketNotFound)
 	}
-	m.close()
+	m.close(ErrMarketClosed)
 	drained := make(chan struct{})
 	go func() {
 		m.inFlight.Wait()

@@ -362,10 +362,33 @@ func (m *Market) closeLog() {
 	m.log = nil
 }
 
-// Close flushes and closes every market's WAL segment (the shutdown hook,
-// after SaveAll). The pool remains usable — a later trade reopens the
-// segment — but callers should treat Close as the end of the pool's life.
+// Drain marks the pool as shutting down: every hosted market (and any
+// future Create) refuses new trades and registrations with ErrDraining,
+// and trades parked in admission queues are woken and rejected. In-flight
+// rounds keep running — Close waits them out. Safe to call more than once;
+// the HTTP layer maps ErrDraining onto 503 + Retry-After so clients fail
+// over instead of hanging into a dying process.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	p.draining = true
+	ms := make([]*Market, 0, len(p.markets))
+	for _, m := range p.markets {
+		ms = append(ms, m)
+	}
+	p.mu.Unlock()
+	for _, m := range ms {
+		m.close(ErrDraining)
+	}
+}
+
+// Close terminally shuts the pool down: Drain, wait out every market's
+// in-flight rounds, then flush and close every WAL segment (the shutdown
+// hook, after SaveAll). Close is the end of the pool's life — a later
+// mutation fails with ErrDraining rather than silently reopening (and
+// truncating, as "orphaned") a segment whose flushed history was already
+// acknowledged.
 func (p *Pool) Close() {
+	p.Drain()
 	p.mu.RLock()
 	ms := make([]*Market, 0, len(p.markets))
 	for _, m := range p.markets {
@@ -373,6 +396,7 @@ func (p *Pool) Close() {
 	}
 	p.mu.RUnlock()
 	for _, m := range ms {
+		m.inFlight.Wait()
 		m.closeLog()
 	}
 }

@@ -583,3 +583,84 @@ func TestWALOnlyMarketKeepsSpec(t *testing.T) {
 		t.Fatalf("replayed state differs from pre-crash state\n got: %s\nwant: %s", got, want)
 	}
 }
+
+// TestCloseSealsPoolAgainstStragglers pins the shutdown-ordering fix: Close
+// is terminal. A trade, registration or market creation racing in after
+// Close must fail with ErrDraining — before the fix the straggler reopened
+// the just-closed segment, truncated the acknowledged history as "orphaned",
+// and the market failed to restore on the next boot.
+func TestCloseSealsPoolAgainstStragglers(t *testing.T) {
+	dir := t.TempDir()
+	p := New(fastWalOptions(dir))
+	m, err := p.Create(Spec{ID: "seal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, m, 3)
+	if _, err := m.Trade(context.Background(), demoBuyer(90, 0.8), nil, nil); err != nil {
+		t.Fatalf("trade: %v", err)
+	}
+	want := canonicalState(t, m)
+	p.Close()
+
+	// Every mutation after Close is refused — none may touch the segment.
+	if _, err := m.Trade(context.Background(), demoBuyer(90, 0.8), nil, nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("straggler trade after Close = %v, want ErrDraining", err)
+	}
+	if _, err := m.RegisterSeller(Registration{ID: "late", Lambda: 0.5, SyntheticRows: 10}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("straggler registration after Close = %v, want ErrDraining", err)
+	}
+	if _, err := p.Create(Spec{ID: "late"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Create after Close = %v, want ErrDraining", err)
+	}
+
+	// The acknowledged history survives intact into the next boot.
+	p2 := New(fastWalOptions(dir))
+	if _, err := p2.RestoreAll(); err != nil {
+		t.Fatalf("RestoreAll after sealed shutdown: %v", err)
+	}
+	m2, err := p2.Get("seal")
+	if err != nil {
+		t.Fatalf("market lost across sealed shutdown: %v", err)
+	}
+	if got := canonicalState(t, m2); got != want {
+		t.Fatalf("restored state diverged:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestAsyncCloseFlushesTail: with async durability the acknowledgment
+// races ahead of the fsync — Close must still flush the buffered tail, so
+// every acknowledged trade survives an orderly shutdown (crash-loss is
+// async's documented trade-off; shutdown-loss is not).
+func TestAsyncCloseFlushesTail(t *testing.T) {
+	dir := t.TempDir()
+	p := New(fastWalOptions(dir))
+	m, err := p.Create(Spec{ID: "tail", Durability: string(DurAsync)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, m, 3)
+	const trades = 3
+	for i := 0; i < trades; i++ {
+		if _, err := m.Trade(context.Background(), demoBuyer(80+10*float64(i), 0.8), nil, nil); err != nil {
+			t.Fatalf("trade %d: %v", i, err)
+		}
+	}
+	want := canonicalState(t, m)
+	p.Close()
+
+	p2 := New(fastWalOptions(dir))
+	if _, err := p2.RestoreAll(); err != nil {
+		t.Fatalf("RestoreAll: %v", err)
+	}
+	m2, err := p2.Get("tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m2.View().Trades); got != trades {
+		t.Fatalf("restored ledger = %d trades, want %d (async tail dropped on Close)", got, trades)
+	}
+	if got := canonicalState(t, m2); got != want {
+		t.Fatalf("restored state diverged:\n got %s\nwant %s", got, want)
+	}
+}

@@ -154,4 +154,18 @@ kill -TERM "$PID"
 wait "$PID" || fail "crash-recovered server exited non-zero on SIGTERM"
 PID=""
 
-echo "serve-smoke: OK (quote, trade, metrics, v2 lifecycle, graceful shutdown, snapshot + snapshot-dir restore, kill -9 WAL replay)"
+# Saturating traffic: a short share-loadgen run (self-hosted server, full
+# HTTP stack) must finish with the quote SLO intact — the binary exits
+# non-zero when loaded quote p99 exceeds 2x unloaded — and emit the
+# machine-readable report.
+echo "serve-smoke: running share-loadgen saturation phase"
+go run ./cmd/share-loadgen -out "$WORK/bench" -markets 2 -sellers 3 -rows 300 \
+    -product ols -trade-n 800 -trade-burst 1 -trade-pause 100ms -duration 1s \
+    >"$LOG" 2>&1 || fail "share-loadgen run failed (SLO or transport)"
+[ -s "$WORK/bench/BENCH_PR7.json" ] || fail "share-loadgen wrote no report"
+grep -q '"within_2x": true' "$WORK/bench/BENCH_PR7.json" \
+    || fail "share-loadgen report missing SLO verdict"
+grep -q '"server_admission"' "$WORK/bench/BENCH_PR7.json" \
+    || fail "share-loadgen report missing admission counters"
+
+echo "serve-smoke: OK (quote, trade, metrics, v2 lifecycle, graceful shutdown, snapshot + snapshot-dir restore, kill -9 WAL replay, loadgen saturation)"
