@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover serve-smoke bench figures figures-quick examples clean
+.PHONY: all build vet test race cover serve-smoke bench bench-compare figures figures-quick examples clean
 
 all: build vet test
 
@@ -53,14 +53,21 @@ serve-smoke:
 	sh scripts/serve_smoke.sh
 
 # Go benchmarks (valuation kernel, trade rounds, solver) plus the
-# machine-readable reports: BENCH_PR3.json (moment-cached Shapley kernel vs
-# the seed-era row-streaming estimator), BENCH_PR4.json (per-round solve
-# latency of the analytic, mean-field and general backends) and
-# BENCH_PR6.json (trade throughput and commit latency of the durability
-# modes: snapshot-per-trade vs the sync / group-commit / async WAL).
+# machine-readable reports, all under bench_out/: BENCH_PR3.json
+# (moment-cached Shapley kernel vs the seed-era row-streaming estimator),
+# BENCH_PR4.json (per-round solve latency of the analytic, mean-field and
+# general backends), BENCH_PR6.json (trade throughput and commit latency of
+# the durability modes: snapshot-per-trade vs the sync / group-commit /
+# async WAL) and BENCH_PR8.json (the general backend's optimized cascade vs
+# its pre-optimization baseline across loss functions).
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/share-bench -fig none -out . -bench-pr3 -bench-pr4 -bench-pr6
+	$(GO) run ./cmd/share-bench -fig none -out bench_out -bench-pr3 -bench-pr4 -bench-pr6 -bench-pr8
+
+# Re-run the general-backend probes and fail on a >25% regression against
+# the committed bench_out/BENCH_PR8.json trajectory.
+bench-compare:
+	sh scripts/bench_compare.sh
 
 # Regenerate every evaluation figure (full scale, ~30 s) into bench_out_full/,
 # plus BENCH.json with the solver/sweep performance probes.

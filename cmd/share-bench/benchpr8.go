@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"share/internal/core"
+	"share/internal/solve"
+	"share/internal/stat"
+)
+
+// Committed BENCH_PR4.json reference numbers for the general backend's
+// per-round solve (same probe shape: prototype Clone → SetBuyer → Solve,
+// quadratic loss, PriceTol 1e-4). The m=1000 baseline takes ~10 minutes per
+// solve, so the before/after at that size compares against the recorded
+// trajectory instead of re-running the pre-optimization cascade live.
+const (
+	pr4GeneralM100NsPerOp  = 1_709_690_311.0
+	pr4GeneralM1000NsPerOp = 593_434_301_975.0
+)
+
+// pr8Probe is one general-backend latency measurement with the Stage-3
+// effort counters of a representative solve attached.
+type pr8Probe struct {
+	benchEntry
+	Loss         string `json:"loss"`
+	M            int    `json:"m"`
+	Mode         string `json:"mode"` // "fast" | "fast_warm" | "baseline"
+	Stage3Solves int    `json:"stage3_solves"`
+	Stage3Sweeps int    `json:"stage3_sweeps"`
+	MemoHits     int    `json:"memo_hits"`
+}
+
+// pr8Report is the BENCH_PR8.json document: before/after latency of the
+// general equilibrium backend across loss functions and market sizes.
+// "fast" probes clone a cold prototype per iteration (exactly the PR 4 probe
+// shape, so the speedups_vs_pr4 ratios are apples to apples); "fast_warm"
+// re-solves one Prepared so successive rounds chain warm starts, the shape a
+// long-lived market sees; "baseline" disables every PR 8 optimization.
+type pr8Report struct {
+	GoMaxProcs             int                `json:"gomaxprocs"`
+	Workers                int                `json:"workers"`
+	PR4GeneralM100NsPerOp  float64            `json:"pr4_round_general_m100_ns_per_op"`
+	PR4GeneralM1000NsPerOp float64            `json:"pr4_round_general_m1000_ns_per_op"`
+	Benchmarks             []pr8Probe         `json:"benchmarks"`
+	Speedups               map[string]float64 `json:"speedups"`
+}
+
+// writeBenchPR8 runs the general-backend before/after probes and writes
+// BENCH_PR8.json into outDir. Baseline probes run at m=100 only — the
+// pre-optimization cascade needs ~10 minutes per m=1000 solve, which is the
+// point of the PR; the m=1000 speedup is reported against the committed PR 4
+// measurement instead.
+func writeBenchPR8(outDir string, workers int, seed int64) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &pr8Report{
+		GoMaxProcs:             runtime.GOMAXPROCS(0),
+		Workers:                workers,
+		PR4GeneralM100NsPerOp:  pr4GeneralM100NsPerOp,
+		PR4GeneralM1000NsPerOp: pr4GeneralM1000NsPerOp,
+		Speedups:               map[string]float64{},
+	}
+
+	losses := []struct {
+		name string
+		fn   func(g *core.Game) core.LossFunc
+	}{
+		{"quadratic", nil}, // backend default, Eq. 11
+		{"alternative", func(g *core.Game) core.LossFunc { return g.AlternativeLoss() }},
+		{"cubic", func(g *core.Game) core.LossFunc { return g.CubicLoss() }},
+	}
+
+	record := func(name, loss, mode string, m int, proto solve.Prepared, warm bool) (pr8Probe, error) {
+		buyer := core.PaperBuyer()
+		// warm probes re-solve one long-lived Prepared so the warm-start
+		// chain carries across iterations; cold probes clone per iteration.
+		prep := proto.Clone()
+		prep.SetBuyer(buyer)
+		var stats core.GeneralStats
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !warm {
+					prep = proto.Clone()
+					prep.SetBuyer(buyer)
+				}
+				if _, err := prep.Solve(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if sp, ok := prep.(solve.StatsProvider); ok {
+				stats = sp.SolveStats()
+			}
+		})
+		p := pr8Probe{
+			benchEntry: benchEntry{
+				Name:        name,
+				NsPerOp:     float64(r.NsPerOp()),
+				AllocsPerOp: r.AllocsPerOp(),
+				Workers:     workers,
+				Iterations:  r.N,
+			},
+			Loss:         loss,
+			M:            m,
+			Mode:         mode,
+			Stage3Solves: stats.Stage3Solves,
+			Stage3Sweeps: stats.Stage3Sweeps,
+			MemoHits:     stats.MemoHits,
+		}
+		rep.Benchmarks = append(rep.Benchmarks, p)
+		log.Printf("bench %-36s %14.0f ns/op  (%d iterations, %d stage-3 solves)",
+			name, p.NsPerOp, r.N, stats.Stage3Solves)
+		return p, nil
+	}
+
+	for _, m := range []int{100, 1000} {
+		g := core.PaperGame(m, stat.NewRand(seed))
+		for _, l := range losses {
+			fast := solve.General{LossFor: l.fn, PriceTol: 1e-4, Workers: workers}
+			proto, err := fast.Precompute(g)
+			if err != nil {
+				return fmt.Errorf("bench-pr8: %s m=%d: %w", l.name, m, err)
+			}
+			label := fmt.Sprintf("round_general_%s_m%d", l.name, m)
+			cold, err := record(label, l.name, "fast", m, proto, false)
+			if err != nil {
+				return err
+			}
+			warm, err := record(label+"_warm", l.name, "fast_warm", m, proto, true)
+			if err != nil {
+				return err
+			}
+			if l.name == "quadratic" {
+				pr4 := pr4GeneralM100NsPerOp
+				if m == 1000 {
+					pr4 = pr4GeneralM1000NsPerOp
+				}
+				rep.Speedups[fmt.Sprintf("round_general_m%d_vs_pr4", m)] = pr4 / cold.NsPerOp
+				rep.Speedups[fmt.Sprintf("round_general_m%d_warm_vs_pr4", m)] = pr4 / warm.NsPerOp
+			}
+			if m == 100 {
+				base := solve.General{LossFor: l.fn, PriceTol: 1e-4, Workers: workers, Baseline: true}
+				bproto, err := base.Precompute(g)
+				if err != nil {
+					return fmt.Errorf("bench-pr8: baseline %s m=%d: %w", l.name, m, err)
+				}
+				bl, err := record(label+"_baseline", l.name, "baseline", m, bproto, false)
+				if err != nil {
+					return err
+				}
+				rep.Speedups[fmt.Sprintf("round_general_%s_m%d_vs_baseline", l.name, m)] = bl.NsPerOp / cold.NsPerOp
+			}
+		}
+	}
+
+	path := filepath.Join(outDir, "BENCH_PR8.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	log.Printf("wrote %s (vs PR4: m=100 %.0fx, m=1000 %.0fx)",
+		path, rep.Speedups["round_general_m100_vs_pr4"], rep.Speedups["round_general_m1000_vs_pr4"])
+	return nil
+}

@@ -34,6 +34,10 @@
 // -bench-pr6 runs the durability probes and writes BENCH_PR6.json (trade
 // throughput and commit latency of snapshot-per-trade vs the write-ahead
 // log in sync, group-commit and async modes, at m ∈ {20, 100}).
+// -bench-pr8 runs the general-backend before/after probes and writes
+// BENCH_PR8.json (per-round latency of the optimized numerical cascade vs
+// its pre-optimization baseline, for the quadratic, alternative and cubic
+// losses at m ∈ {100, 1000}).
 // -solver re-renders the sensitivity sweeps (Figs. 4–8) under a different
 // equilibrium backend (analytic | meanfield | general); the default analytic
 // backend reproduces every CSV byte-for-byte.
@@ -72,6 +76,7 @@ func main() {
 		bench3  = flag.Bool("bench-pr3", false, "run valuation-kernel probes and write BENCH_PR3.json")
 		bench4  = flag.Bool("bench-pr4", false, "run solve-backend probes and write BENCH_PR4.json")
 		bench6  = flag.Bool("bench-pr6", false, "run durability-mode probes and write BENCH_PR6.json")
+		bench8  = flag.Bool("bench-pr8", false, "run general-backend before/after probes and write BENCH_PR8.json")
 		solver  = flag.String("solver", "", "equilibrium backend for the sensitivity sweeps: analytic | meanfield | general (empty = analytic)")
 	)
 	flag.Parse()
@@ -103,6 +108,11 @@ func main() {
 	}
 	if *bench6 {
 		if err := writeBenchPR6(*outDir, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *bench8 {
+		if err := writeBenchPR8(*outDir, *workers, *seed); err != nil {
 			log.Fatal(err)
 		}
 	}

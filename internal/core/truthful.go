@@ -94,6 +94,10 @@ func (g *Game) BestMisreport(i int, lo, hi float64) (*MisreportOutcome, error) {
 	if i < 0 || i >= g.M() {
 		return nil, fmt.Errorf("core: seller index %d out of range", i)
 	}
+	// negInf poisons invalid reports out of the bracket; Misreport errors
+	// here are parameterization limits, not cancellations, so a sentinel
+	// (unlike the general cascade's error propagation) is appropriate.
+	const negInf = -1e308
 	obj := func(f float64) float64 {
 		out, err := g.Misreport(i, f)
 		if err != nil {

@@ -148,6 +148,10 @@ type Transaction struct {
 	Weights []float64
 	// Solver names the equilibrium backend that produced Profile.
 	Solver string
+	// SolveEffort carries the numerical backend's per-stage effort counters
+	// when the solving Prepared exposes them (the general backend); nil for
+	// closed-form backends. Consumers surface it as observability series.
+	SolveEffort *core.GeneralStats
 	// Timings records per-phase durations.
 	Timings Timings
 }
@@ -461,6 +465,11 @@ func (m *Market) RunRoundBackend(ctx context.Context, buyer core.Buyer, builder 
 		Solver:  prep.Backend().Name(),
 	}
 	tx.Timings.Strategy = time.Since(t0)
+	if sp, ok := prep.(solve.StatsProvider); ok {
+		if st := sp.SolveStats(); st.Stage3Solves > 0 {
+			tx.SolveEffort = &st
+		}
+	}
 
 	// Data Transaction (Lines 8–14).
 	if err := ctx.Err(); err != nil {

@@ -25,6 +25,30 @@ import (
 // not retain or mutate strategies.
 type Payoff func(i int, x float64, strategies []float64) float64
 
+// SweepPayoff is the allocation-free per-player payoff contract for games
+// whose payoffs depend on the opponents only through cheap aggregates (e.g.
+// the Σωⱼτⱼ denominator of the Share allocation rule). The solver calls
+// Freeze once per frozen profile and then probes At(i, x) any number of
+// times against it — O(1) per probe instead of the O(players) slice copy a
+// Payoff oracle pays, which turns an O(m²) best-response sweep into O(m).
+//
+// Contract: after Freeze, At must be safe for concurrent calls (the Jacobi
+// fan-out probes players in parallel) and must depend only on the frozen
+// profile and its arguments, so results stay bit-identical for every worker
+// count. Update folds a single player's move into the frozen state for the
+// Gauss-Seidel schedule, whose profile advances player by player.
+type SweepPayoff interface {
+	// Freeze fixes the profile subsequent At calls deviate from. The slice
+	// must not be retained; copy whatever state the probes need.
+	Freeze(s []float64)
+	// At returns player i's payoff when she plays x against the frozen
+	// profile.
+	At(i int, x float64) float64
+	// Update re-freezes player i's strategy to x without an O(players)
+	// pass, keeping the frozen state in sync with a Gauss-Seidel sweep.
+	Update(i int, x float64)
+}
+
 // Game describes an m-player simultaneous game with interval strategy
 // spaces.
 type Game struct {
@@ -35,6 +59,12 @@ type Game struct {
 	Lo, Hi []float64
 	// Payoff is the common payoff oracle.
 	Payoff Payoff
+	// Sweeper optionally replaces Payoff on the solver's hot path with the
+	// allocation-free contract above. When both are set they must agree on
+	// every (i, x, profile) up to floating-point association; when only
+	// Sweeper is set, Payoff-based entry points (VerifyEquilibrium) still
+	// work — they route through the sweeper.
+	Sweeper SweepPayoff
 }
 
 // SweepMode selects the best-response schedule within one sweep.
@@ -80,6 +110,20 @@ type Options struct {
 	// depends only on the frozen previous profile and lands in its own
 	// slot, applied in index order.
 	Workers int
+	// NoAudit skips the final equilibrium audit (Result.Payoffs and
+	// Result.Residual stay zero), saving one full deviation sweep. Callers
+	// that only consume Result.Strategies — the general solver probes a
+	// Stage-3 equilibrium per golden-section price point and discards
+	// everything else — set it on their hot path.
+	NoAudit bool
+	// LocalRadius, when positive, first brackets each best response within
+	// ±LocalRadius of the player's current strategy (clipped to her
+	// interval) and falls back to the full interval when the local optimum
+	// presses against a clipped edge. Warm-started solves sit within a few
+	// tolerances of the answer, so the narrow bracket cuts most of each
+	// search; the fallback keeps exactness. Sweeper games only — the
+	// legacy Payoff path keeps its historical full-bracket trajectories.
+	LocalRadius float64
 }
 
 // Result reports the computed equilibrium.
@@ -146,7 +190,7 @@ func (g *Game) SolveCtx(ctx context.Context, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if g.Payoff == nil {
+	if g.Payoff == nil && g.Sweeper == nil {
 		return nil, errors.New("nash: nil payoff function")
 	}
 	if opt.MaxIter <= 0 {
@@ -183,6 +227,40 @@ func (g *Game) SolveCtx(ctx context.Context, opt Options) (*Result, error) {
 	return nil, ErrNotConverged
 }
 
+// sweepResponse computes player i's best response against the sweeper's
+// frozen profile. With a positive LocalRadius the search first brackets
+// within ±radius of the player's current strategy; an argmax pressing a
+// clipped (non-global) edge means the true optimum may lie outside the
+// window, so the full interval is re-searched. The fallback makes the
+// result a pure function of the frozen profile — identical to the
+// full-bracket answer whenever they would differ materially — so
+// bit-identity across worker counts is preserved.
+func sweepResponse(sw SweepPayoff, i int, cur, lo, hi float64, opt Options) float64 {
+	at := func(x float64) float64 { return sw.At(i, x) }
+	if r := opt.LocalRadius; r > 0 {
+		llo, lhi := cur-r, cur+r
+		clipLo, clipHi := false, false
+		if llo < lo {
+			llo = lo
+		} else {
+			clipLo = true
+		}
+		if lhi > hi {
+			lhi = hi
+		} else {
+			clipHi = true
+		}
+		if clipLo || clipHi {
+			b := numeric.BrentMax(at, llo, lhi, opt.InnerTol)
+			margin := 4*opt.InnerTol + 1e-12
+			if (!clipLo || b-llo > margin) && (!clipHi || lhi-b > margin) {
+				return b
+			}
+		}
+	}
+	return numeric.BrentMax(at, lo, hi, opt.InnerTol)
+}
+
 // solveOnce runs one damped best-response iteration to convergence or the
 // iteration budget. A non-nil error is always the context's.
 func (g *Game) solveOnce(ctx context.Context, opt Options, lo, hi []float64, damping float64) (*Result, bool, error) {
@@ -207,6 +285,12 @@ func (g *Game) solveOnce(ctx context.Context, opt Options, lo, hi []float64, dam
 	if opt.Sweep == Jacobi {
 		best = make([]float64, g.Players)
 	}
+	sw := g.Sweeper
+	if sw != nil && opt.Sweep == GaussSeidel {
+		// Gauss-Seidel advances the profile player by player; freeze once
+		// and fold each update in via the O(1) Update hook.
+		sw.Freeze(s)
+	}
 	for iter := 1; iter <= budget; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, false, fmt.Errorf("nash: solve canceled at sweep %d: %w", iter, err)
@@ -214,11 +298,21 @@ func (g *Game) solveOnce(ctx context.Context, opt Options, lo, hi []float64, dam
 		var maxDelta float64
 		switch opt.Sweep {
 		case Jacobi:
-			parallel.For(opt.Workers, g.Players, func(i int) {
-				best[i] = numeric.GoldenMax(func(x float64) float64 {
-					return g.Payoff(i, x, s)
-				}, lo[i], hi[i], opt.InnerTol)
-			})
+			if sw != nil {
+				sw.Freeze(s)
+				// Sweeper games take the superlinear Brent maximizer: the
+				// legacy Payoff path keeps plain golden section so its
+				// historical trajectories stay byte-identical.
+				parallel.For(opt.Workers, g.Players, func(i int) {
+					best[i] = sweepResponse(sw, i, s[i], lo[i], hi[i], opt)
+				})
+			} else {
+				parallel.For(opt.Workers, g.Players, func(i int) {
+					best[i] = numeric.GoldenMax(func(x float64) float64 {
+						return g.Payoff(i, x, s)
+					}, lo[i], hi[i], opt.InnerTol)
+				})
+			}
 			for i, b := range best {
 				next := (1-damping)*s[i] + damping*b
 				if d := math.Abs(next - s[i]); d > maxDelta {
@@ -228,19 +322,30 @@ func (g *Game) solveOnce(ctx context.Context, opt Options, lo, hi []float64, dam
 			}
 		default: // GaussSeidel
 			for i := 0; i < g.Players; i++ {
-				best := numeric.GoldenMax(func(x float64) float64 {
-					return g.Payoff(i, x, s)
-				}, lo[i], hi[i], opt.InnerTol)
+				var best float64
+				if sw != nil {
+					best = sweepResponse(sw, i, s[i], lo[i], hi[i], opt)
+				} else {
+					best = numeric.GoldenMax(func(x float64) float64 {
+						return g.Payoff(i, x, s)
+					}, lo[i], hi[i], opt.InnerTol)
+				}
 				next := (1-damping)*s[i] + damping*best
 				if d := math.Abs(next - s[i]); d > maxDelta {
 					maxDelta = d
 				}
 				s[i] = next
+				if sw != nil {
+					sw.Update(i, next)
+				}
 			}
 		}
 		res.Iterations = iter
 		if maxDelta < opt.Tol {
 			res.Strategies = s
+			if opt.NoAudit {
+				return res, true, nil
+			}
 			auditWorkers := 1
 			if opt.Sweep == Jacobi {
 				auditWorkers = opt.Workers
@@ -260,13 +365,18 @@ func (g *Game) solveOnce(ctx context.Context, opt Options, lo, hi []float64, dam
 func (g *Game) audit(s, lo, hi []float64, innerTol float64, workers int) (payoffs []float64, residual float64) {
 	payoffs = make([]float64, g.Players)
 	gains := make([]float64, g.Players)
+	eval := g.Payoff
+	if sw := g.Sweeper; sw != nil {
+		sw.Freeze(s)
+		eval = func(i int, x float64, _ []float64) float64 { return sw.At(i, x) }
+	}
 	parallel.For(workers, g.Players, func(i int) {
-		cur := g.Payoff(i, s[i], s)
+		cur := eval(i, s[i], s)
 		payoffs[i] = cur
 		best := numeric.GoldenMax(func(x float64) float64 {
-			return g.Payoff(i, x, s)
+			return eval(i, x, s)
 		}, lo[i], hi[i], innerTol)
-		gains[i] = g.Payoff(i, best, s) - cur
+		gains[i] = eval(i, best, s) - cur
 	})
 	for _, gain := range gains {
 		if gain > residual {

@@ -1,0 +1,169 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// A flat objective gives golden section no gradient to follow; the search
+// must still terminate and return a point inside the bracket.
+func TestGoldenMaxFlatObjective(t *testing.T) {
+	evals := 0
+	x := GoldenMax(func(float64) float64 { evals++; return 3.5 }, -2, 5, 1e-8)
+	if x < -2 || x > 5 {
+		t.Fatalf("flat objective argmax %g escaped [-2, 5]", x)
+	}
+	// ~ln(7/1e-8)/ln(φ) ≈ 42 shrink steps plus the two initial probes.
+	if evals > 60 {
+		t.Fatalf("flat objective took %d evaluations; want bounded by the bracket schedule", evals)
+	}
+}
+
+// Tolerances below the 1e-10 floor (including zero and negative) are clamped,
+// not honored: golden section cannot localize better than ~sqrt(eps).
+func TestGoldenMaxTolClamp(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 0.3) * (x - 0.3) }
+	ref := GoldenMax(f, 0, 1, 1e-10)
+	for _, tol := range []float64{0, -1, 1e-300, 1e-11} {
+		got := GoldenMax(f, 0, 1, tol)
+		if got != ref {
+			t.Fatalf("tol=%g: got %g, want the 1e-10-clamped trajectory's %g", tol, got, ref)
+		}
+	}
+}
+
+func TestGoldenMaxErrMatchesGoldenMax(t *testing.T) {
+	f := func(x float64) float64 { return math.Sin(x) - 0.1*x*x }
+	want := GoldenMax(f, -1, 3, 1e-9)
+	got, err := GoldenMaxErr(func(x float64) (float64, error) { return f(x), nil }, -1, 3, 1e-9)
+	if err != nil {
+		t.Fatalf("GoldenMaxErr: %v", err)
+	}
+	if got != want {
+		t.Fatalf("GoldenMaxErr = %g, GoldenMax = %g; identical trajectories must agree exactly", got, want)
+	}
+}
+
+// The first error aborts the search immediately — no further evaluations,
+// the error out verbatim.
+func TestGoldenMaxErrShortCircuits(t *testing.T) {
+	sentinel := errors.New("stage 3 exploded")
+	evals := 0
+	_, err := GoldenMaxErr(func(x float64) (float64, error) {
+		evals++
+		if evals == 3 {
+			return 0, sentinel
+		}
+		return -x * x, nil
+	}, 0, 1, 1e-9)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the sentinel", err)
+	}
+	if evals != 3 {
+		t.Fatalf("search continued after the error: %d evaluations", evals)
+	}
+}
+
+func TestGoldenMaxErrInvertedBounds(t *testing.T) {
+	got, err := GoldenMaxErr(func(x float64) (float64, error) {
+		return -(x - 2) * (x - 2), nil
+	}, 5, 0, 1e-9) // hi before lo
+	if err != nil {
+		t.Fatalf("GoldenMaxErr: %v", err)
+	}
+	if math.Abs(got-2) > 1e-6 {
+		t.Fatalf("argmax with inverted bounds = %g, want 2", got)
+	}
+}
+
+// GoldenMaxSpec promises the same abscissa trajectory as GoldenMaxErr: the
+// speculative pair evaluation changes who computes what when, never what the
+// bracket does.
+func TestGoldenMaxSpecMatchesGoldenMaxErr(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 0.7) * (x - 0.7) * (1 + 0.3*math.Cos(5*x)) }
+	want, err := GoldenMaxErr(func(x float64) (float64, error) { return f(x), nil }, 0, 2, 1e-8)
+	if err != nil {
+		t.Fatalf("GoldenMaxErr: %v", err)
+	}
+	got, err := GoldenMaxSpec(func(x1, x2, _ float64) (float64, float64, error) {
+		return f(x1), f(x2), nil
+	}, 0, 2, 1e-8)
+	if err != nil {
+		t.Fatalf("GoldenMaxSpec: %v", err)
+	}
+	if got != want {
+		t.Fatalf("GoldenMaxSpec = %g, GoldenMaxErr = %g; trajectories must be identical", got, want)
+	}
+}
+
+func TestGoldenMaxSpecPropagatesError(t *testing.T) {
+	sentinel := errors.New("probe failed")
+	pairs := 0
+	_, err := GoldenMaxSpec(func(x1, x2, _ float64) (float64, float64, error) {
+		pairs++
+		if pairs == 2 {
+			return 0, 0, sentinel
+		}
+		return -x1 * x1, -x2 * x2, nil
+	}, 0, 1, 1e-9)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the sentinel", err)
+	}
+	if pairs != 2 {
+		t.Fatalf("search continued after the error: %d pairs", pairs)
+	}
+}
+
+// BrentMax must land on the same optimum as golden section, in fewer
+// evaluations on smooth objectives.
+func TestBrentMaxAgreesWithGoldenMax(t *testing.T) {
+	cases := []struct {
+		name   string
+		f      func(float64) float64
+		lo, hi float64
+		want   float64
+	}{
+		{"parabola", func(x float64) float64 { return -(x - 0.42) * (x - 0.42) }, 0, 1, 0.42},
+		{"sin", math.Sin, 0, 3, math.Pi / 2},
+		{"boundary-left", func(x float64) float64 { return -x }, 0, 1, 0},
+		{"boundary-right", func(x float64) float64 { return x }, 0, 1, 1},
+		{"sharp", func(x float64) float64 { return -math.Abs(x - 0.25) }, 0, 1, 0.25},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got := BrentMax(c.f, c.lo, c.hi, 1e-9)
+			if math.Abs(got-c.want) > 1e-6 {
+				t.Fatalf("BrentMax = %g, want %g", got, c.want)
+			}
+		})
+	}
+}
+
+func TestBrentMaxInvertedBoundsAndFlat(t *testing.T) {
+	got := BrentMax(func(x float64) float64 { return -(x - 1) * (x - 1) }, 3, -1, 1e-9)
+	if math.Abs(got-1) > 1e-6 {
+		t.Fatalf("inverted bounds: BrentMax = %g, want 1", got)
+	}
+	evals := 0
+	flat := BrentMax(func(float64) float64 { evals++; return 7 }, 0, 1, 1e-8)
+	if flat < 0 || flat > 1 {
+		t.Fatalf("flat objective argmax %g escaped [0, 1]", flat)
+	}
+	if evals > 100 {
+		t.Fatalf("flat objective took %d evaluations", evals)
+	}
+}
+
+// Brent's parabolic steps are the whole point: on a smooth objective it must
+// beat golden section's ~ln(width/tol)/0.48 evaluation count.
+func TestBrentMaxFewerEvalsThanGolden(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 0.37) * (x - 0.37) * (1 + 0.1*x) }
+	brent, golden := 0, 0
+	BrentMax(func(x float64) float64 { brent++; return f(x) }, 0, 1, 1e-9)
+	GoldenMax(func(x float64) float64 { golden++; return f(x) }, 0, 1, 1e-9)
+	if brent >= golden {
+		t.Fatalf("BrentMax took %d evaluations vs golden's %d; want fewer", brent, golden)
+	}
+}

@@ -322,6 +322,9 @@ func (m *Market) Quote(ctx context.Context, b core.Buyer, solverName string) (*c
 	if ep := m.p.solveObs[name]; ep != nil {
 		ep.Observe(d)
 	}
+	if sp, ok := prep.(solve.StatsProvider); ok {
+		m.p.observeStage3(sp.SolveStats())
+	}
 	m.quoteObs.Observe(d)
 	return prof, name, nil
 }
@@ -352,6 +355,9 @@ func (m *Market) QuoteBatch(ctx context.Context, demands []BatchDemand) ([]*core
 		}
 		if ep := m.p.solveObs[name]; ep != nil {
 			ep.Observe(time.Since(s0))
+		}
+		if sp, ok := prep.(solve.StatsProvider); ok {
+			m.p.observeStage3(sp.SolveStats())
 		}
 		return prof, nil
 	})
@@ -430,6 +436,9 @@ func (m *Market) tradeLocked(ctx context.Context, b core.Buyer, builder product.
 	}
 	if ep := m.p.solveObs[tx.Solver]; ep != nil {
 		ep.Observe(tx.Timings.Strategy)
+	}
+	if tx.SolveEffort != nil {
+		m.p.observeStage3(*tx.SolveEffort)
 	}
 	m.tradeObs.Observe(time.Since(start))
 	l, seq := m.persistTradeLocked(tx, translog.Observation{N: b.N, V: b.V, Cost: tx.ManufacturingCost})

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"share/internal/core"
 	"share/internal/market"
 	"share/internal/obs"
 	"share/internal/solve"
@@ -117,6 +118,14 @@ type Pool struct {
 	valuation *obs.Endpoint            // Shapley weight-update latency, all markets
 	solveObs  map[string]*obs.Endpoint // per-backend equilibrium-solve latency
 	walMet    wal.Metrics              // shared WAL series, all markets
+
+	// Per-stage effort series of the general backend's numerical cascade,
+	// fed from solve.StatsProvider after each general solve: time spent in
+	// Stage-3 inner Nash solves, and cumulative solve/sweep/memo counters.
+	stage3Obs    *obs.Endpoint
+	stage3Solves *obs.Counter
+	stage3Sweeps *obs.Counter
+	stage3Memo   *obs.Counter
 
 	mu       sync.RWMutex
 	markets  map[string]*Market
@@ -240,6 +249,10 @@ func New(opts Options) *Pool {
 		metrics:        metrics,
 		valuation:      metrics.Endpoint("trade/valuation"),
 		solveObs:       make(map[string]*obs.Endpoint, len(solve.Names())),
+		stage3Obs:      metrics.Endpoint("solve/general/stage3"),
+		stage3Solves:   metrics.Counter("solve/general/stage3_solves"),
+		stage3Sweeps:   metrics.Counter("solve/general/stage3_sweeps"),
+		stage3Memo:     metrics.Counter("solve/general/memo_hits"),
 		walMet: wal.Metrics{
 			Fsync:    metrics.Endpoint("wal/fsync"),
 			Fsyncs:   metrics.Counter("wal/fsyncs"),
@@ -257,6 +270,19 @@ func New(opts Options) *Pool {
 
 // Metrics exposes the registry the pool's markets report into.
 func (p *Pool) Metrics() *obs.Registry { return p.metrics }
+
+// observeStage3 folds one general solve's per-stage effort counters into
+// the pool's solve/general/* series. Closed-form backends report nothing
+// (Stage3Solves == 0) and are skipped.
+func (p *Pool) observeStage3(st core.GeneralStats) {
+	if st.Stage3Solves <= 0 {
+		return
+	}
+	p.stage3Obs.Observe(st.Stage3Time)
+	p.stage3Solves.Add(uint64(st.Stage3Solves))
+	p.stage3Sweeps.Add(uint64(st.Stage3Sweeps))
+	p.stage3Memo.Add(uint64(st.MemoHits))
+}
 
 // Workers reports the pool's shared worker budget (0 = GOMAXPROCS for
 // batch fan-out).

@@ -1,0 +1,52 @@
+package pool
+
+import (
+	"context"
+	"testing"
+)
+
+// A quote through the general backend must feed the solve/general/* effort
+// series; the closed-form default must leave them untouched.
+func TestGeneralQuoteFeedsStage3Series(t *testing.T) {
+	p := New(quietOptions())
+	m, err := p.Create(Spec{ID: "general", Solver: "general"})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	register(t, m, 3)
+
+	snap := p.Metrics().Snapshot()
+	if got := snap.Counters["solve/general/stage3_solves"]; got != 0 {
+		t.Fatalf("stage3_solves = %d before any general solve", got)
+	}
+
+	if _, _, err := m.Quote(context.Background(), demoBuyer(120, 0.8), ""); err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	snap = p.Metrics().Snapshot()
+	if got := snap.Counters["solve/general/stage3_solves"]; got == 0 {
+		t.Error("stage3_solves stayed zero after a general quote")
+	}
+	if got := snap.Counters["solve/general/stage3_sweeps"]; got == 0 {
+		t.Error("stage3_sweeps stayed zero after a general quote")
+	}
+	ep, ok := snap.Endpoints["solve/general/stage3"]
+	if !ok || ep.Latency.MaxSeconds <= 0 {
+		t.Errorf("solve/general/stage3 latency series empty after a general quote: %+v", ep)
+	}
+
+	// An analytic quote against the same pool must not move the counters.
+	a, err := p.Create(Spec{ID: "closed-form"})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	register(t, a, 3)
+	before := p.Metrics().Snapshot().Counters["solve/general/stage3_solves"]
+	if _, _, err := a.Quote(context.Background(), demoBuyer(120, 0.8), ""); err != nil {
+		t.Fatalf("analytic Quote: %v", err)
+	}
+	after := p.Metrics().Snapshot().Counters["solve/general/stage3_solves"]
+	if after != before {
+		t.Errorf("analytic quote moved stage3_solves from %d to %d", before, after)
+	}
+}

@@ -19,17 +19,31 @@ import (
 // quadratic loss, making it a numerical cross-check of the analytic path
 // (they agree to well under 1e-6, which the test suite enforces). Custom
 // losses plug in through LossFor.
+//
+// Successive Solve calls on one Prepared chain warm starts: the equilibrium
+// τ-profile of round k seeds round k+1's first Stage-3 solve (prices drift
+// little between rounds, so the carried profile converges in a sweep or
+// two). Clone copies the carried profile, so a cloned Prepared solves
+// identically whether its ancestor had warmed up or not is NOT guaranteed —
+// what is guaranteed, and tested, is that the warm-started answer matches
+// the cold one to the solver tolerances and that any fixed call sequence is
+// bit-identical across worker counts.
 type General struct {
 	// LossFor builds the seller loss for a prepared game; nil selects the
 	// quadratic loss (Eq. 11). It is called against the Prepared's owned
 	// clone at each Solve, so the closure sees current λ/ω values.
 	LossFor func(g *core.Game) core.LossFunc
-	// Workers bounds the Jacobi fan-out of the inner Stage-3 solves; ≤ 0
-	// means GOMAXPROCS (the internal/parallel convention).
+	// Workers bounds the Jacobi fan-out of the inner Stage-3 solves and the
+	// speculative Stage-2 probe pairs; ≤ 0 means GOMAXPROCS (the
+	// internal/parallel convention).
 	Workers int
 	// PriceTol is the golden-section tolerance of the nested price
 	// searches; 0 selects the core default (1e-6).
 	PriceTol float64
+	// Baseline disables the PR 8 fast paths (incremental payoffs,
+	// warm-start chaining, tolerance scheduling, memoization, speculative
+	// search) — the before/after reference for bench probes.
+	Baseline bool
 }
 
 // Name implements Backend.
@@ -48,12 +62,32 @@ func (b General) Precompute(g *core.Game) (Prepared, error) {
 type generalPrepared struct {
 	b General
 	g *core.Game
+
+	// Warm-start chain: the previous Solve's equilibrium profile and the
+	// data price it was solved at, carried into the next Solve's Stage-3
+	// seeding. Nil until the first Solve.
+	warmPD  float64
+	warmTau []float64
+
+	// stats of the most recent Solve (fast path only).
+	stats core.GeneralStats
 }
 
 func (p *generalPrepared) Backend() Backend      { return p.b }
 func (p *generalPrepared) Game() *core.Game      { return p.g }
 func (p *generalPrepared) SetBuyer(b core.Buyer) { p.g.Buyer = b }
-func (p *generalPrepared) Clone() Prepared       { return &generalPrepared{b: p.b, g: p.g.Clone()} }
+
+// Clone carries the warm-start chain: clones solve from wherever their
+// ancestor's chain had converged to. Batch consumers clone each request from
+// the same prototype, so every batch item still sees identical state.
+func (p *generalPrepared) Clone() Prepared {
+	return &generalPrepared{
+		b:       p.b,
+		g:       p.g.Clone(),
+		warmPD:  p.warmPD,
+		warmTau: p.warmTau, // read-only by contract; never mutated in place
+	}
+}
 
 // Solve runs the numerical backward induction under the backend's loss.
 func (p *generalPrepared) Solve(ctx context.Context) (*core.Profile, error) {
@@ -64,12 +98,32 @@ func (p *generalPrepared) Solve(ctx context.Context) (*core.Profile, error) {
 	if p.b.LossFor != nil {
 		loss = p.b.LossFor(p.g)
 	}
-	return p.g.SolveGeneralCtx(ctx, core.GeneralOptions{
+	warmTau := p.warmTau
+	if warmTau != nil && len(warmTau) != p.g.M() {
+		warmTau = nil // population changed since the last round; cold start
+	}
+	prof, err := p.g.SolveGeneralCtx(ctx, core.GeneralOptions{
 		Loss:     loss,
 		PriceTol: p.b.PriceTol,
 		Nash: nash.Options{
 			Sweep:   nash.Jacobi,
 			Workers: p.b.Workers,
 		},
+		WarmPD:   p.warmPD,
+		WarmTau:  warmTau,
+		Stats:    &p.stats,
+		Baseline: p.b.Baseline,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if !p.b.Baseline {
+		p.warmPD = prof.PD
+		p.warmTau = append([]float64(nil), prof.Tau...)
+	}
+	return prof, nil
 }
+
+// SolveStats implements StatsProvider with the effort counters of the most
+// recent Solve.
+func (p *generalPrepared) SolveStats() core.GeneralStats { return p.stats }

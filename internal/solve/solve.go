@@ -70,6 +70,14 @@ type Prepared interface {
 	Clone() Prepared
 }
 
+// StatsProvider is implemented by Prepared instances that track per-solve
+// effort counters (currently the general backend). Consumers type-assert
+// after a Solve to surface the numbers as observability series; the stats
+// describe the most recent Solve on that Prepared.
+type StatsProvider interface {
+	SolveStats() core.GeneralStats
+}
+
 // DefaultName is the backend consumers fall back to when none is named —
 // the analytic closed-form path, exact and the fastest by orders of
 // magnitude for the paper's quadratic loss.

@@ -1,0 +1,50 @@
+#!/bin/sh
+# make bench-compare: re-run the general-backend probes (-bench-pr8) and
+# diff them against the committed bench_out/BENCH_PR8.json trajectory.
+# Exits non-zero when any fast-path probe (mode "fast" or "fast_warm")
+# regresses by more than 25% — the guard that keeps the interactive-range
+# cascade interactive. Baseline probes are informational (they measure the
+# deliberately unoptimized reference) and are not gated.
+set -eu
+
+REPO_DIR=$(cd "$(dirname "$0")/.." && pwd)
+cd "$REPO_DIR"
+
+COMMITTED=bench_out/BENCH_PR8.json
+THRESHOLD=1.25
+
+if [ ! -s "$COMMITTED" ]; then
+    echo "bench_compare: missing $COMMITTED — run 'make bench' and commit it first" >&2
+    exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench_compare: running fresh -bench-pr8 probes into $tmp"
+go run ./cmd/share-bench -fig none -out "$tmp" -bench-pr8
+
+FRESH="$tmp/BENCH_PR8.json"
+[ -s "$FRESH" ] || { echo "bench_compare: fresh run wrote no report" >&2; exit 1; }
+
+status=0
+for name in $(jq -r '.benchmarks[] | select(.mode == "fast" or .mode == "fast_warm") | .name' "$FRESH"); do
+    fresh_ns=$(jq -r --arg n "$name" '[.benchmarks[] | select(.name == $n)][0].ns_per_op' "$FRESH")
+    committed_ns=$(jq -r --arg n "$name" '[.benchmarks[] | select(.name == $n)][0].ns_per_op // empty' "$COMMITTED")
+    if [ -z "$committed_ns" ]; then
+        echo "bench_compare: $name has no committed reference — skipping"
+        continue
+    fi
+    verdict=$(awk -v f="$fresh_ns" -v c="$committed_ns" -v t="$THRESHOLD" \
+        'BEGIN { r = f / c; printf "%.2f", r; exit (r > t) ? 1 : 0 }') || {
+        echo "bench_compare: REGRESSION $name: ${fresh_ns} ns/op vs committed ${committed_ns} ns/op (${verdict}x > ${THRESHOLD}x)" >&2
+        status=1
+        continue
+    }
+    echo "bench_compare: $name ok (${verdict}x of committed)"
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "bench_compare: general-backend probes regressed beyond ${THRESHOLD}x" >&2
+fi
+exit "$status"

@@ -2,7 +2,9 @@
 # make cover: per-package statement coverage for the whole module, with hard
 # floors on internal/solve — the solver-backend seam every consumer routes
 # through — internal/pool — the multi-market engine behind the /v2 API —
-# and internal/wal — the write-ahead log every committed trade rides on.
+# internal/wal — the write-ahead log every committed trade rides on — and
+# internal/numeric — the optimizer toolbox under every price search and
+# best response of the general cascade.
 set -eu
 
 FLOOR=80.0
@@ -29,3 +31,4 @@ check_floor() {
 check_floor 'share/internal/solve'
 check_floor 'share/internal/pool'
 check_floor 'share/internal/wal'
+check_floor 'share/internal/numeric'
