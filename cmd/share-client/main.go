@@ -13,7 +13,10 @@
 //	create-market -id ID [...]      create a market
 //	delete-market -id ID            drain and delete a market
 //	register -id ID -lambda λ [-rows N]   register a synthetic-data seller
+//	add-seller                      alias for register (roster-churn phrasing)
+//	remove-seller -id ID            release a seller from the roster
 //	sellers  [-limit N] [-offset N] list sellers with weights
+//	watch                           follow the market's live event stream (SSE)
 //	quote  [-n N] [-v V] [...]      solve the game without trading
 //	quotes -demands JSON            solve a batch of demands concurrently
 //	trade  [-n N] [-v V] [...]      execute one trading round
@@ -40,6 +43,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -79,7 +83,10 @@ commands:
   create-market  create a market: -id ID [-solver NAME] [-seed N] [-durability MODE]
   delete-market  drain and delete a market: -id ID
   register       register a seller: -id ID -lambda λ [-rows N]
+  add-seller     alias for register
+  remove-seller  release a seller from the roster: -id ID
   sellers        list registered sellers: [-limit N] [-offset N]
+  watch          follow the market's live event stream until interrupted
   quote          equilibrium quote: [-n N] [-v V] [-theta1 θ] [-rho1 ρ] [-rho2 ρ] [-solver NAME]
   quotes         batch quotes: -demands '[{"n":...,"v":...},...]' (or "-" for stdin)
   trade          execute one round (same flags as quote, plus -product)
@@ -140,8 +147,8 @@ func dispatch(ctx context.Context, c *httpapi.Client, marketID, cmd string, args
 		}
 		fmt.Printf("market %q deleted\n", *id)
 		return nil
-	case "register":
-		fs := flag.NewFlagSet("register", flag.ExitOnError)
+	case "register", "add-seller":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		id := fs.String("id", "", "seller id (required)")
 		lambda := fs.Float64("lambda", 0.5, "privacy sensitivity λ")
 		rows := fs.Int("rows", 200, "synthetic rows to mint")
@@ -165,6 +172,32 @@ func dispatch(ctx context.Context, c *httpapi.Client, marketID, cmd string, args
 			return err
 		}
 		return printJSON(info)
+	case "remove-seller":
+		fs := flag.NewFlagSet("remove-seller", flag.ExitOnError)
+		id := fs.String("id", "", "seller id (required)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if *id == "" {
+			return fmt.Errorf("remove-seller: -id is required")
+		}
+		if err := c.RemoveSellerIn(ctx, orDefault(marketID), *id); err != nil {
+			return err
+		}
+		fmt.Printf("seller %q released\n", *id)
+		return nil
+	case "watch":
+		// The stream is open-ended: bypass the dispatch deadline and run
+		// until the user interrupts (^C) or the server closes the stream.
+		wctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		err := c.Watch(wctx, orDefault(marketID), func(ev httpapi.StreamEvent) error {
+			return printJSON(ev)
+		})
+		if err == context.Canceled || wctx.Err() != nil {
+			return nil
+		}
+		return err
 	case "sellers":
 		page, err := parsePage(cmd, args)
 		if err != nil {

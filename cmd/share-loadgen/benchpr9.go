@@ -1,0 +1,196 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"share/internal/core"
+	"share/internal/solve"
+	"share/internal/stat"
+)
+
+// The PR 9 acceptance benchmark: how much cheaper is one incremental
+// roster re-preparation (Prepared.Reprepare — the rank-1 aggregate
+// adjustment in core) than re-running the full Precompute over the
+// post-churn roster? Measured on the analytic backend at the paper's
+// m = 100 and at m = 1000, with a correctness cross-check: after the whole
+// churn script the incrementally maintained Prepared must price within
+// 1e-9 (relative) of a from-scratch Precompute.
+
+// benchPR9SpeedupFloor is the acceptance gate at m = 1000: incremental
+// re-preparation must beat full Precompute by at least this factor.
+const benchPR9SpeedupFloor = 10.0
+
+// churnProbe is one roster size's measurement.
+type churnProbe struct {
+	M               int     `json:"m"`
+	Iterations      int     `json:"iterations"`
+	IncrementalNsOp float64 `json:"incremental_ns_per_op"`
+	FreshNsOp       float64 `json:"fresh_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	MaxRelPriceErr  float64 `json:"max_rel_price_err"`
+}
+
+// benchPR9Report is the BENCH_PR9.json document.
+type benchPR9Report struct {
+	GoMaxProcs   int          `json:"gomaxprocs"`
+	Solver       string       `json:"solver"`
+	Probes       []churnProbe `json:"probes"`
+	SpeedupM1000 float64      `json:"speedup_m1000"`
+	SpeedupFloor float64      `json:"speedup_floor"`
+	Pass         bool         `json:"pass"`
+}
+
+func runBenchPR9(outDir string) error {
+	backend, err := solve.Lookup("analytic")
+	if err != nil {
+		return err
+	}
+	rep := benchPR9Report{
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Solver:       backend.Name(),
+		SpeedupFloor: benchPR9SpeedupFloor,
+	}
+	for _, m := range []int{100, 1000} {
+		iters := 200
+		if m >= 1000 {
+			iters = 100
+		}
+		probe, err := probeChurn(backend, m, iters)
+		if err != nil {
+			return fmt.Errorf("probe m=%d: %w", m, err)
+		}
+		log.Printf("m=%-5d incremental %8.0f ns/op, fresh %10.0f ns/op, speedup %6.1fx, max price err %.2e",
+			probe.M, probe.IncrementalNsOp, probe.FreshNsOp, probe.Speedup, probe.MaxRelPriceErr)
+		rep.Probes = append(rep.Probes, probe)
+		if m == 1000 {
+			rep.SpeedupM1000 = probe.Speedup
+		}
+	}
+	rep.Pass = rep.SpeedupM1000 >= benchPR9SpeedupFloor
+	for _, p := range rep.Probes {
+		if p.MaxRelPriceErr > 1e-9 {
+			rep.Pass = false
+		}
+	}
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", outDir, err)
+	}
+	path := filepath.Join(outDir, "BENCH_PR9.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", path)
+	if !rep.Pass {
+		return fmt.Errorf("acceptance gate failed: speedup at m=1000 is %.1fx, want >= %.0fx (and prices within 1e-9)",
+			rep.SpeedupM1000, benchPR9SpeedupFloor)
+	}
+	return nil
+}
+
+// probeChurn runs an alternating join/leave script of iters steps over an
+// m-seller prepared game, timing the incremental Reprepare applied to the
+// live Prepared, then times the cost it displaces — a full from-scratch
+// Precompute over the post-churn roster — in a separate loop. The loops are
+// kept apart deliberately: cloning the game mid-script (as an interleaved
+// measurement would) marks the cached per-seller vector shared and pushes
+// every subsequent step onto the copy-on-write path, which is the clone
+// price, not the steady-state incremental price. Joins and leaves
+// alternate, so the roster stays within one seller of m throughout.
+func probeChurn(backend solve.Backend, m, iters int) (churnProbe, error) {
+	probe := churnProbe{M: m, Iterations: iters}
+	rng := stat.NewRand(int64(7 + m))
+	g := core.PaperGame(m, rng)
+	p, err := backend.Precompute(g)
+	if err != nil {
+		return probe, err
+	}
+
+	var incTotal time.Duration
+	epoch := p.Epoch()
+	for k := 0; k < iters; k++ {
+		epoch++
+		var d solve.RosterDelta
+		if k%2 == 0 {
+			d = solve.RosterDelta{
+				Epoch:  epoch,
+				Join:   true,
+				Index:  p.Game().M(),
+				Lambda: 0.2 + 0.6*float64(k%7)/7,
+				Weight: 1 / float64(m),
+			}
+		} else {
+			d = solve.RosterDelta{Epoch: epoch, Index: (k * 13) % p.Game().M()}
+		}
+		t0 := time.Now()
+		if err := p.Reprepare(d); err != nil {
+			return probe, fmt.Errorf("reprepare step %d: %w", k, err)
+		}
+		incTotal += time.Since(t0)
+	}
+
+	// The displaced cost: from-scratch Precomputes over the final roster.
+	// The snapshot clone stays outside the timer; the backend's own deep
+	// clone inside Precompute is part of the real fresh-path cost and stays
+	// in.
+	snap := p.Game().Clone()
+	var freshTotal time.Duration
+	for k := 0; k < iters; k++ {
+		t0 := time.Now()
+		if _, err := backend.Precompute(snap); err != nil {
+			return probe, fmt.Errorf("fresh precompute step %d: %w", k, err)
+		}
+		freshTotal += time.Since(t0)
+	}
+
+	probe.IncrementalNsOp = float64(incTotal.Nanoseconds()) / float64(iters)
+	probe.FreshNsOp = float64(freshTotal.Nanoseconds()) / float64(iters)
+	if probe.IncrementalNsOp > 0 {
+		probe.Speedup = round2(probe.FreshNsOp / probe.IncrementalNsOp)
+	}
+
+	// Correctness: after the whole script, the incrementally maintained
+	// Prepared must agree with a fresh Precompute over its final roster.
+	fresh, err := backend.Precompute(p.Game().Clone())
+	if err != nil {
+		return probe, err
+	}
+	buyer := core.PaperBuyer()
+	p.SetBuyer(buyer)
+	fresh.SetBuyer(buyer)
+	got, err := p.Solve(context.Background())
+	if err != nil {
+		return probe, err
+	}
+	want, err := fresh.Solve(context.Background())
+	if err != nil {
+		return probe, err
+	}
+	probe.MaxRelPriceErr = math.Max(relErr(got.PM, want.PM), relErr(got.PD, want.PD))
+	return probe, nil
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

@@ -17,18 +17,27 @@
 // Usage:
 //
 //	share-loadgen [-addr URL] [-out DIR] [-markets N] [-sellers N]
-//	              [-quote-workers N] [-trade-workers N] [-duration D]
-//	              [-quote-rate R] [-batch N] [-trade-queue N]
-//	              [-trade-concurrency N] [-seed N]
+//	              [-quote-workers N] [-trade-workers N] [-churn N]
+//	              [-duration D] [-quote-rate R] [-batch N] [-trade-queue N]
+//	              [-trade-concurrency N] [-seed N] [-bench-pr9]
 //
 // With no -addr the tool self-hosts an in-process server on a loopback
 // listener (with a cheap weight update so trades are fast); point -addr at
 // a running share-server to load a real deployment. Quote workers are
 // closed-loop by default; -quote-rate R > 0 switches them to open-loop at R
 // requests/second each, exposing queueing delay instead of hiding it.
-// Results — per-phase latency percentiles, throughput, trade rejection
-// rates, the quote-p99 degradation ratio and the server's own admission
-// counters — are written to DIR/BENCH_PR7.json.
+// During the loaded phase, churn workers join and release sellers in a
+// tight loop, so the quote percentiles are measured against a roster that
+// never stops moving. Results — per-phase latency percentiles, throughput,
+// trade rejection rates, churn counts, the quote-p99 degradation ratio and
+// the server's own admission counters — are written to DIR/BENCH_PR7.json.
+//
+// -bench-pr9 runs a different experiment entirely: in-process probes of the
+// incremental roster re-preparation (Prepared.Reprepare) against a fresh
+// from-scratch Precompute at m = 100 and m = 1000, written to
+// DIR/BENCH_PR9.json. The run exits non-zero unless the incremental path is
+// at least 10x faster at m = 1000 and the post-churn prices agree with the
+// fresh solve to 1e-9.
 package main
 
 import (
@@ -71,9 +80,17 @@ func main() {
 		batchN    = flag.Int("batch", 4, "batch-quote size (every 5th quote issues a batch; 0 disables)")
 		queue     = flag.Int("trade-queue", 0, "per-market trade waiting room (spec override)")
 		conc      = flag.Int("trade-concurrency", 1, "per-market in-flight trade cap (spec override)")
+		churnW    = flag.Int("churn", 1, "roster-churn workers per market (loaded phase; 0 disables)")
 		seed      = flag.Int64("seed", 1, "server seed (self-hosted only)")
+		benchPR9  = flag.Bool("bench-pr9", false, "run the incremental-vs-fresh re-precompute probes and write BENCH_PR9.json instead of the load phases")
 	)
 	flag.Parse()
+	if *benchPR9 {
+		if err := runBenchPR9(*outDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *markets < 1 || *sellers < 1 || *quoteW < 1 || *tradeW < 1 || *burst < 1 {
 		log.Fatal("-markets, -sellers, -quote-workers, -trade-workers and -trade-burst must all be at least 1")
 	}
@@ -100,6 +117,7 @@ func main() {
 		TradePause:       *pause,
 		QuoteWorkers:     *quoteW,
 		TradeWorkers:     *tradeW,
+		ChurnWorkers:     *churnW,
 		DurationSeconds:  duration.Seconds(),
 		QuoteRate:        *quoteRate,
 		Batch:            *batchN,
@@ -169,6 +187,7 @@ type config struct {
 	TradePause       time.Duration `json:"trade_pause_ns"`
 	QuoteWorkers     int           `json:"quote_workers_per_market"`
 	TradeWorkers     int           `json:"trade_workers_per_market"`
+	ChurnWorkers     int           `json:"churn_workers_per_market"`
 	DurationSeconds  float64       `json:"phase_duration_seconds"`
 	QuoteRate        float64       `json:"quote_rate_per_worker"`
 	Batch            int           `json:"batch_quote_size"`
@@ -199,11 +218,21 @@ type tradeStats struct {
 	RejectionRate float64 `json:"rejection_rate"`
 }
 
+// churnStats counts one phase's roster churn: completed join/leave pairs
+// against live markets while the quote and trade workload runs.
+type churnStats struct {
+	Joins      int    `json:"joins"`
+	Leaves     int    `json:"leaves"`
+	Errors     int    `json:"errors,omitempty"`
+	LastErrMsg string `json:"last_error,omitempty"`
+}
+
 // phaseStats is one timed phase's client-side view.
 type phaseStats struct {
 	Quotes      latStats    `json:"quotes"`
 	BatchQuotes *latStats   `json:"batch_quotes,omitempty"`
 	Trades      *tradeStats `json:"trades,omitempty"`
+	Churn       *churnStats `json:"churn,omitempty"`
 }
 
 // sloStats is the headline acceptance number: quote p99 under saturating
@@ -351,34 +380,43 @@ func run(base string, cfg config, phaseLen time.Duration) (*report, error) {
 		log.Printf("trades: %d committed, %d rejected 429 (rate %.2f), %.1f/s",
 			tr.Count, tr.Rejected, tr.RejectionRate, tr.PerSec)
 	}
+	if ch := rep.Loaded.Churn; ch != nil {
+		log.Printf("churn: %d joins, %d leaves, %d errors", ch.Joins, ch.Leaves, ch.Errors)
+	}
 	return rep, nil
 }
 
 // runPhase runs one timed window: quote workers across every market, plus
-// (when loaded) closed-loop trade flooders. Every worker owns its sampler
-// by index — parallel.ForWorker gives each exactly one — so the hot loops
-// share nothing.
+// (when loaded) closed-loop trade flooders and roster-churn workers. Every
+// worker owns its sampler by index — parallel.ForWorker gives each exactly
+// one — so the hot loops share nothing.
 func runPhase(c *httpapi.Client, cfg config, phaseLen time.Duration, loaded bool) phaseStats {
 	nQuote := cfg.Markets * cfg.QuoteWorkers
-	nTrade := 0
+	nTrade, nChurn := 0, 0
 	if loaded {
 		nTrade = cfg.Markets * cfg.TradeWorkers
+		nChurn = cfg.Markets * cfg.ChurnWorkers
 	}
 	quoteS := make([]sampler, nQuote)
 	batchS := make([]sampler, nQuote)
 	tradeS := make([]sampler, nTrade)
 	rejected := make([]int, nTrade)
 	drained := make([]int, nTrade)
+	churnS := make([]churnStats, nChurn)
 
 	deadline := time.Now().Add(phaseLen)
-	total := nQuote + nTrade
+	total := nQuote + nTrade + nChurn
 	parallel.ForWorker(total, total, func(_, i int) {
-		if i < nQuote {
+		switch {
+		case i < nQuote:
 			quoteWorker(c, marketID(i%cfg.Markets), cfg, deadline, &quoteS[i], &batchS[i])
-			return
+		case i < nQuote+nTrade:
+			j := i - nQuote
+			tradeWorker(c, marketID(j%cfg.Markets), cfg, deadline, &tradeS[j], &rejected[j], &drained[j])
+		default:
+			j := i - nQuote - nTrade
+			churnWorker(c, marketID(j%cfg.Markets), j, cfg, deadline, &churnS[j])
 		}
-		j := i - nQuote
-		tradeWorker(c, marketID(j%cfg.Markets), cfg, deadline, &tradeS[j], &rejected[j], &drained[j])
 	})
 
 	var quotes, batches sampler
@@ -405,7 +443,51 @@ func runPhase(c *httpapi.Client, cfg config, phaseLen time.Duration, loaded bool
 		}
 		ps.Trades = ts
 	}
+	if nChurn > 0 {
+		total := churnStats{}
+		for i := range churnS {
+			total.Joins += churnS[i].Joins
+			total.Leaves += churnS[i].Leaves
+			total.Errors += churnS[i].Errors
+			if churnS[i].LastErrMsg != "" {
+				total.LastErrMsg = churnS[i].LastErrMsg
+			}
+		}
+		ps.Churn = &total
+	}
 	return ps
+}
+
+// churnWorker cycles one transient seller through its market until the
+// deadline: join, breathe, leave, breathe. Against a trading market each
+// cycle drives the incremental Reprepare path twice while quote workers
+// read the copy-on-write views — the churn-vs-quote isolation story under
+// real HTTP load. Seller IDs carry the global worker index, so concurrent
+// churners in one market never collide.
+func churnWorker(c *httpapi.Client, id string, worker int, cfg config, deadline time.Time, s *churnStats) {
+	const pause = 50 * time.Millisecond
+	for n := 0; time.Now().Before(deadline); n++ {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(10*time.Second))
+		sid := fmt.Sprintf("churn-%02d-%d", worker, n)
+		reg := httpapi.SellerRegistration{ID: sid, Lambda: 0.3 + 0.05*float64(n%8), SyntheticRows: 60}
+		if _, err := c.RegisterSellerIn(ctx, id, reg); err != nil {
+			s.Errors++
+			s.LastErrMsg = err.Error()
+			cancel()
+			time.Sleep(pause)
+			continue
+		}
+		s.Joins++
+		time.Sleep(pause)
+		if err := c.RemoveSellerIn(ctx, id, sid); err != nil {
+			s.Errors++
+			s.LastErrMsg = err.Error()
+		} else {
+			s.Leaves++
+		}
+		cancel()
+		time.Sleep(pause)
+	}
 }
 
 // quoteWorker issues quotes against one market until the deadline: every

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Roster churn: sellers joining and leaving a live game between rounds.
+//
+// Precompute's seller aggregates are sums over the roster, so one seller
+// joining or leaving is a rank-1 adjustment: add or subtract that seller's
+// 1/λ and √(ω/λ) terms and splice her √(ωλ) entry — never an O(m)
+// re-aggregation. The slices are spliced in place when this game owns them
+// exclusively (λ/ω always are — Clone deep-copies them; √(ωλ) whenever the
+// shared flag says no clone holds the array), which makes steady-state
+// churn amortized O(1) arithmetic for joins and one memmove for leaves. A
+// shared √(ωλ) array is instead rebuilt copy-on-write with headroom, so
+// clones are never disturbed and the new array is owned from then on.
+// Each adjustment accrues at most one rounding error per running sum;
+// refreshIfDrifted bounds the accumulation and falls back to a full
+// Precompute before it can matter, so arbitrarily long churn histories stay
+// within rosterDriftTol of a from-scratch build.
+//
+// Ownership contract: AppendSeller and RemoveSellerAt splice g's λ/ω slices
+// in place, so the game must own their backing arrays exclusively. Any game
+// built by Clone or handed out by a solver backend's Precompute does; a
+// hand-assembled Game sharing slices with its builder does not, and the
+// sharer would observe the splice.
+
+const (
+	// rosterDriftTol is the relative rounding drift tolerated in the
+	// incrementally maintained aggregates before a full Precompute rebuilds
+	// them. It sits three orders of magnitude under the repo's 1e-9
+	// cross-path agreement budget.
+	rosterDriftTol = 1e-12
+	// machineEps is the double-precision unit roundoff.
+	machineEps = 0x1p-52
+)
+
+// growSqrtWL returns a fresh copy of src with the element at index n set
+// aside for the caller and geometric headroom, so the new exclusively-owned
+// array absorbs future appends without reallocating.
+func growSqrtWL(src []float64, n int) []float64 {
+	sq := make([]float64, n, n+n/4+8)
+	copy(sq, src)
+	return sq
+}
+
+// AppendSeller admits one seller (privacy sensitivity λ, dataset weight ω)
+// at the end of the roster. A live Precompute snapshot is adjusted
+// incrementally; without one, the slices grow and the game stays
+// un-precomputed, exactly as if it had been constructed with the seller.
+func (g *Game) AppendSeller(lambda, weight float64) error {
+	if !(lambda > 0) || math.IsInf(lambda, 0) {
+		return fmt.Errorf("core: joining seller needs a positive finite λ, got %g", lambda)
+	}
+	if !(weight > 0) || math.IsInf(weight, 0) {
+		return fmt.Errorf("core: joining seller needs a positive finite weight ω, got %g", weight)
+	}
+	a := g.cached()
+	g.Sellers.Lambda = append(g.Sellers.Lambda, lambda)
+	g.Broker.Weights = append(g.Broker.Weights, weight)
+	if a == nil {
+		g.agg = nil
+		return nil
+	}
+	m := a.m + 1
+	var sq []float64
+	shared := a.sqrtShared
+	if shared.Load() {
+		// Clones hold the array: rebuild copy-on-write with headroom and
+		// take exclusive ownership of the result.
+		sq = growSqrtWL(a.sqrtWL, m)
+		shared = new(atomic.Bool)
+	} else {
+		// Exclusively owned: grow in place (amortized O(1); a reallocation
+		// by append leaves the abandoned array to this game alone).
+		sq = append(a.sqrtWL, 0)
+	}
+	sq[m-1] = math.Sqrt(weight * lambda)
+	na := &sellerAgg{
+		// The appends above may have reallocated the slices; re-anchor the
+		// snapshot's identity guards to the current backing arrays.
+		lambdaPtr:    &g.Sellers.Lambda[0],
+		weightPtr:    &g.Broker.Weights[0],
+		m:            m,
+		sumInvLambda: a.sumInvLambda + 1/lambda,
+		sumSqrtWL:    a.sumSqrtWL + math.Sqrt(weight/lambda),
+		sqrtWL:       sq,
+		sqrtShared:   shared,
+		churn:        a.churn + 1,
+	}
+	na.peakInv = math.Max(a.peakInv, na.sumInvLambda)
+	na.peakSqrt = math.Max(a.peakSqrt, na.sumSqrtWL)
+	g.agg = na
+	return g.refreshIfDrifted()
+}
+
+// spliceOut removes the i-th element in place (one memmove, no allocation).
+// The caller must own the backing array exclusively.
+func spliceOut(s []float64, i int) []float64 {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+// RemoveSellerAt removes the i-th seller from the roster. The last seller
+// cannot leave — a market needs at least one follower. Like AppendSeller,
+// a live Precompute snapshot is adjusted incrementally; subtraction is
+// where cancellation can erode the running sums, which the drift guard
+// watches via the peak magnitudes.
+func (g *Game) RemoveSellerAt(i int) error {
+	m := g.M()
+	if i < 0 || i >= m || i >= len(g.Broker.Weights) {
+		return fmt.Errorf("core: removing seller %d of a %d-seller roster", i, m)
+	}
+	if m == 1 {
+		return fmt.Errorf("core: cannot remove the last seller")
+	}
+	lambda, weight := g.Sellers.Lambda[i], g.Broker.Weights[i]
+	a := g.cached()
+	// λ/ω are exclusively owned (Clone deep-copies them): splice in place.
+	g.Sellers.Lambda = spliceOut(g.Sellers.Lambda, i)
+	g.Broker.Weights = spliceOut(g.Broker.Weights, i)
+	if a == nil {
+		g.agg = nil
+		return nil
+	}
+	var sq []float64
+	shared := a.sqrtShared
+	if shared.Load() {
+		sq = growSqrtWL(a.sqrtWL[:i], m-1)
+		copy(sq[i:], a.sqrtWL[i+1:])
+		shared = new(atomic.Bool)
+	} else {
+		sq = spliceOut(a.sqrtWL, i)
+	}
+	na := &sellerAgg{
+		lambdaPtr:    &g.Sellers.Lambda[0],
+		weightPtr:    &g.Broker.Weights[0],
+		m:            m - 1,
+		sumInvLambda: a.sumInvLambda - 1/lambda,
+		sumSqrtWL:    a.sumSqrtWL - math.Sqrt(weight/lambda),
+		sqrtWL:       sq,
+		sqrtShared:   shared,
+		churn:        a.churn + 1,
+		peakInv:      a.peakInv,
+		peakSqrt:     a.peakSqrt,
+	}
+	g.agg = na
+	return g.refreshIfDrifted()
+}
+
+// refreshIfDrifted rebuilds the snapshot with a full Precompute once the
+// incremental aggregates may have drifted past rosterDriftTol relative to
+// their live values, or when cancellation pushed a running sum out of its
+// positive domain. The error estimate is churn·ε scaled by the peak sum
+// magnitude — every term entering the sums is positive, so cancellation
+// only arises from removals, which the peak/current ratio captures.
+func (g *Game) refreshIfDrifted() error {
+	a := g.agg
+	if a == nil {
+		return nil
+	}
+	est := float64(a.churn) * machineEps
+	if a.sumInvLambda > 0 && a.sumSqrtWL > 0 &&
+		est*a.peakInv <= rosterDriftTol*a.sumInvLambda &&
+		est*a.peakSqrt <= rosterDriftTol*a.sumSqrtWL {
+		return nil
+	}
+	return g.Precompute()
+}

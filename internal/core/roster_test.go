@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"share/internal/stat"
+)
+
+// freshTwin rebuilds a game from g's current slices and precomputes it from
+// scratch — the reference every incremental churn result is held against.
+func freshTwin(t *testing.T, g *Game) *Game {
+	t.Helper()
+	f := &Game{
+		Buyer:   g.Buyer,
+		Broker:  Broker{Cost: g.Broker.Cost, Weights: append([]float64(nil), g.Broker.Weights...)},
+		Sellers: Sellers{Lambda: append([]float64(nil), g.Sellers.Lambda...)},
+	}
+	if err := f.Precompute(); err != nil {
+		t.Fatalf("precomputing fresh twin: %v", err)
+	}
+	return f
+}
+
+func assertAgreesWithFresh(t *testing.T, g *Game, tol float64) {
+	t.Helper()
+	f := freshTwin(t, g)
+	if d := math.Abs(g.SumInvLambda() - f.SumInvLambda()); d > tol*f.SumInvLambda() {
+		t.Fatalf("SumInvLambda drifted by %g (incremental %g, fresh %g)", d, g.SumInvLambda(), f.SumInvLambda())
+	}
+	if d := math.Abs(g.SumSqrtWeightOverLambda() - f.SumSqrtWeightOverLambda()); d > tol*f.SumSqrtWeightOverLambda() {
+		t.Fatalf("SumSqrtWeightOverLambda drifted by %g", d)
+	}
+	gp, err := g.Solve()
+	if err != nil {
+		t.Fatalf("solving churned game: %v", err)
+	}
+	fp, err := f.Solve()
+	if err != nil {
+		t.Fatalf("solving fresh twin: %v", err)
+	}
+	if d := math.Abs(gp.PM - fp.PM); d > tol*math.Abs(fp.PM) {
+		t.Fatalf("PM disagrees after churn: incremental %g, fresh %g", gp.PM, fp.PM)
+	}
+	if d := math.Abs(gp.PD - fp.PD); d > tol*math.Abs(fp.PD) {
+		t.Fatalf("PD disagrees after churn: incremental %g, fresh %g", gp.PD, fp.PD)
+	}
+	for i := range gp.Tau {
+		if d := math.Abs(gp.Tau[i] - fp.Tau[i]); d > tol {
+			t.Fatalf("Tau[%d] disagrees after churn: incremental %g, fresh %g", i, gp.Tau[i], fp.Tau[i])
+		}
+	}
+}
+
+func TestRosterChurnMatchesFreshPrecompute(t *testing.T) {
+	g := paperTestGame(t, 40, 11)
+	if err := g.Precompute(); err != nil {
+		t.Fatalf("precompute: %v", err)
+	}
+	rng := stat.NewRand(23)
+	for step := 0; step < 200; step++ {
+		if g.M() > 2 && rng.Float64() < 0.4 {
+			if err := g.RemoveSellerAt(rng.Intn(g.M())); err != nil {
+				t.Fatalf("step %d: remove: %v", step, err)
+			}
+		} else {
+			if err := g.AppendSeller(0.2+rng.Float64(), 0.5+rng.Float64()); err != nil {
+				t.Fatalf("step %d: append: %v", step, err)
+			}
+		}
+		if !g.Precomputed() {
+			t.Fatalf("step %d: churn dropped the snapshot", step)
+		}
+	}
+	assertAgreesWithFresh(t, g, 1e-9)
+}
+
+func TestRosterChurnWithoutSnapshot(t *testing.T) {
+	g := paperTestGame(t, 5, 3)
+	if err := g.AppendSeller(0.7, 1.2); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := g.RemoveSellerAt(0); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if g.M() != 5 || len(g.Broker.Weights) != 5 {
+		t.Fatalf("roster size after churn: %d sellers, %d weights", g.M(), len(g.Broker.Weights))
+	}
+	if g.Precomputed() {
+		t.Fatal("churn on an un-precomputed game must not mint a snapshot")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("churned game invalid: %v", err)
+	}
+}
+
+func TestRosterChurnPreservesClones(t *testing.T) {
+	g := paperTestGame(t, 10, 7)
+	if err := g.Precompute(); err != nil {
+		t.Fatalf("precompute: %v", err)
+	}
+	clone := g.Clone()
+	before, err := clone.Solve()
+	if err != nil {
+		t.Fatalf("clone solve: %v", err)
+	}
+	if err := g.AppendSeller(0.9, 1.1); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := g.RemoveSellerAt(2); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	after, err := clone.Solve()
+	if err != nil {
+		t.Fatalf("clone solve after ancestor churn: %v", err)
+	}
+	if before.PM != after.PM || before.PD != after.PD {
+		t.Fatalf("ancestor churn disturbed a clone: PM %g→%g, PD %g→%g", before.PM, after.PM, before.PD, after.PD)
+	}
+	for i := range before.Tau {
+		if before.Tau[i] != after.Tau[i] {
+			t.Fatalf("ancestor churn disturbed clone Tau[%d]: %g→%g", i, before.Tau[i], after.Tau[i])
+		}
+	}
+}
+
+func TestRosterChurnRejectsBadInput(t *testing.T) {
+	g := paperTestGame(t, 3, 1)
+	if err := g.Precompute(); err != nil {
+		t.Fatalf("precompute: %v", err)
+	}
+	if err := g.AppendSeller(0, 1); err == nil {
+		t.Error("append with λ=0 accepted")
+	}
+	if err := g.AppendSeller(1, math.Inf(1)); err == nil {
+		t.Error("append with ω=+Inf accepted")
+	}
+	if err := g.RemoveSellerAt(-1); err == nil {
+		t.Error("remove at -1 accepted")
+	}
+	if err := g.RemoveSellerAt(3); err == nil {
+		t.Error("remove past the roster accepted")
+	}
+	if g.M() != 3 {
+		t.Fatalf("rejected ops mutated the roster: m=%d", g.M())
+	}
+	if err := g.RemoveSellerAt(0); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if err := g.RemoveSellerAt(0); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if err := g.RemoveSellerAt(0); err == nil {
+		t.Error("removing the last seller accepted")
+	}
+}
+
+func TestRosterDriftFallbackRebuildsAggregates(t *testing.T) {
+	g := paperTestGame(t, 8, 5)
+	if err := g.Precompute(); err != nil {
+		t.Fatalf("precompute: %v", err)
+	}
+	// Force the drift estimate over the tolerance: a churn counter this
+	// large makes est·peak exceed tol·sum for any realistic aggregates.
+	g.agg.churn = 1 << 40
+	if err := g.AppendSeller(0.8, 1.0); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if g.agg == nil {
+		t.Fatal("drift fallback dropped the snapshot instead of rebuilding it")
+	}
+	if g.agg.churn != 0 {
+		t.Fatalf("drift fallback did not run a full Precompute: churn=%d", g.agg.churn)
+	}
+	assertAgreesWithFresh(t, g, 0) // a rebuilt snapshot is bit-identical
+}

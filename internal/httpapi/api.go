@@ -12,12 +12,14 @@
 //	GET    /v2/markets                     list hosted markets
 //	GET    /v2/markets/{id}                one market's state
 //	DELETE /v2/markets/{id}                drain in-flight rounds, delete
-//	POST   /v2/markets/{id}/sellers        register a seller
+//	POST   /v2/markets/{id}/sellers        register a seller (before or after trading starts)
 //	GET    /v2/markets/{id}/sellers        list sellers (limit/offset)
+//	DELETE /v2/markets/{id}/sellers/{sid}  release a seller from the roster
 //	POST   /v2/markets/{id}/quotes         solve a BATCH of demands concurrently
 //	POST   /v2/markets/{id}/trades         run one trading round
 //	GET    /v2/markets/{id}/trades         list the ledger (limit/offset)
 //	GET    /v2/markets/{id}/weights        broker dataset weights
+//	GET    /v2/markets/{id}/stream         live SSE event stream (state, roster, weights)
 //	GET    /v1/metrics                     request counters, latency quantiles, per-market series
 //
 // The flat /v1 routes (health, sellers, quote, trades, weights) survive as
@@ -219,10 +221,12 @@ func (s *Server) Handler() http.Handler {
 	route("DELETE /v2/markets/{id}", s.handleDeleteMarket)
 	route("POST /v2/markets/{id}/sellers", s.onMarket(s.handleRegisterSeller))
 	route("GET /v2/markets/{id}/sellers", s.onMarket(s.handleListSellers))
+	route("DELETE /v2/markets/{id}/sellers/{sid}", s.onMarket(s.handleRemoveSeller))
 	route("POST /v2/markets/{id}/quotes", s.onMarket(s.handleQuoteBatch))
 	route("POST /v2/markets/{id}/trades", s.onMarket(s.handleTrade))
 	route("GET /v2/markets/{id}/trades", s.onMarket(s.handleListTrades))
 	route("GET /v2/markets/{id}/weights", s.onMarket(s.handleWeights))
+	route("GET /v2/markets/{id}/stream", s.onMarket(s.handleStream))
 	return mux
 }
 
@@ -264,6 +268,11 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap exposes the underlying writer so http.NewResponseController can
+// reach Flush and SetWriteDeadline through the status-capturing wrapper —
+// the SSE stream handler needs both.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps a handler with the request body cap, per-endpoint
 // metrics, and request-ID structured logging.
@@ -314,6 +323,11 @@ type MarketSpec struct {
 
 // MarketInfo is the market resource representation (POST/GET /v2/markets).
 type MarketInfo = pool.Info
+
+// StreamEvent is one frame of a market's live event stream: the initial
+// "state" snapshot, then "roster" (join/leave) and "weights" (committed
+// trade) deltas.
+type StreamEvent = pool.Event
 
 // SellerRegistration is the seller-registration request body. Exactly one
 // of Rows/Targets or SyntheticRows must supply data.
@@ -569,6 +583,16 @@ func (s *Server) handleRegisterSeller(w http.ResponseWriter, r *http.Request, m 
 	writeJSON(w, http.StatusCreated, SellerInfo{ID: st.ID, Lambda: st.Lambda, Rows: st.Rows})
 }
 
+func (s *Server) handleRemoveSeller(w http.ResponseWriter, r *http.Request, m *pool.Market) {
+	sid := r.PathValue("sid")
+	if err := m.RemoveSeller(sid); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.logf("httpapi: market %q released seller %q", m.ID(), sid)
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) handleListSellers(w http.ResponseWriter, r *http.Request, m *pool.Market) {
 	v := m.View()
 	lo, hi, err := paginate(w, r, len(v.Sellers))
@@ -753,6 +777,79 @@ func (s *Server) handleListTrades(w http.ResponseWriter, r *http.Request, m *poo
 
 func (s *Server) handleWeights(w http.ResponseWriter, r *http.Request, m *pool.Market) {
 	writeJSON(w, http.StatusOK, m.View().Weights)
+}
+
+// streamHeartbeat is the SSE keep-alive cadence: a comment frame often
+// enough to defeat idle-connection reaping by proxies, rare enough to cost
+// nothing.
+const streamHeartbeat = 15 * time.Second
+
+// handleStream serves the market's live event stream as Server-Sent Events.
+// The first frame is a "state" snapshot of the current roster, weights and
+// epoch, so a subscriber needs no separate GET to establish a baseline;
+// every committed roster change and trade then pushes a "roster" or
+// "weights" delta (see pool.Event for the payload). A slow consumer falls
+// behind (the pool drops frames past its buffer) but never stalls the
+// market's write path.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, m *pool.Market) {
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	ch, cancel := m.Subscribe(0)
+	defer cancel()
+	v := m.View()
+	init := StreamEvent{Type: "state", Market: m.ID(), Epoch: v.Epoch, Weights: v.Weights}
+	init.Sellers = make([]string, len(v.Sellers))
+	for i, st := range v.Sellers {
+		init.Sellers[i] = st.ID
+	}
+	if err := writeSSE(w, init); err != nil {
+		return
+	}
+	if err := rc.Flush(); err != nil {
+		// The underlying writer cannot stream; an SSE endpoint that
+		// buffers forever is useless, so give up loudly.
+		s.logf("httpapi: market %q stream: flush unsupported: %v", m.ID(), err)
+		return
+	}
+	// Streams are long-lived: lift any server-side write deadline and let
+	// the heartbeat keep the connection alive instead. Failure means the
+	// server has no deadline to lift.
+	_ = rc.SetWriteDeadline(time.Time{})
+	hb := time.NewTicker(streamHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if writeSSE(w, ev) != nil || rc.Flush() != nil {
+				return
+			}
+		case <-hb.C:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			if rc.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// writeSSE renders one event as an SSE frame: an `event:` line naming the
+// type (so EventSource listeners can filter) and a `data:` line carrying
+// the JSON payload.
+func writeSSE(w io.Writer, ev StreamEvent) error {
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, raw)
+	return err
 }
 
 // --- plumbing ---

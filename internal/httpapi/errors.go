@@ -55,7 +55,7 @@ const (
 	CodeMarketClosed       = "market_closed"       // 409: market is draining for deletion
 	CodeMarketProtected    = "market_protected"    // 409: the default market cannot be deleted (v1 aliases onto it)
 	CodeNoSellers          = "no_sellers"          // 409: quote/trade before any registration
-	CodeRegistrationClosed = "registration_closed" // 409: registration after the first trade
+	CodeRosterMismatch     = "roster_mismatch"     // 400: a roster change or replayed roster state was inconsistent
 	CodeSellerExists       = "seller_exists"       // 409: duplicate seller ID
 	CodeTimeout            = "timeout"             // 504: the round outran its deadline
 	CodeCanceled           = "canceled"            // 503: the client disconnected mid-round
@@ -110,6 +110,14 @@ func classifyError(err error) *Error {
 		return apiErrorf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 			"request body exceeds %d bytes", tooBig.Limit)
 	}
+	var re *market.RosterError
+	if errors.As(err, &re) {
+		e := &Error{Status: http.StatusBadRequest, Code: CodeRosterMismatch, Message: err.Error()}
+		if re.SellerID != "" {
+			e.Field = "seller_id"
+		}
+		return e
+	}
 	var oe *pool.OverloadError
 	if errors.As(err, &oe) {
 		secs := int((oe.RetryAfter + time.Second - 1) / time.Second) // ceil: never hint "0"
@@ -139,8 +147,6 @@ func classifyError(err error) *Error {
 		return apiErrorf(http.StatusConflict, CodeMarketClosed, "%v", err)
 	case errors.Is(err, pool.ErrNoSellers):
 		return apiErrorf(http.StatusConflict, CodeNoSellers, "%v", err)
-	case errors.Is(err, pool.ErrRegistrationClosed):
-		return apiErrorf(http.StatusConflict, CodeRegistrationClosed, "%v", err)
 	case errors.Is(err, pool.ErrSellerExists):
 		return apiErrorf(http.StatusConflict, CodeSellerExists, "%v", err)
 	case errors.Is(err, market.ErrDemand):

@@ -94,8 +94,8 @@ func TestSnapshotSaveRestoreRoundTrip(t *testing.T) {
 		t.Errorf("restored quote %+v != original %+v", quoteB, quoteA)
 	}
 
-	// Trading resumes with continued round numbering and closed
-	// registration.
+	// Trading resumes with continued round numbering, and registration is
+	// still open: a late seller joins the restored market mid-life.
 	resp, body := postJSON(t, tsB.URL+"/v1/trades", Demand{N: 90, V: 0.8})
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("post-restore trade: %d (%s)", resp.StatusCode, body)
@@ -106,8 +106,8 @@ func TestSnapshotSaveRestoreRoundTrip(t *testing.T) {
 		t.Errorf("post-restore round = %d, want 3", tr.Round)
 	}
 	resp, _ = postJSON(t, tsB.URL+"/v1/sellers", SellerRegistration{ID: "late", Lambda: 0.5, SyntheticRows: 10})
-	if resp.StatusCode != http.StatusConflict {
-		t.Errorf("registration after restored trades = %d, want 409", resp.StatusCode)
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("registration after restored trades = %d, want 201", resp.StatusCode)
 	}
 }
 

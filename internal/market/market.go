@@ -53,6 +53,14 @@ type WeightUpdate struct {
 	// therefore the weight trajectory — are identical for every Workers
 	// value; only wall-clock changes.
 	Workers int
+	// Decay pulls every post-update weight toward the uniform prior by this
+	// fraction (ω″ = (1−Decay)·ω′ + Decay/m), so long-lived markets cannot
+	// fossilize: a seller whose early rounds earned an extreme weight drifts
+	// back toward neutral unless fresh Shapley evidence keeps it there —
+	// which also bounds how stale the prior a churn joiner inherits can be.
+	// Must lie in [0, 1); 0 (the default) disables the decay and reproduces
+	// the paper's trajectories bit for bit.
+	Decay float64
 	// Legacy forces the seed-era row-streaming estimator: every
 	// permutation re-ingests each chunk row by row and re-scores against
 	// the full test set, single-threaded, drawing permutations from the
@@ -103,6 +111,12 @@ type Market struct {
 	rng       *rand.Rand
 	ledger    []*Transaction
 	costLog   []translog.Observation
+
+	// epoch counts roster changes (seller joins and leaves) over the
+	// market's life. Transactions and snapshots are stamped with it, and
+	// replay validates against it, so a restored market and its WAL agree
+	// on which roster every record was written under.
+	epoch uint64
 }
 
 // Timings breaks a transaction's wall time into Algorithm 1's phases.
@@ -148,6 +162,10 @@ type Transaction struct {
 	Weights []float64
 	// Solver names the equilibrium backend that produced Profile.
 	Solver string
+	// Epoch is the market's roster epoch at the time of the trade — which
+	// joins and leaves the transaction's per-seller slices are indexed
+	// under.
+	Epoch uint64 `json:",omitempty"`
 	// SolveEffort carries the numerical backend's per-stage effort counters
 	// when the solving Prepared exposes them (the general backend); nil for
 	// closed-form backends. Consumers surface it as observability series.
@@ -187,6 +205,9 @@ func New(sellers []*Seller, cfg Config) (*Market, error) {
 	if cfg.Update != nil {
 		if cfg.Update.Retain < 0 || cfg.Update.Retain > 1 {
 			return nil, fmt.Errorf("market: weight-update retain factor %g outside [0,1]", cfg.Update.Retain)
+		}
+		if cfg.Update.Decay < 0 || cfg.Update.Decay >= 1 {
+			return nil, fmt.Errorf("market: weight-update decay factor %g outside [0,1)", cfg.Update.Decay)
 		}
 		if cfg.Update.Permutations <= 0 {
 			cfg.Update.Permutations = 100
@@ -463,6 +484,7 @@ func (m *Market) RunRoundBackend(ctx context.Context, buyer core.Buyer, builder 
 		Round:   len(m.ledger) + 1,
 		Profile: profile,
 		Solver:  prep.Backend().Name(),
+		Epoch:   m.epoch,
 	}
 	tx.Timings.Strategy = time.Since(t0)
 	if sp, ok := prep.(solve.StatsProvider); ok {
@@ -549,6 +571,12 @@ func (m *Market) RunRoundBackend(ctx context.Context, buyer core.Buyer, builder 
 		newWeights = make([]float64, len(m.weights))
 		for i := range m.weights {
 			newWeights[i] = m.update.Retain*m.weights[i] + (1-m.update.Retain)*norm[i]
+		}
+		if d := m.update.Decay; d > 0 {
+			uniform := 1 / float64(len(newWeights))
+			for i := range newWeights {
+				newWeights[i] = (1-d)*newWeights[i] + d*uniform
+			}
 		}
 		tx.Timings.WeightUpdate = time.Since(t0)
 	}

@@ -21,6 +21,12 @@ type Snapshot struct {
 	Version int `json:"version"`
 	// SellerIDs records the roster the snapshot belongs to, in order.
 	SellerIDs []string `json:"seller_ids"`
+	// Epoch is the roster epoch the snapshot was taken at — how many seller
+	// joins and leaves produced the recorded roster. Restore carries it into
+	// the market so subsequent log replay validates churn records against
+	// the right baseline. Omitted (0) for churn-free markets and snapshots
+	// written before roster churn existed.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Weights is the broker's weight vector.
 	Weights []float64 `json:"weights"`
 	// Solver names the equilibrium backend the market ran on, so a restore
@@ -46,6 +52,7 @@ func (m *Market) Snapshot() *Snapshot {
 	return &Snapshot{
 		Version:   snapshotVersion,
 		SellerIDs: ids,
+		Epoch:     m.epoch,
 		Weights:   m.Weights(),
 		Solver:    m.backend.Name(),
 		Ledger:    append([]*Transaction(nil), m.ledger...),
@@ -73,11 +80,11 @@ func (m *Market) Restore(s *Snapshot) error {
 		return fmt.Errorf("market: unsupported snapshot version %d", s.Version)
 	}
 	if len(s.SellerIDs) != len(m.sellers) {
-		return fmt.Errorf("market: snapshot has %d sellers, market has %d", len(s.SellerIDs), len(m.sellers))
+		return &RosterError{Msg: fmt.Sprintf("snapshot has %d sellers, market has %d", len(s.SellerIDs), len(m.sellers))}
 	}
 	for i, id := range s.SellerIDs {
 		if m.sellers[i].ID != id {
-			return fmt.Errorf("market: seller %d is %q in the snapshot but %q in the market", i, id, m.sellers[i].ID)
+			return &RosterError{SellerID: id, Msg: fmt.Sprintf("at roster position %d in the snapshot, but the market has %q there", i, m.sellers[i].ID)}
 		}
 	}
 	if s.Solver != "" && s.Solver != m.backend.Name() {
@@ -92,6 +99,7 @@ func (m *Market) Restore(s *Snapshot) error {
 	}
 	m.ledger = append([]*Transaction(nil), s.Ledger...)
 	m.costLog = append([]translog.Observation(nil), s.CostLog...)
+	m.epoch = s.Epoch
 	return nil
 }
 

@@ -21,6 +21,12 @@ func (m *Market) ApplyCommitted(tx *Transaction, obs translog.Observation) error
 	if want := len(m.ledger) + 1; tx.Round != want {
 		return fmt.Errorf("market: replaying round %d onto a ledger of %d entries", tx.Round, len(m.ledger))
 	}
+	// Epoch-stamped transactions must land on the roster they were written
+	// under; 0 marks pre-churn records, which predate the stamp (a real
+	// trade's epoch is ≥ 1 — every roster took at least one registration).
+	if tx.Epoch != 0 && tx.Epoch != m.epoch {
+		return &RosterError{Msg: fmt.Sprintf("replaying round %d written at roster epoch %d onto epoch %d", tx.Round, tx.Epoch, m.epoch)}
+	}
 	if err := m.SetWeights(tx.Weights); err != nil {
 		return fmt.Errorf("market: replaying round %d: %w", tx.Round, err)
 	}

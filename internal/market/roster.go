@@ -1,0 +1,154 @@
+package market
+
+import (
+	"fmt"
+
+	"share/internal/solve"
+)
+
+// Roster churn. A live market admits and releases sellers between rounds
+// without a from-scratch rebuild: each mutation stages a clone of the solver
+// prototype, re-prepares it incrementally (solve.RosterDelta — a rank-1
+// adjustment of the cached seller aggregates), and only on success swaps the
+// clone in together with the roster slices. A failed churn therefore leaves
+// the market byte-identical to before the call.
+//
+// Every mutation bumps the market's roster epoch. Transactions and snapshots
+// are stamped with the epoch they were written under, and the replay path
+// (ApplyJoin / ApplyLeave) validates each recorded churn against it, so a
+// restored market and its log cannot silently disagree about which roster a
+// record describes.
+
+// Epoch returns the market's roster epoch — the number of seller joins and
+// leaves applied over its life.
+func (m *Market) Epoch() uint64 { return m.epoch }
+
+// SetEpoch overwrites the roster epoch. It exists for restore paths that
+// reconstruct a market from a snapshot whose roster already includes churn
+// the new process never saw; normal code never calls it.
+func (m *Market) SetEpoch(e uint64) { m.epoch = e }
+
+// AddSeller admits a new seller mid-life and returns the weight she was
+// admitted at: the mean of the current weights. Every observable of the
+// three-stage game is invariant to uniform weight scaling, so a mean-weight
+// joiner changes prices exactly as much as her λ and data warrant — no more
+// because the weight mass shifted. Validation failures (nil seller, bad λ,
+// empty or shape-mismatched data, duplicate ID) return a *RosterError and
+// leave the market untouched.
+func (m *Market) AddSeller(s *Seller) (float64, error) {
+	if s == nil {
+		return 0, &RosterError{Msg: "cannot add a nil seller"}
+	}
+	if !(s.Lambda > 0) {
+		return 0, &RosterError{SellerID: s.ID, Msg: fmt.Sprintf("invalid λ=%g", s.Lambda)}
+	}
+	if s.Data == nil || s.Data.Len() == 0 {
+		return 0, &RosterError{SellerID: s.ID, Msg: "no data"}
+	}
+	if k := m.sellers[0].Data.NumFeatures(); s.Data.NumFeatures() != k {
+		return 0, &RosterError{SellerID: s.ID, Msg: fmt.Sprintf("dataset has %d features, market expects %d", s.Data.NumFeatures(), k)}
+	}
+	var sum float64
+	for _, w := range m.weights {
+		sum += w
+	}
+	weight := sum / float64(len(m.weights))
+	if err := m.applyJoin(s, weight, m.epoch+1); err != nil {
+		return 0, err
+	}
+	return weight, nil
+}
+
+// RemoveSeller releases the identified seller. Unknown IDs and removing the
+// last seller return a *RosterError; the remaining weights keep their values
+// (the game is scale-invariant, so renormalizing would only churn bits).
+func (m *Market) RemoveSeller(id string) error {
+	return m.applyLeave(id, m.epoch+1)
+}
+
+// ApplyJoin re-applies a seller join recorded by a previous process — the
+// write-ahead-log replay path. The recorded admission weight is trusted
+// verbatim (it need not be the mean the live path would compute today), and
+// the recorded epoch must be exactly the next one the market expects.
+func (m *Market) ApplyJoin(s *Seller, weight float64, epoch uint64) error {
+	if err := m.checkEpoch(epoch); err != nil {
+		return err
+	}
+	if s == nil {
+		return &RosterError{Msg: "cannot add a nil seller"}
+	}
+	if !(weight > 0) {
+		return &RosterError{SellerID: s.ID, Msg: fmt.Sprintf("invalid admission weight %g", weight)}
+	}
+	return m.applyJoin(s, weight, epoch)
+}
+
+// ApplyLeave re-applies a recorded seller leave; see ApplyJoin.
+func (m *Market) ApplyLeave(id string, epoch uint64) error {
+	if err := m.checkEpoch(epoch); err != nil {
+		return err
+	}
+	return m.applyLeave(id, epoch)
+}
+
+func (m *Market) checkEpoch(epoch uint64) error {
+	if epoch != m.epoch+1 {
+		return &RosterError{Msg: fmt.Sprintf("replaying churn epoch %d onto a market at epoch %d", epoch, m.epoch)}
+	}
+	return nil
+}
+
+// applyJoin stages the incremental re-preparation and commits the roster
+// change at the given epoch.
+func (m *Market) applyJoin(s *Seller, weight float64, epoch uint64) error {
+	for _, have := range m.sellers {
+		if have.ID == s.ID {
+			return &RosterError{SellerID: s.ID, Msg: "already registered"}
+		}
+	}
+	staged := m.proto.Clone()
+	err := staged.Reprepare(solve.RosterDelta{
+		Epoch:  epoch,
+		Join:   true,
+		Index:  len(m.sellers),
+		Lambda: s.Lambda,
+		Weight: weight,
+	})
+	if err != nil {
+		return &RosterError{SellerID: s.ID, Msg: fmt.Sprintf("re-preparing solver: %v", err)}
+	}
+	m.sellers = append(m.sellers, s)
+	m.lambdas = append(m.lambdas, s.Lambda)
+	m.weights = append(m.weights, weight)
+	m.proto = staged
+	m.epoch = epoch
+	return nil
+}
+
+// applyLeave stages the incremental re-preparation and commits the removal
+// at the given epoch.
+func (m *Market) applyLeave(id string, epoch uint64) error {
+	idx := -1
+	for i, s := range m.sellers {
+		if s.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return &RosterError{SellerID: id, Msg: "unknown seller"}
+	}
+	if len(m.sellers) == 1 {
+		return &RosterError{SellerID: id, Msg: "cannot remove the last seller"}
+	}
+	staged := m.proto.Clone()
+	if err := staged.Reprepare(solve.RosterDelta{Epoch: epoch, Index: idx}); err != nil {
+		return &RosterError{SellerID: id, Msg: fmt.Sprintf("re-preparing solver: %v", err)}
+	}
+	m.sellers = append(m.sellers[:idx:idx], m.sellers[idx+1:]...)
+	m.lambdas = append(m.lambdas[:idx:idx], m.lambdas[idx+1:]...)
+	m.weights = append(m.weights[:idx:idx], m.weights[idx+1:]...)
+	m.proto = staged
+	m.epoch = epoch
+	return nil
+}

@@ -20,9 +20,6 @@ var (
 	// ErrNoSellers: a quote or trade was requested before any seller
 	// registered.
 	ErrNoSellers = errors.New("no sellers registered")
-	// ErrRegistrationClosed: a registration arrived after the market's
-	// first trade.
-	ErrRegistrationClosed = errors.New("market already trading; registration is closed")
 	// ErrSellerExists: a registration reused an existing seller ID.
 	ErrSellerExists = errors.New("seller already registered")
 	// ErrOverloaded: the market's trade queue is full; the caller should

@@ -48,6 +48,19 @@ type Market struct {
 	sellers []*market.Seller // guarded by writeMu
 	mkt     *market.Market   // guarded by writeMu
 
+	// rosterEpoch counts every roster mutation over the market's life —
+	// pre-trade registrations as well as mid-life joins and leaves — and
+	// mirrors the inner market's epoch once trading has begun. Guarded by
+	// writeMu; the published View carries the epoch it was built at.
+	rosterEpoch uint64
+
+	// Event fan-out for the streaming API: subscribers receive roster and
+	// weight events after each committed mutation. subMu guards the map;
+	// emit never blocks (slow subscribers drop events).
+	subMu   sync.Mutex
+	subs    map[int]chan Event
+	nextSub int
+
 	// durability selects the persistence mode; log is the market's WAL
 	// segment, opened lazily at the first persisted mutation (or attached
 	// with replay at restore). Both guarded by writeMu; the commit wait
@@ -55,8 +68,12 @@ type Market struct {
 	durability Durability
 	log        *wal.Log
 
-	quoteObs *obs.Endpoint // per-market equilibrium-quote latency
-	tradeObs *obs.Endpoint // per-market full-round latency
+	quoteObs  *obs.Endpoint // per-market equilibrium-quote latency
+	tradeObs  *obs.Endpoint // per-market full-round latency
+	reprepObs *obs.Endpoint // incremental re-preparation latency on churn
+
+	rosterGauge *obs.Gauge // current roster size
+	subGauge    *obs.Gauge // live stream subscribers
 }
 
 // View is an immutable snapshot of everything a market's read paths serve.
@@ -75,9 +92,12 @@ type View struct {
 	Weights []float64
 	// Trades is the committed ledger; every entry is a deep copy.
 	Trades []*market.Transaction
-	// Trading reports whether the first round has executed (registration
-	// closes at that point).
+	// Trading reports whether the first round has executed (the point past
+	// which roster changes go through the churn path instead of plain
+	// registration).
 	Trading bool
+	// Epoch is the roster epoch the view was published at.
+	Epoch uint64
 }
 
 // SellerState is one roster entry of a View.
@@ -125,8 +145,12 @@ func (p *Pool) newMarket(id string, backend solve.Backend, seed int64, durabilit
 			Solver:  backend,
 			Seed:    seed,
 		},
-		quoteObs: p.metrics.Endpoint("market/" + id + "/quote"),
-		tradeObs: p.metrics.Endpoint("market/" + id + "/trade"),
+		quoteObs:    p.metrics.Endpoint("market/" + id + "/quote"),
+		tradeObs:    p.metrics.Endpoint("market/" + id + "/trade"),
+		reprepObs:   p.metrics.Endpoint("market/" + id + "/reprepare"),
+		rosterGauge: p.metrics.Gauge("market/" + id + "/roster_size"),
+		subGauge:    p.metrics.Gauge("market/" + id + "/stream_subscribers"),
+		subs:        make(map[int]chan Event),
 	}
 	m.view.Store(&View{Weights: core.UniformWeights(1)})
 	return m
@@ -161,6 +185,7 @@ func (m *Market) Info() Info {
 		Sellers:          len(v.Sellers),
 		Trades:           len(v.Trades),
 		Trading:          v.Trading,
+		RosterEpoch:      v.Epoch,
 	}
 }
 
@@ -200,10 +225,11 @@ func (m *Market) begin() error {
 
 func (m *Market) end() { m.inFlight.Done() }
 
-// RegisterSeller admits a seller before the first trade. The returned
-// state carries the seller's materialized row count. With WAL persistence
-// on, the admission is logged and its durability barrier awaited before
-// returning.
+// RegisterSeller admits a seller, before the first trade or mid-life. The
+// returned state carries the seller's materialized row count and, for a
+// mid-life join, the weight she was admitted at (pre-trade rosters start
+// uniform). With WAL persistence on, the admission is logged and its
+// durability barrier awaited before returning.
 func (m *Market) RegisterSeller(reg Registration) (SellerState, error) {
 	if err := m.begin(); err != nil {
 		return SellerState{}, err
@@ -218,13 +244,11 @@ func (m *Market) RegisterSeller(reg Registration) (SellerState, error) {
 }
 
 // registerLocked is RegisterSeller's write-lock section: admission checks,
-// roster append, view publication and the WAL append.
+// roster append (or mid-life join through the inner market's incremental
+// churn path), view publication and the WAL append.
 func (m *Market) registerLocked(reg Registration) (SellerState, *wal.Log, uint64, error) {
 	m.writeMu.Lock()
 	defer m.writeMu.Unlock()
-	if m.mkt != nil {
-		return SellerState{}, nil, 0, fmt.Errorf("market %q: %w", m.id, ErrRegistrationClosed)
-	}
 	if reg.ID == "" {
 		return SellerState{}, nil, 0, &FieldError{Field: "id", Msg: "seller id is required"}
 	}
@@ -249,15 +273,46 @@ func (m *Market) registerLocked(reg Registration) (SellerState, *wal.Log, uint64
 				"expected %d features per row to match the registered roster, got %d", want, got)}
 		}
 	}
-	m.sellers = append(m.sellers, &market.Seller{ID: reg.ID, Lambda: reg.Lambda, Data: data})
+	sel := &market.Seller{ID: reg.ID, Lambda: reg.Lambda, Data: data}
+	if m.mkt != nil {
+		// Mid-life join: the inner market stages an incremental solver
+		// re-preparation (rank-1 aggregate adjustment) and commits it with
+		// the roster in one step; the view swap reuses the same delta.
+		weight, err := m.mkt.AddSeller(sel)
+		if err != nil {
+			return SellerState{}, nil, 0, err
+		}
+		m.sellers = append(m.sellers, sel)
+		m.rosterEpoch = m.mkt.Epoch()
+		m.publishChurnView(solve.RosterDelta{
+			Epoch:  m.rosterEpoch,
+			Join:   true,
+			Index:  len(m.sellers) - 1,
+			Lambda: reg.Lambda,
+			Weight: weight,
+		})
+		l, seq := m.persistJoinLocked(joinRecord{
+			Seller: StoredSeller{ID: reg.ID, Lambda: reg.Lambda, Rows: data.X, Targets: data.Y},
+			Weight: weight,
+			Epoch:  m.rosterEpoch,
+		})
+		m.emitRoster("join", reg.ID)
+		m.p.logf("pool: market %q admitted seller %q mid-life (%d rows, λ=%g, ω=%g, epoch %d)",
+			m.id, reg.ID, data.Len(), reg.Lambda, weight, m.rosterEpoch)
+		return SellerState{ID: reg.ID, Lambda: reg.Lambda, Rows: data.Len(), Weight: weight}, l, seq, nil
+	}
+	m.sellers = append(m.sellers, sel)
+	m.rosterEpoch++
 	if err := m.publishView(); err != nil {
 		// Roll the registration back: a roster the game rejects (e.g. a
 		// pathological λ passing the > 0 check but failing validation)
 		// must not be half-admitted.
 		m.sellers = m.sellers[:len(m.sellers)-1]
+		m.rosterEpoch--
 		return SellerState{}, nil, 0, &FieldError{Field: "lambda", Msg: err.Error()}
 	}
 	l, seq := m.persistRegisterLocked(StoredSeller{ID: reg.ID, Lambda: reg.Lambda, Rows: data.X, Targets: data.Y})
+	m.emitRoster("join", reg.ID)
 	m.p.logf("pool: market %q registered seller %q (%d rows, λ=%g)", m.id, reg.ID, data.Len(), reg.Lambda)
 	return SellerState{ID: reg.ID, Lambda: reg.Lambda, Rows: data.Len()}, l, seq, nil
 }
@@ -416,6 +471,7 @@ func (m *Market) tradeLocked(ctx context.Context, b core.Buyer, builder product.
 		if err != nil {
 			return nil, nil, 0, fmt.Errorf("market %q: building market: %w", m.id, err)
 		}
+		mkt.SetEpoch(m.rosterEpoch)
 		m.mkt = mkt
 	}
 	if m.p.tradeTimeout > 0 {
@@ -441,6 +497,7 @@ func (m *Market) tradeLocked(ctx context.Context, b core.Buyer, builder product.
 		m.p.observeStage3(*tx.SolveEffort)
 	}
 	m.tradeObs.Observe(time.Since(start))
+	m.emitWeights(tx)
 	l, seq := m.persistTradeLocked(tx, translog.Observation{N: b.N, V: b.V, Cost: tx.ManufacturingCost})
 	m.p.logf("pool: market %q trade %d executed (p^M=%g, p^D=%g, EV=%.4f)",
 		m.id, tx.Round, tx.Profile.PM, tx.Profile.PD, tx.Metrics.Performance)
@@ -450,7 +507,7 @@ func (m *Market) tradeLocked(ctx context.Context, b core.Buyer, builder product.
 // buildView renders the market's mutable state into a fresh immutable
 // view. Must be called with writeMu held.
 func (m *Market) buildView() (*View, error) {
-	v := &View{Trading: m.mkt != nil}
+	v := &View{Trading: m.mkt != nil, Epoch: m.rosterEpoch}
 
 	weights := core.UniformWeights(max(1, len(m.sellers)))
 	if m.mkt != nil {
@@ -502,5 +559,6 @@ func (m *Market) publishView() error {
 		return err
 	}
 	m.view.Store(v)
+	m.rosterGauge.Set(int64(len(v.Sellers)))
 	return nil
 }

@@ -168,6 +168,7 @@ type Info struct {
 	Sellers          int    `json:"sellers"`
 	Trades           int    `json:"trades"`
 	Trading          bool   `json:"trading"`
+	RosterEpoch      uint64 `json:"roster_epoch"`
 }
 
 // New builds an empty pool. An unknown Options.Solver falls back to the

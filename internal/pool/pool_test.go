@@ -594,8 +594,14 @@ func TestAccessorsAndErrorStrings(t *testing.T) {
 	if _, err := m.Trade(context.Background(), demoBuyer(90, 0.8), nil, nil); err != nil {
 		t.Fatalf("trade: %v", err)
 	}
-	if _, err := m.RegisterSeller(Registration{ID: "late", Lambda: 0.5, SyntheticRows: 10}); !errors.Is(err, ErrRegistrationClosed) {
-		t.Fatalf("post-trade registration = %v, want ErrRegistrationClosed", err)
+	// Registration no longer closes at the first trade: a late seller joins
+	// mid-life at the mean of the current weights.
+	late, err := m.RegisterSeller(Registration{ID: "late", Lambda: 0.5, SyntheticRows: 10})
+	if err != nil {
+		t.Fatalf("post-trade registration: %v", err)
+	}
+	if !(late.Weight > 0) {
+		t.Fatalf("mid-life join weight = %g, want positive", late.Weight)
 	}
 }
 

@@ -43,6 +43,12 @@ type MarketSnapshot struct {
 	// (0 in pre-WAL files and for markets without WAL activity). Replay
 	// skips records at or below it.
 	WalSeq uint64 `json:"wal_seq,omitempty"`
+	// RosterEpoch counts the roster mutations (registrations, joins,
+	// leaves) behind the stored roster, so WAL replay on top of the restored
+	// snapshot validates each churn record against the history it actually
+	// extends. 0 in pre-churn files, whose epoch replay re-derives from the
+	// register records.
+	RosterEpoch uint64 `json:"roster_epoch,omitempty"`
 	// Sellers is the registered roster in order.
 	Sellers []StoredSeller `json:"sellers"`
 	// Market is the trading state; nil when no trade has executed yet.
@@ -87,6 +93,7 @@ func (m *Market) snapshotLocked() *MarketSnapshot {
 	if m.log != nil {
 		snap.WalSeq = m.log.LastSeq()
 	}
+	snap.RosterEpoch = m.rosterEpoch
 	for _, sel := range m.sellers {
 		snap.Sellers = append(snap.Sellers, StoredSeller{
 			ID:      sel.ID,
@@ -173,8 +180,17 @@ func (m *Market) RestoreSnapshot(snap *MarketSnapshot) error {
 	}
 	m.sellers = sellers
 	m.mkt = mkt
+	m.rosterEpoch = snap.RosterEpoch
+	if mkt != nil && snap.Market != nil && snap.Market.Epoch != snap.RosterEpoch {
+		// Pool and market snapshots are written together, so their epochs
+		// agree for every pool-written file; legacy files carry neither
+		// (both read back 0). A mismatch means the file pair was spliced.
+		m.sellers, m.mkt, m.rosterEpoch = nil, nil, 0
+		return fmt.Errorf("pool: snapshot state rejected: %w", &market.RosterError{Msg: fmt.Sprintf(
+			"market snapshot at epoch %d, pool snapshot at epoch %d", snap.Market.Epoch, snap.RosterEpoch)})
+	}
 	if err := m.publishView(); err != nil {
-		m.sellers, m.mkt = nil, nil
+		m.sellers, m.mkt, m.rosterEpoch = nil, nil, 0
 		return fmt.Errorf("pool: snapshot state rejected: %w", err)
 	}
 	return nil

@@ -67,10 +67,17 @@ const walExt = ".wal"
 
 // WAL record kinds.
 const (
-	// recordRegister logs one seller admission (payload: StoredSeller).
+	// recordRegister logs one pre-trade seller admission (payload:
+	// StoredSeller).
 	recordRegister = "register"
 	// recordTrade logs one committed trading round (payload: tradeRecord).
 	recordTrade = "trade"
+	// recordJoin logs one mid-life seller admission (payload: joinRecord —
+	// the registration plus the admission weight and roster epoch).
+	recordJoin = "seller_join"
+	// recordLeave logs one seller release at any point of the market's life
+	// (payload: leaveRecord).
+	recordLeave = "seller_leave"
 )
 
 // tradeRecord is the WAL payload of one committed trade: the transaction
@@ -80,6 +87,22 @@ const (
 type tradeRecord struct {
 	Tx  *market.Transaction  `json:"tx"`
 	Obs translog.Observation `json:"obs"`
+}
+
+// joinRecord is the WAL payload of one mid-life admission. The recorded
+// admission weight is replayed verbatim — replay must reproduce the live
+// market's weight vector bit for bit, not re-derive it — and the epoch lets
+// replay validate the record against the roster history it lands on.
+type joinRecord struct {
+	Seller StoredSeller `json:"seller"`
+	Weight float64      `json:"weight"`
+	Epoch  uint64       `json:"epoch"`
+}
+
+// leaveRecord is the WAL payload of one seller release.
+type leaveRecord struct {
+	ID    string `json:"id"`
+	Epoch uint64 `json:"epoch"`
 }
 
 // walPath is the market's WAL segment path.
@@ -232,6 +255,7 @@ func (m *Market) applyRecordLocked(rec *wal.Record) error {
 				rec.Seq, st.ID, d.NumFeatures(), m.sellers[0].Data.NumFeatures())
 		}
 		m.sellers = append(m.sellers, &market.Seller{ID: st.ID, Lambda: st.Lambda, Data: d})
+		m.rosterEpoch++
 		return nil
 	case recordTrade:
 		var tr tradeRecord
@@ -246,11 +270,59 @@ func (m *Market) applyRecordLocked(rec *wal.Record) error {
 			if err != nil {
 				return fmt.Errorf("pool: rebuilding market for wal replay: %w", err)
 			}
+			mkt.SetEpoch(m.rosterEpoch)
 			m.mkt = mkt
 		}
 		if err := m.mkt.ApplyCommitted(tr.Tx, tr.Obs); err != nil {
 			return fmt.Errorf("pool: trade record %d: %w", rec.Seq, err)
 		}
+		return nil
+	case recordJoin:
+		var jr joinRecord
+		if err := json.Unmarshal(rec.Data, &jr); err != nil {
+			return fmt.Errorf("pool: decoding join record %d: %w", rec.Seq, err)
+		}
+		if m.mkt == nil {
+			return fmt.Errorf("pool: join record %d before trading began: %w", rec.Seq,
+				&market.RosterError{SellerID: jr.Seller.ID, Msg: "mid-life join replayed onto a pre-trade market"})
+		}
+		d := &dataset.Dataset{X: jr.Seller.Rows, Y: jr.Seller.Targets}
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("pool: join record %d seller %q: %w", rec.Seq, jr.Seller.ID, err)
+		}
+		sel := &market.Seller{ID: jr.Seller.ID, Lambda: jr.Seller.Lambda, Data: d}
+		if err := m.mkt.ApplyJoin(sel, jr.Weight, jr.Epoch); err != nil {
+			return fmt.Errorf("pool: join record %d: %w", rec.Seq, err)
+		}
+		m.sellers = append(m.sellers, sel)
+		m.rosterEpoch = jr.Epoch
+		return nil
+	case recordLeave:
+		var lr leaveRecord
+		if err := json.Unmarshal(rec.Data, &lr); err != nil {
+			return fmt.Errorf("pool: decoding leave record %d: %w", rec.Seq, err)
+		}
+		idx := -1
+		for i, sel := range m.sellers {
+			if sel.ID == lr.ID {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("pool: leave record %d: %w", rec.Seq,
+				&market.RosterError{SellerID: lr.ID, Msg: "unknown seller"})
+		}
+		if m.mkt != nil {
+			if err := m.mkt.ApplyLeave(lr.ID, lr.Epoch); err != nil {
+				return fmt.Errorf("pool: leave record %d: %w", rec.Seq, err)
+			}
+		} else if lr.Epoch != m.rosterEpoch+1 {
+			return fmt.Errorf("pool: leave record %d: %w", rec.Seq,
+				&market.RosterError{Msg: fmt.Sprintf("epoch %d does not follow roster epoch %d", lr.Epoch, m.rosterEpoch)})
+		}
+		m.sellers = append(m.sellers[:idx:idx], m.sellers[idx+1:]...)
+		m.rosterEpoch = lr.Epoch
 		return nil
 	default:
 		return fmt.Errorf("pool: unknown wal record kind %q (record %d)", rec.Kind, rec.Seq)
@@ -284,10 +356,33 @@ func (m *Market) persistTradeLocked(tx *market.Transaction, obs translog.Observa
 // mode keeps the legacy behavior — registrations persist at the next
 // SaveAll — so it returns 0.
 func (m *Market) persistRegisterLocked(st StoredSeller) (*wal.Log, uint64) {
+	return m.persistRosterLocked(recordRegister, st)
+}
+
+// persistJoinLocked logs one mid-life admission (writeMu held).
+func (m *Market) persistJoinLocked(jr joinRecord) (*wal.Log, uint64) {
+	return m.persistRosterLocked(recordJoin, jr)
+}
+
+// persistLeaveLocked logs one seller release (writeMu held). Snapshot mode
+// falls back to an immediate full snapshot: unlike a registration, a leave
+// shrinks state, and waiting for the next SaveAll would let a crash
+// resurrect the departed seller.
+func (m *Market) persistLeaveLocked(lr leaveRecord) (*wal.Log, uint64) {
+	l, seq := m.persistRosterLocked(recordLeave, lr)
+	if l == nil && m.p.snapshotDir != "" && m.durability == DurSnapshot {
+		m.saveLocked()
+	}
+	return l, seq
+}
+
+// persistRosterLocked appends one roster-mutation record (writeMu held),
+// falling back to a full snapshot on append failure.
+func (m *Market) persistRosterLocked(kind string, payload any) (*wal.Log, uint64) {
 	if m.p.snapshotDir == "" || !m.ensureLogLocked() {
 		return nil, 0
 	}
-	seq, err := m.log.Append(recordRegister, st)
+	seq, err := m.log.Append(kind, payload)
 	if err != nil {
 		m.p.logf("pool: market %q: wal append failed: %v; writing full snapshot instead", m.id, err)
 		m.saveLocked()

@@ -28,18 +28,19 @@ func fastWalOptions(dir string) Options {
 }
 
 // canonicalState renders everything a restored market must reproduce —
-// roster, weights, ledger, trading flag — as canonical JSON. Both the
+// roster epoch, roster, weights, ledger, trading flag — as canonical JSON. Both the
 // reference and the replayed state pass through one marshal/unmarshal
 // round trip, so float formatting is identical on both sides.
 func canonicalState(t *testing.T, m *Market) string {
 	t.Helper()
 	v := m.View()
 	raw, err := json.Marshal(struct {
+		Epoch   uint64                `json:"epoch"`
 		Sellers []SellerState         `json:"sellers"`
 		Weights []float64             `json:"weights"`
 		Trades  []*market.Transaction `json:"trades"`
 		Trading bool                  `json:"trading"`
-	}{v.Sellers, v.Weights, v.Trades, v.Trading})
+	}{v.Epoch, v.Sellers, v.Weights, v.Trades, v.Trading})
 	if err != nil {
 		t.Fatalf("marshaling market state: %v", err)
 	}

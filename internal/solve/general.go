@@ -60,8 +60,9 @@ func (b General) Precompute(g *core.Game) (Prepared, error) {
 }
 
 type generalPrepared struct {
-	b General
-	g *core.Game
+	b     General
+	g     *core.Game
+	epoch uint64
 
 	// Warm-start chain: the previous Solve's equilibrium profile and the
 	// data price it was solved at, carried into the next Solve's Stage-3
@@ -76,6 +77,39 @@ type generalPrepared struct {
 func (p *generalPrepared) Backend() Backend      { return p.b }
 func (p *generalPrepared) Game() *core.Game      { return p.g }
 func (p *generalPrepared) SetBuyer(b core.Buyer) { p.g.Buyer = b }
+func (p *generalPrepared) Epoch() uint64         { return p.epoch }
+
+// Reprepare applies one roster change incrementally and resizes the carried
+// warm-start profile to the new roster instead of throwing it away: a
+// leaving seller's τ entry is spliced out, a joiner is seeded at the
+// carried profile's mean (prices drift little on single-seller churn, so
+// the resized profile still lands within a sweep or two of the new
+// equilibrium — the PR 8 warm-start payoff survives churn).
+func (p *generalPrepared) Reprepare(d RosterDelta) error {
+	if err := applyDelta(p.g, d); err != nil {
+		return err
+	}
+	if old := p.warmTau; old != nil {
+		switch {
+		case d.Join && len(old) > 0:
+			nt := make([]float64, len(old)+1)
+			copy(nt, old)
+			var s float64
+			for _, t := range old {
+				s += t
+			}
+			nt[len(old)] = s / float64(len(old))
+			p.warmTau = nt
+		case !d.Join && d.Index < len(old):
+			nt := make([]float64, 0, len(old)-1)
+			p.warmTau = append(append(nt, old[:d.Index]...), old[d.Index+1:]...)
+		default:
+			p.warmTau = nil // chain no longer describes the roster; cold start
+		}
+	}
+	p.epoch = d.Epoch
+	return nil
+}
 
 // Clone carries the warm-start chain: clones solve from wherever their
 // ancestor's chain had converged to. Batch consumers clone each request from
@@ -84,6 +118,7 @@ func (p *generalPrepared) Clone() Prepared {
 	return &generalPrepared{
 		b:       p.b,
 		g:       p.g.Clone(),
+		epoch:   p.epoch,
 		warmPD:  p.warmPD,
 		warmTau: p.warmTau, // read-only by contract; never mutated in place
 	}

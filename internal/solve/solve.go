@@ -68,6 +68,55 @@ type Prepared interface {
 	// Clone returns an independent copy sharing no mutable state, carrying
 	// any precomputed caches.
 	Clone() Prepared
+	// Epoch reports the roster epoch this Prepared last re-prepared at: 0
+	// as built by Precompute, then whatever the latest Reprepare stamped.
+	// Clones carry the epoch.
+	Epoch() uint64
+	// Reprepare applies one roster change — a seller joining or leaving —
+	// in place, adjusting the precomputed seller aggregates incrementally
+	// (rank-1 style, see core.Game.AppendSeller/RemoveSellerAt) instead of
+	// rebuilding them from scratch. On success the Prepared solves the
+	// post-churn roster and Epoch reports d.Epoch; on error the Prepared
+	// must be discarded (callers stage Reprepare on a Clone and swap).
+	Reprepare(d RosterDelta) error
+}
+
+// RosterDelta describes one seller joining or leaving a prepared game's
+// roster — the unit of incremental re-preparation.
+type RosterDelta struct {
+	// Epoch is the roster epoch after the change; Prepared.Epoch reports it
+	// once the delta is applied.
+	Epoch uint64
+	// Join is true for a seller joining, false for one leaving.
+	Join bool
+	// Index locates the change: a join appends (Index must equal the
+	// pre-change seller count), a leave removes the Index-th seller.
+	Index int
+	// Lambda and Weight are the joining seller's privacy sensitivity and
+	// dataset weight (ignored on leave).
+	Lambda, Weight float64
+}
+
+// applyDelta mutates a prepared game's roster per d, keeping the Precompute
+// snapshot live: the core layer adjusts its aggregates incrementally, and a
+// dropped snapshot (a game that was never precomputed, or a failed guard)
+// falls back to one full Precompute so the post-churn Prepared always
+// carries a valid cache.
+func applyDelta(g *core.Game, d RosterDelta) error {
+	if d.Join {
+		if d.Index != g.M() {
+			return fmt.Errorf("solve: join at index %d of a %d-seller roster (joins append)", d.Index, g.M())
+		}
+		if err := g.AppendSeller(d.Lambda, d.Weight); err != nil {
+			return err
+		}
+	} else if err := g.RemoveSellerAt(d.Index); err != nil {
+		return err
+	}
+	if !g.Precomputed() {
+		return g.Precompute()
+	}
+	return nil
 }
 
 // StatsProvider is implemented by Prepared instances that track per-solve

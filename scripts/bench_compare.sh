@@ -5,6 +5,11 @@
 # regresses by more than 25% — the guard that keeps the interactive-range
 # cascade interactive. Baseline probes are informational (they measure the
 # deliberately unoptimized reference) and are not gated.
+#
+# The roster-churn probe (share-loadgen -bench-pr9) is gated too: the
+# committed bench_out/BENCH_PR9.json must pass, and a fresh run must keep
+# incremental re-preparation at least 10x faster than a full Precompute at
+# m=1000 (the loadgen enforces its own floor and exits non-zero below it).
 set -eu
 
 REPO_DIR=$(cd "$(dirname "$0")/.." && pwd)
@@ -46,5 +51,24 @@ done
 
 if [ "$status" -ne 0 ]; then
     echo "bench_compare: general-backend probes regressed beyond ${THRESHOLD}x" >&2
+fi
+
+# Roster-churn gate: the committed report must pass, and a fresh probe must
+# clear the same floor on this machine.
+COMMITTED_PR9=bench_out/BENCH_PR9.json
+if [ ! -s "$COMMITTED_PR9" ]; then
+    echo "bench_compare: missing $COMMITTED_PR9 — run 'share-loadgen -bench-pr9' and commit it first" >&2
+    exit 1
+fi
+if [ "$(jq -r '.pass' "$COMMITTED_PR9")" != true ]; then
+    echo "bench_compare: committed $COMMITTED_PR9 does not pass its own gate" >&2
+    exit 1
+fi
+echo "bench_compare: running fresh -bench-pr9 churn probes into $tmp"
+if go run ./cmd/share-loadgen -bench-pr9 -out "$tmp"; then
+    echo "bench_compare: churn probe ok ($(jq -r '.speedup_m1000' "$tmp/BENCH_PR9.json")x incremental speedup at m=1000)"
+else
+    echo "bench_compare: REGRESSION churn probe below its $(jq -r '.speedup_floor' "$COMMITTED_PR9")x floor" >&2
+    status=1
 fi
 exit "$status"

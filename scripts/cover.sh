@@ -2,9 +2,10 @@
 # make cover: per-package statement coverage for the whole module, with hard
 # floors on internal/solve — the solver-backend seam every consumer routes
 # through — internal/pool — the multi-market engine behind the /v2 API —
-# internal/wal — the write-ahead log every committed trade rides on — and
+# internal/wal — the write-ahead log every committed trade rides on —
 # internal/numeric — the optimizer toolbox under every price search and
-# best response of the general cascade.
+# best response of the general cascade — and internal/market — the
+# round-trip engine that owns roster churn and the weight trajectory.
 set -eu
 
 FLOOR=80.0
@@ -32,3 +33,4 @@ check_floor 'share/internal/solve'
 check_floor 'share/internal/pool'
 check_floor 'share/internal/wal'
 check_floor 'share/internal/numeric'
+check_floor 'share/internal/market'
