@@ -22,10 +22,11 @@ test:
 # Jacobi determinism guarantee and the Stage-3 τ-boundary cases of the
 # general cascade; the pool pass pins per-market isolation, the
 # delete-drain race, batch-quote determinism, the WAL crash-recovery
-# torture sweeps (trade-only and roster-churn histories), concurrent group
-# commit, the admission gate (reject / queue / cancel), the terminal-close
-# seal, the churn-vs-quote isolation of the copy-on-write view swap and
-# the churned-checkpoint round trip under the race detector;
+# torture sweeps (trade-only, roster-churn and budget_charge histories),
+# concurrent group commit, the admission gate (reject / queue / cancel),
+# the terminal-close seal, the churn-vs-quote isolation of the
+# copy-on-write view swap, the churned-checkpoint round trip and the
+# budget-exhaustion-vs-quote isolation under the race detector;
 # the httpapi pass pins cross-market overload isolation end to end; and
 # the serve-smoke end-to-end pass rides along so the gate also
 # exercises the live server lifecycle (boot, /v2 markets, trade, metrics,
@@ -35,7 +36,7 @@ race: vet
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestKernelEquivalence|TestRunRoundShapleyIdenticalAcrossWorkers' -count=1 ./internal/valuation ./internal/market
 	$(GO) test -race -run 'TestGeneralMatchesAnalytic|TestGeneralDeterministicAcrossWorkers|TestMapDeterministicAcrossWorkers|TestMeanFieldWithinTheoremBounds|TestSolveGeneralTau' -count=1 ./internal/solve ./internal/core
-	$(GO) test -race -run 'TestMarketsAreIsolated|TestDeleteDrainsInFlightRounds|TestBatchQuoteDeterminism|TestWALTortureRecovery|TestConcurrentTradesGroupCommit|TestAdmissionRejectsWhenQueueFull|TestAdmissionQueueWaitsForSlot|TestAdmissionQueuedTradeHonorsContext|TestCloseSealsPoolAgainstStragglers|TestAsyncCloseFlushesTail|TestChurnQuoteIsolation|TestChurnSurvivesCheckpoint' -count=1 ./internal/pool
+	$(GO) test -race -run 'TestMarketsAreIsolated|TestDeleteDrainsInFlightRounds|TestBatchQuoteDeterminism|TestWALTortureRecovery|TestWALTortureBudgetRecovery|TestConcurrentTradesGroupCommit|TestAdmissionRejectsWhenQueueFull|TestAdmissionQueueWaitsForSlot|TestAdmissionQueuedTradeHonorsContext|TestCloseSealsPoolAgainstStragglers|TestAsyncCloseFlushesTail|TestChurnQuoteIsolation|TestChurnSurvivesCheckpoint|TestExhaustedTradesLeaveQuotesUndisturbed' -count=1 ./internal/pool
 	$(GO) test -race -run 'TestOverloadIsolationAcrossMarkets|TestDrainAnswers503' -count=1 ./internal/httpapi
 	$(GO) test -race -run 'TestConcurrentGroupCommit|TestTornTailTruncatedAtEveryOffset' -count=1 ./internal/wal
 	$(MAKE) serve-smoke

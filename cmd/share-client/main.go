@@ -15,6 +15,8 @@
 //	register -id ID -lambda λ [-rows N]   register a synthetic-data seller
 //	add-seller                      alias for register (roster-churn phrasing)
 //	remove-seller -id ID            release a seller from the roster
+//	seller -id ID                   fetch one seller resource (weight, ε budget)
+//	topup-budget -id ID -add X      grant a seller X more ε budget
 //	sellers  [-limit N] [-offset N] list sellers with weights
 //	watch                           follow the market's live event stream (SSE)
 //	quote  [-n N] [-v V] [...]      solve the game without trading
@@ -81,10 +83,13 @@ commands:
   health         server liveness and default-market state
   markets        list hosted markets
   create-market  create a market: -id ID [-solver NAME] [-seed N] [-durability MODE]
+                 [-epsilon-budget ε] [-composition basic|advanced]
   delete-market  drain and delete a market: -id ID
   register       register a seller: -id ID -lambda λ [-rows N]
   add-seller     alias for register
   remove-seller  release a seller from the roster: -id ID
+  seller         fetch one seller resource (weight, roster epoch, ε budget): -id ID
+  topup-budget   grant a seller more ε budget: -id ID -add X
   sellers        list registered sellers: [-limit N] [-offset N]
   watch          follow the market's live event stream until interrupted
   quote          equilibrium quote: [-n N] [-v V] [-theta1 θ] [-rho1 ρ] [-rho2 ρ] [-solver NAME]
@@ -118,15 +123,20 @@ func dispatch(ctx context.Context, c *httpapi.Client, marketID, cmd string, args
 		solver := fs.String("solver", "", "equilibrium backend for the market (empty = server default)")
 		seed := fs.Int64("seed", 0, "pin the market's random seed")
 		durability := fs.String("durability", "", "commit mode for the market: snapshot | sync | group | async (empty = server default)")
+		epsBudget := fs.Float64("epsilon-budget", 0, "per-seller privacy budget ε (explicit 0 disables budgeting; unset = server default)")
+		composition := fs.String("composition", "", "ε-composition rule: basic | advanced (empty = basic)")
 		if err := fs.Parse(args); err != nil {
 			return err
 		}
 		if *id == "" {
 			return fmt.Errorf("create-market: -id is required")
 		}
-		spec := httpapi.MarketSpec{ID: *id, Solver: *solver, Durability: *durability}
-		if seedSet(fs) {
+		spec := httpapi.MarketSpec{ID: *id, Solver: *solver, Durability: *durability, Composition: *composition}
+		if flagSet(fs, "seed") {
 			spec.Seed = seed
+		}
+		if flagSet(fs, "epsilon-budget") {
+			spec.EpsilonBudget = epsBudget
 		}
 		info, err := c.CreateMarket(ctx, spec)
 		if err != nil {
@@ -186,6 +196,35 @@ func dispatch(ctx context.Context, c *httpapi.Client, marketID, cmd string, args
 		}
 		fmt.Printf("seller %q released\n", *id)
 		return nil
+	case "seller":
+		fs := flag.NewFlagSet("seller", flag.ExitOnError)
+		id := fs.String("id", "", "seller id (required)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if *id == "" {
+			return fmt.Errorf("seller: -id is required")
+		}
+		info, err := c.SellerIn(ctx, orDefault(marketID), *id)
+		if err != nil {
+			return err
+		}
+		return printJSON(info)
+	case "topup-budget":
+		fs := flag.NewFlagSet("topup-budget", flag.ExitOnError)
+		id := fs.String("id", "", "seller id (required)")
+		add := fs.Float64("add", 0, "ε to grant on top of the seller's budget (required, > 0)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if *id == "" {
+			return fmt.Errorf("topup-budget: -id is required")
+		}
+		info, err := c.TopUpBudgetIn(ctx, orDefault(marketID), *id, *add)
+		if err != nil {
+			return err
+		}
+		return printJSON(info)
 	case "watch":
 		// The stream is open-ended: bypass the dispatch deadline and run
 		// until the user interrupts (^C) or the server closes the stream.
@@ -301,12 +340,13 @@ func orDefault(marketID string) string {
 	return marketID
 }
 
-// seedSet reports whether -seed was passed explicitly (0 is a valid seed,
-// so the default value cannot signal absence).
-func seedSet(fs *flag.FlagSet) bool {
+// flagSet reports whether the named flag was passed explicitly (0 is a
+// valid seed and a meaningful ε budget — "disable" — so default values
+// cannot signal absence).
+func flagSet(fs *flag.FlagSet, name string) bool {
 	set := false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "seed" {
+		if f.Name == name {
 			set = true
 		}
 	})

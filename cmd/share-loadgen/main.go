@@ -19,7 +19,7 @@
 //	share-loadgen [-addr URL] [-out DIR] [-markets N] [-sellers N]
 //	              [-quote-workers N] [-trade-workers N] [-churn N]
 //	              [-duration D] [-quote-rate R] [-batch N] [-trade-queue N]
-//	              [-trade-concurrency N] [-seed N] [-bench-pr9]
+//	              [-trade-concurrency N] [-seed N] [-bench-pr9] [-bench-pr10]
 //
 // With no -addr the tool self-hosts an in-process server on a loopback
 // listener (with a cheap weight update so trades are fast); point -addr at
@@ -38,6 +38,14 @@
 // DIR/BENCH_PR9.json. The run exits non-zero unless the incremental path is
 // at least 10x faster at m = 1000 and the post-churn prices agree with the
 // fresh solve to 1e-9.
+//
+// -bench-pr10 probes the per-seller privacy-budget ledger: identical trade
+// scripts against a budget-free market and a generously budgeted twin
+// (pinned seeds, so the rounds do identical work) measure the ledger's
+// check-and-charge overhead on the trade path, and an ε-starved market
+// proves the exhaustion refusal engages. Results go to DIR/BENCH_PR10.json;
+// the run exits non-zero if the overhead exceeds 5% or any starved trade
+// slips through.
 package main
 
 import (
@@ -83,10 +91,17 @@ func main() {
 		churnW    = flag.Int("churn", 1, "roster-churn workers per market (loaded phase; 0 disables)")
 		seed      = flag.Int64("seed", 1, "server seed (self-hosted only)")
 		benchPR9  = flag.Bool("bench-pr9", false, "run the incremental-vs-fresh re-precompute probes and write BENCH_PR9.json instead of the load phases")
+		benchPR10 = flag.Bool("bench-pr10", false, "run the privacy-budget ledger overhead and exhaustion probes and write BENCH_PR10.json instead of the load phases")
 	)
 	flag.Parse()
 	if *benchPR9 {
 		if err := runBenchPR9(*outDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchPR10 {
+		if err := runBenchPR10(*outDir); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -10,6 +10,18 @@
 //	             [-durability MODE] [-max-body BYTES] [-trade-timeout D]
 //	             [-trade-queue N] [-trade-concurrency N] [-drain D]
 //	             [-workers N] [-pprof ADDR] [-solver NAME]
+//	             [-epsilon-budget ε] [-composition RULE]
+//	             [-similarity-discount γ] [-similarity-threshold r]
+//
+// -epsilon-budget gives every seller in new markets a privacy budget: each
+// trade's LDP application charges the seller's per-round ε to a durable
+// ledger, composed by -composition (basic sum or the advanced
+// strong-composition bound), and a trade that would overrun any
+// participant's budget is refused with 409 budget_exhausted until the
+// seller is topped up. /v2 market creation overrides both via the spec's
+// "epsilon_budget" and "composition" fields. -similarity-discount enables
+// similarity-aware pricing: sellers whose data is pairwise redundant above
+// -similarity-threshold have their Shapley payouts discounted by up to γ.
 //
 // -trade-concurrency and -trade-queue set every market's admission
 // envelope: at most N trades execute per market while up to Q more wait in
@@ -64,6 +76,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	_ "net/http/pprof" // registers /debug/pprof/ on the default mux for -pprof
@@ -72,7 +85,9 @@ import (
 	"syscall"
 	"time"
 
+	"share/internal/budget"
 	"share/internal/httpapi"
+	"share/internal/market"
 	"share/internal/pool"
 	"share/internal/solve"
 	"share/internal/stat"
@@ -97,6 +112,10 @@ func main() {
 		tradeConc    = flag.Int("trade-concurrency", 0, "max trades executing per market at once (0 = default 1); /v2 market creation overrides via the spec's \"trade_concurrency\" field")
 		solver       = flag.String("solver", "", "default equilibrium backend: analytic | meanfield | general (empty = analytic); requests override per-trade via the demand's \"solver\" field")
 		durability   = flag.String("durability", "", "default market commit mode with -snapshot-dir: snapshot | sync | group | async (empty = group); /v2 market creation overrides per-market via the spec's \"durability\" field")
+		epsBudget    = flag.Float64("epsilon-budget", 0, "default per-seller privacy budget ε for new markets (0 = budgeting disabled); /v2 market creation overrides via the spec's \"epsilon_budget\" field")
+		composition  = flag.String("composition", "", "default ε-composition rule for budgeted markets: basic | advanced (empty = basic); /v2 market creation overrides via the spec's \"composition\" field")
+		simDiscount  = flag.Float64("similarity-discount", 0, "similarity-aware pricing: max fraction shaved off a fully redundant seller's payout, in (0,1] (0 = disabled)")
+		simThreshold = flag.Float64("similarity-threshold", 0.9, "pairwise redundancy at or below which no discount applies, in [0,1); only meaningful with -similarity-discount")
 	)
 	flag.Parse()
 
@@ -105,6 +124,18 @@ func main() {
 	}
 	if _, err := pool.ParseDurability(*durability); err != nil {
 		log.Fatalf("-durability: %v", err)
+	}
+	if !(*epsBudget >= 0) || math.IsInf(*epsBudget, 0) {
+		log.Fatalf("-epsilon-budget: %g is not a finite non-negative ε", *epsBudget)
+	}
+	if _, err := budget.ParseComposition(*composition); err != nil {
+		log.Fatalf("-composition: %v", err)
+	}
+	if *simDiscount != 0 {
+		dc := market.DiscountConfig{Factor: *simDiscount, Threshold: *simThreshold}
+		if err := dc.Validate(); err != nil {
+			log.Fatalf("-similarity-discount: %v", err)
+		}
 	}
 	if *snapshot != "" && *snapshotDir != "" {
 		log.Fatalf("-snapshot and -snapshot-dir are mutually exclusive")
@@ -125,16 +156,20 @@ func main() {
 	}
 
 	srv := httpapi.NewServer(httpapi.Options{
-		Seed:             *seed,
-		Logf:             log.Printf,
-		MaxBodyBytes:     *maxBody,
-		TradeTimeout:     *tradeTimeout,
-		Workers:          *workers,
-		Solver:           *solver,
-		SnapshotDir:      *snapshotDir,
-		Durability:       *durability,
-		TradeConcurrency: *tradeConc,
-		TradeQueue:       *tradeQueue,
+		Seed:              *seed,
+		Logf:              log.Printf,
+		MaxBodyBytes:      *maxBody,
+		TradeTimeout:      *tradeTimeout,
+		Workers:           *workers,
+		Solver:            *solver,
+		SnapshotDir:       *snapshotDir,
+		Durability:        *durability,
+		TradeConcurrency:  *tradeConc,
+		TradeQueue:        *tradeQueue,
+		EpsilonBudget:     *epsBudget,
+		Composition:       *composition,
+		DiscountFactor:    *simDiscount,
+		DiscountThreshold: *simThreshold,
 	})
 	handler := srv.Handler()
 

@@ -14,7 +14,9 @@
 //	DELETE /v2/markets/{id}                drain in-flight rounds, delete
 //	POST   /v2/markets/{id}/sellers        register a seller (before or after trading starts)
 //	GET    /v2/markets/{id}/sellers        list sellers (limit/offset)
+//	GET    /v2/markets/{id}/sellers/{sid}  one seller's state (weight, ε budget, discount)
 //	DELETE /v2/markets/{id}/sellers/{sid}  release a seller from the roster
+//	POST   /v2/markets/{id}/sellers/{sid}/budget  top up the seller's ε budget {"add"}
 //	POST   /v2/markets/{id}/quotes         solve a BATCH of demands concurrently
 //	POST   /v2/markets/{id}/trades         run one trading round
 //	GET    /v2/markets/{id}/trades         list the ledger (limit/offset)
@@ -137,6 +139,21 @@ type Options struct {
 	// DefaultMarket names the market the /v1 aliases operate on
 	// ("" → "default").
 	DefaultMarket string
+	// EpsilonBudget is the default per-seller privacy budget (total ε a
+	// seller's data may absorb across rounds) for markets on this server.
+	// 0 disables budgeting; markets may override it at creation.
+	EpsilonBudget float64
+	// Composition selects how per-round ε charges compose into a seller's
+	// spent total: "basic" (plain sum, the default) or "advanced" (the
+	// strong-composition bound). Markets may override it at creation.
+	Composition string
+	// DiscountFactor enables similarity-aware pricing: the maximum fraction
+	// shaved off a fully redundant seller's Shapley payout (0 disables,
+	// must be ≤ 1).
+	DiscountFactor float64
+	// DiscountThreshold is the pairwise-redundancy level below which no
+	// discount applies (default 0 discounts any redundancy; must be < 1).
+	DiscountThreshold float64
 }
 
 // NewServer builds a service hosting one empty default market; further
@@ -162,19 +179,23 @@ func NewServer(opt Options) *Server {
 		maxBody:   maxBody,
 	}
 	s.pool = pool.New(pool.Options{
-		Cost:             opt.Cost,
-		TestRows:         opt.TestRows,
-		Update:           opt.Update,
-		Workers:          opt.Workers,
-		Solver:           opt.Solver,
-		Seed:             opt.Seed,
-		TradeTimeout:     opt.TradeTimeout,
-		TradeConcurrency: opt.TradeConcurrency,
-		TradeQueue:       opt.TradeQueue,
-		SnapshotDir:      opt.SnapshotDir,
-		Durability:       opt.Durability,
-		Metrics:          s.metrics,
-		Logf:             logf,
+		Cost:              opt.Cost,
+		TestRows:          opt.TestRows,
+		Update:            opt.Update,
+		Workers:           opt.Workers,
+		Solver:            opt.Solver,
+		Seed:              opt.Seed,
+		TradeTimeout:      opt.TradeTimeout,
+		TradeConcurrency:  opt.TradeConcurrency,
+		TradeQueue:        opt.TradeQueue,
+		SnapshotDir:       opt.SnapshotDir,
+		Durability:        opt.Durability,
+		EpsilonBudget:     opt.EpsilonBudget,
+		Composition:       opt.Composition,
+		DiscountFactor:    opt.DiscountFactor,
+		DiscountThreshold: opt.DiscountThreshold,
+		Metrics:           s.metrics,
+		Logf:              logf,
 	})
 	seed := opt.Seed
 	if _, err := s.pool.Create(pool.Spec{ID: defaultID, Seed: &seed}); err != nil {
@@ -221,7 +242,9 @@ func (s *Server) Handler() http.Handler {
 	route("DELETE /v2/markets/{id}", s.handleDeleteMarket)
 	route("POST /v2/markets/{id}/sellers", s.onMarket(s.handleRegisterSeller))
 	route("GET /v2/markets/{id}/sellers", s.onMarket(s.handleListSellers))
+	route("GET /v2/markets/{id}/sellers/{sid}", s.onMarket(s.handleGetSeller))
 	route("DELETE /v2/markets/{id}/sellers/{sid}", s.onMarket(s.handleRemoveSeller))
+	route("POST /v2/markets/{id}/sellers/{sid}/budget", s.onMarket(s.handleTopUpBudget))
 	route("POST /v2/markets/{id}/quotes", s.onMarket(s.handleQuoteBatch))
 	route("POST /v2/markets/{id}/trades", s.onMarket(s.handleTrade))
 	route("GET /v2/markets/{id}/trades", s.onMarket(s.handleListTrades))
@@ -319,6 +342,17 @@ type MarketSpec struct {
 	// every slot is busy; must be ≥ 0). Trades past the queue answer 429
 	// with a Retry-After hint.
 	TradeQueue *int `json:"trade_queue,omitempty"`
+	// EpsilonBudget overrides the server's default per-seller privacy
+	// budget for this market (absent → server default; an explicit 0
+	// disables budgeting; negative or non-finite values are a field-level
+	// error). When set, every trade charges each participating seller's
+	// ledger with the round's ε and refuses with 409 budget_exhausted once
+	// a charge would overrun a seller's budget.
+	EpsilonBudget *float64 `json:"epsilon_budget,omitempty"`
+	// Composition selects this market's ε-composition rule: "basic" (plain
+	// sum) or "advanced" (the strong-composition bound). "" inherits the
+	// server default; unknown names are a field-level error.
+	Composition string `json:"composition,omitempty"`
 }
 
 // MarketInfo is the market resource representation (POST/GET /v2/markets).
@@ -344,12 +378,45 @@ type SellerRegistration struct {
 	SyntheticRows int `json:"synthetic_rows,omitempty"`
 }
 
-// SellerInfo is one entry of the seller listings.
+// SellerInfo is the seller resource representation, shared by the seller
+// listings and GET /v2/markets/{id}/sellers/{sid}. The budget and discount
+// fields are omitted when the market has no privacy-budget ledger (resp. no
+// similarity discounting) configured.
 type SellerInfo struct {
 	ID     string  `json:"id"`
 	Lambda float64 `json:"lambda"`
 	Rows   int     `json:"rows"`
 	Weight float64 `json:"weight"`
+	// RosterEpoch is the roster epoch the state was read at.
+	RosterEpoch uint64 `json:"roster_epoch,omitempty"`
+	// EpsilonBudget and EpsilonSpent are the seller's total privacy budget
+	// and the ε composed across the rounds she sold into so far.
+	EpsilonBudget float64 `json:"epsilon_budget,omitempty"`
+	EpsilonSpent  float64 `json:"epsilon_spent,omitempty"`
+	// Discount is the similarity factor applied to the seller's payout in
+	// the last committed round (1 = undiscounted).
+	Discount float64 `json:"discount,omitempty"`
+}
+
+// sellerInfo renders one roster entry read at the given epoch.
+func sellerInfo(st pool.SellerState, epoch uint64) SellerInfo {
+	return SellerInfo{
+		ID:            st.ID,
+		Lambda:        st.Lambda,
+		Rows:          st.Rows,
+		Weight:        st.Weight,
+		RosterEpoch:   epoch,
+		EpsilonBudget: st.Budget,
+		EpsilonSpent:  st.Spent,
+		Discount:      st.Discount,
+	}
+}
+
+// TopUpRequest is the POST /v2/markets/{id}/sellers/{sid}/budget body.
+type TopUpRequest struct {
+	// Add is the ε granted on top of the seller's current budget; must be
+	// positive and finite.
+	Add float64 `json:"add"`
 }
 
 // Demand is a buyer's product demand. Zero utility fields default to the
@@ -513,6 +580,8 @@ func (s *Server) handleCreateMarket(w http.ResponseWriter, r *http.Request) {
 		Durability:       spec.Durability,
 		TradeConcurrency: spec.TradeConcurrency,
 		TradeQueue:       spec.TradeQueue,
+		EpsilonBudget:    spec.EpsilonBudget,
+		Composition:      spec.Composition,
 	})
 	if err != nil {
 		writeError(w, err)
@@ -580,7 +649,42 @@ func (s *Server) handleRegisterSeller(w http.ResponseWriter, r *http.Request, m 
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, SellerInfo{ID: st.ID, Lambda: st.Lambda, Rows: st.Rows})
+	// Serve the full resource shape: the published view carries the
+	// admission's budget state (a concurrent removal can race the lookup,
+	// in which case the registration-time state stands).
+	if fresh, epoch, err := m.Seller(st.ID); err == nil {
+		writeJSON(w, http.StatusCreated, sellerInfo(fresh, epoch))
+		return
+	}
+	writeJSON(w, http.StatusCreated, SellerInfo{ID: st.ID, Lambda: st.Lambda, Rows: st.Rows, Weight: st.Weight})
+}
+
+func (s *Server) handleGetSeller(w http.ResponseWriter, r *http.Request, m *pool.Market) {
+	st, epoch, err := m.Seller(r.PathValue("sid"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sellerInfo(st, epoch))
+}
+
+// handleTopUpBudget raises one seller's privacy budget. The grant is
+// persisted like any other ledger mutation and the refreshed seller
+// resource is returned.
+func (s *Server) handleTopUpBudget(w http.ResponseWriter, r *http.Request, m *pool.Market) {
+	var req TopUpRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	sid := r.PathValue("sid")
+	st, err := m.TopUpBudget(sid, req.Add)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.logf("httpapi: market %q topped up seller %q budget by ε=%g", m.ID(), sid, req.Add)
+	writeJSON(w, http.StatusOK, sellerInfo(st, m.View().Epoch))
 }
 
 func (s *Server) handleRemoveSeller(w http.ResponseWriter, r *http.Request, m *pool.Market) {
@@ -602,7 +706,7 @@ func (s *Server) handleListSellers(w http.ResponseWriter, r *http.Request, m *po
 	}
 	out := make([]SellerInfo, 0, hi-lo)
 	for _, st := range v.Sellers[lo:hi] {
-		out = append(out, SellerInfo{ID: st.ID, Lambda: st.Lambda, Rows: st.Rows, Weight: st.Weight})
+		out = append(out, sellerInfo(st, v.Epoch))
 	}
 	writeJSON(w, http.StatusOK, out)
 }

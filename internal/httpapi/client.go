@@ -218,6 +218,23 @@ func (c *Client) Watch(ctx context.Context, marketID string, fn func(StreamEvent
 	return nil
 }
 
+// SellerIn fetches one seller's state in the named market: weight, roster
+// epoch and, on budgeted markets, the ε budget, spend and last similarity
+// discount. Unknown sellers answer 404 seller_not_found.
+func (c *Client) SellerIn(ctx context.Context, marketID, sellerID string) (SellerInfo, error) {
+	var out SellerInfo
+	return out, c.do(ctx, http.MethodGet, c.marketPath(marketID, "/sellers/"+url.PathEscape(sellerID)), nil, &out)
+}
+
+// TopUpBudgetIn raises a seller's privacy budget in the named market by add
+// (ε) and returns the refreshed seller resource. Markets without a budget
+// answer a field-level 400; unknown sellers 404 seller_not_found.
+func (c *Client) TopUpBudgetIn(ctx context.Context, marketID, sellerID string, add float64) (SellerInfo, error) {
+	var out SellerInfo
+	path := c.marketPath(marketID, "/sellers/"+url.PathEscape(sellerID)+"/budget")
+	return out, c.do(ctx, http.MethodPost, path, TopUpRequest{Add: add}, &out)
+}
+
 // SellersIn lists a page of the named market's sellers.
 func (c *Client) SellersIn(ctx context.Context, marketID string, page Page) ([]SellerInfo, error) {
 	var out []SellerInfo

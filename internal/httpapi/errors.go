@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"share/internal/budget"
 	"share/internal/market"
 	"share/internal/pool"
 )
@@ -46,22 +47,24 @@ func (e *Error) Error() string {
 
 // Stable error codes. Every non-2xx response carries exactly one of these.
 const (
-	CodeInvalidBody        = "invalid_body"        // 400: body not decodable as the endpoint's request type
-	CodeBodyTooLarge       = "body_too_large"      // 413: body exceeds the server cap
-	CodeInvalidField       = "invalid_field"       // 400: a named field failed validation
-	CodeInvalidDemand      = "invalid_demand"      // 400: the demand was rejected by the game (wraps market.ErrDemand)
-	CodeMarketNotFound     = "market_not_found"    // 404: no such market
-	CodeMarketExists       = "market_exists"       // 409: market ID already hosted
-	CodeMarketClosed       = "market_closed"       // 409: market is draining for deletion
-	CodeMarketProtected    = "market_protected"    // 409: the default market cannot be deleted (v1 aliases onto it)
-	CodeNoSellers          = "no_sellers"          // 409: quote/trade before any registration
-	CodeRosterMismatch     = "roster_mismatch"     // 400: a roster change or replayed roster state was inconsistent
-	CodeSellerExists       = "seller_exists"       // 409: duplicate seller ID
-	CodeTimeout            = "timeout"             // 504: the round outran its deadline
-	CodeCanceled           = "canceled"            // 503: the client disconnected mid-round
-	CodeOverloaded         = "overloaded"          // 429: the market's trade queue is full; honor Retry-After
-	CodeDraining           = "draining"            // 503: the server is shutting down; retry against a healthy instance
-	CodeInternal           = "internal"            // 500: market-side fault
+	CodeInvalidBody     = "invalid_body"     // 400: body not decodable as the endpoint's request type
+	CodeBodyTooLarge    = "body_too_large"   // 413: body exceeds the server cap
+	CodeInvalidField    = "invalid_field"    // 400: a named field failed validation
+	CodeInvalidDemand   = "invalid_demand"   // 400: the demand was rejected by the game (wraps market.ErrDemand)
+	CodeMarketNotFound  = "market_not_found" // 404: no such market
+	CodeMarketExists    = "market_exists"    // 409: market ID already hosted
+	CodeMarketClosed    = "market_closed"    // 409: market is draining for deletion
+	CodeMarketProtected = "market_protected" // 409: the default market cannot be deleted (v1 aliases onto it)
+	CodeNoSellers       = "no_sellers"       // 409: quote/trade before any registration
+	CodeRosterMismatch  = "roster_mismatch"  // 400: a roster change or replayed roster state was inconsistent
+	CodeSellerExists    = "seller_exists"    // 409: duplicate seller ID
+	CodeSellerNotFound  = "seller_not_found" // 404: no such seller in the market's roster
+	CodeBudgetExhausted = "budget_exhausted" // 409: a trade's ε charge would overrun a seller's privacy budget
+	CodeTimeout         = "timeout"          // 504: the round outran its deadline
+	CodeCanceled        = "canceled"         // 503: the client disconnected mid-round
+	CodeOverloaded      = "overloaded"       // 429: the market's trade queue is full; honor Retry-After
+	CodeDraining        = "draining"         // 503: the server is shutting down; retry against a healthy instance
+	CodeInternal        = "internal"         // 500: market-side fault
 )
 
 // drainRetryAfterSeconds is the Retry-After hint attached to 503 draining
@@ -110,6 +113,13 @@ func classifyError(err error) *Error {
 		return apiErrorf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 			"request body exceeds %d bytes", tooBig.Limit)
 	}
+	// Budget exhaustion before the roster check: the typed error names the
+	// refused seller, and a 409 with the ledger numbers is actionable (top
+	// up or wait) where a generic roster 400 would not be.
+	var ee *budget.ExhaustedError
+	if errors.As(err, &ee) {
+		return &Error{Status: http.StatusConflict, Code: CodeBudgetExhausted, Field: "sid", Message: err.Error()}
+	}
 	var re *market.RosterError
 	if errors.As(err, &re) {
 		e := &Error{Status: http.StatusBadRequest, Code: CodeRosterMismatch, Message: err.Error()}
@@ -149,6 +159,8 @@ func classifyError(err error) *Error {
 		return apiErrorf(http.StatusConflict, CodeNoSellers, "%v", err)
 	case errors.Is(err, pool.ErrSellerExists):
 		return apiErrorf(http.StatusConflict, CodeSellerExists, "%v", err)
+	case errors.Is(err, pool.ErrSellerNotFound):
+		return &Error{Status: http.StatusNotFound, Code: CodeSellerNotFound, Field: "sid", Message: err.Error()}
 	case errors.Is(err, market.ErrDemand):
 		return apiErrorf(http.StatusBadRequest, CodeInvalidDemand, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):

@@ -45,12 +45,13 @@ func TestRemoveSellerEndpoint(t *testing.T) {
 		t.Fatalf("roster after remove = %+v", infos)
 	}
 
-	// Unknown seller: field-level roster_mismatch 400.
+	// Unknown seller: 404 seller_not_found, the same envelope every seller
+	// sub-resource answers.
 	resp, body = doDelete(t, ts.URL+"/v2/markets/default/sellers/ghost")
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown seller remove = %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown seller remove = %d, want 404", resp.StatusCode)
 	}
-	if e := decodeErrorEnvelope(t, body); e.Code != CodeRosterMismatch || e.Field != "seller_id" {
+	if e := decodeErrorEnvelope(t, body); e.Code != CodeSellerNotFound || e.Field != "sid" {
 		t.Errorf("unknown seller envelope = %+v", e)
 	}
 

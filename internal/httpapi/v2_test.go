@@ -262,7 +262,11 @@ func TestErrorEnvelope(t *testing.T) {
 
 	// Quote before any seller registers: 409 no_sellers on a fresh market.
 	_, body := postJSON(t, ts.URL+"/v2/markets", MarketSpec{ID: "empty"})
-	if e := func() *Error { resp, b := postJSON(t, ts.URL+"/v2/markets/empty/quotes", QuoteBatchRequest{Demands: []Demand{{N: 100, V: 0.8}}}); _ = resp; return decodeErrorEnvelope(t, b) }(); e.Code != CodeNoSellers {
+	if e := func() *Error {
+		resp, b := postJSON(t, ts.URL+"/v2/markets/empty/quotes", QuoteBatchRequest{Demands: []Demand{{N: 100, V: 0.8}}})
+		_ = resp
+		return decodeErrorEnvelope(t, b)
+	}(); e.Code != CodeNoSellers {
 		t.Fatalf("quote on empty market: %+v (create said %s)", e, body)
 	}
 }

@@ -36,11 +36,14 @@ func TestRunRoundContextCanceledLeavesMarketUnchanged(t *testing.T) {
 }
 
 func TestRunRoundContextDeadlineDuringShapley(t *testing.T) {
-	// A deadline so tight it must expire inside the round: the error has to
-	// surface as DeadlineExceeded, not wedge or commit partial state.
+	// A deadline that expires during the round: the error has to surface as
+	// DeadlineExceeded, not wedge or commit partial state. The timer that
+	// cancels the context fires asynchronously, so wait for it — otherwise
+	// a fast round can finish before a coarse-grained timer ever fires.
 	mkt, buyer := testMarket(t, 4, &WeightUpdate{Retain: 0.2, Permutations: 500}, 11)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
 	defer cancel()
+	<-ctx.Done()
 	_, err := mkt.RunRoundContext(ctx, buyer, nil)
 	if err == nil {
 		t.Fatal("round with 1µs deadline succeeded")

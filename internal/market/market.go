@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"time"
 
+	"share/internal/budget"
 	"share/internal/core"
 	"share/internal/dataset"
 	"share/internal/ldp"
@@ -94,6 +95,58 @@ type Config struct {
 	Solver solve.Backend
 	// Seed seeds the market's private random source.
 	Seed int64
+	// Budget, when non-nil, is the per-seller ε-ledger every trade charges:
+	// before any record is perturbed the round's per-seller ε charges are
+	// checked against the ledger, and an exhausted seller aborts the whole
+	// round with a *budget.ExhaustedError — the refusal is surfaced, never
+	// silently re-priced around. The market does not own the ledger's
+	// persistence; the caller (internal/pool) serializes access and logs
+	// committed charges. nil disables budget accounting with a code path
+	// bit-identical to a pre-budget market.
+	Budget *budget.Ledger
+	// Discount, when non-nil with a positive Factor, prices data similarity
+	// into Shapley payouts: near-duplicate sellers (by Gram-moment
+	// redundancy) have their positive Shapley values scaled down before
+	// normalization. nil disables discounting with no behavioral change.
+	Discount *DiscountConfig
+}
+
+// DiscountConfig shapes the similarity discount d(r) applied to a seller
+// with redundancy r (the max pairwise moment-cosine, valuation.Redundancy):
+//
+//	d(r) = 1                              for r ≤ Threshold
+//	d(r) = 1 − Factor·(r−Threshold)/(1−Threshold)   otherwise
+//
+// so a perfect duplicate (r = 1) keeps 1−Factor of its payout and the
+// discount fades linearly to nothing at the threshold.
+type DiscountConfig struct {
+	// Factor γ ∈ (0,1] is the payout reduction at full redundancy.
+	Factor float64
+	// Threshold r₀ ∈ [0,1): redundancy at or below it is never discounted.
+	Threshold float64
+}
+
+// Validate reports whether the discount shape is usable.
+func (dc *DiscountConfig) Validate() error {
+	if !(dc.Factor > 0 && dc.Factor <= 1) {
+		return fmt.Errorf("market: discount factor %g outside (0,1]", dc.Factor)
+	}
+	if !(dc.Threshold >= 0 && dc.Threshold < 1) {
+		return fmt.Errorf("market: discount threshold %g outside [0,1)", dc.Threshold)
+	}
+	return nil
+}
+
+// factor evaluates d(r).
+func (dc *DiscountConfig) factor(r float64) float64 {
+	if r <= dc.Threshold {
+		return 1
+	}
+	d := 1 - dc.Factor*(r-dc.Threshold)/(1-dc.Threshold)
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 // Market is a running data market with one broker and m registered sellers.
@@ -111,6 +164,8 @@ type Market struct {
 	rng       *rand.Rand
 	ledger    []*Transaction
 	costLog   []translog.Observation
+	budget    *budget.Ledger
+	discount  *DiscountConfig
 
 	// epoch counts roster changes (seller joins and leaves) over the
 	// market's life. Transactions and snapshots are stamped with it, and
@@ -156,8 +211,17 @@ type Transaction struct {
 	// Metrics scores the manufactured product on the clean test set;
 	// Metrics.Performance is the realized counterpart of the demanded v.
 	Metrics product.Report
-	// Shapley holds the per-seller Shapley values when weight updates ran.
+	// Shapley holds the per-seller Shapley values when weight updates ran —
+	// post-discount when similarity discounting is enabled (these are the
+	// values the payout and weight update actually used).
 	Shapley []float64
+	// Discounts holds the per-seller similarity discount factors d(rᵢ)
+	// applied to this round's Shapley payouts; nil when discounting is
+	// disabled, so pre-discount markets serialize byte-identically.
+	Discounts []float64 `json:",omitempty"`
+	// BudgetSpent is each seller's composed cumulative ε after this round's
+	// charges; nil when the market has no budget ledger.
+	BudgetSpent []float64 `json:",omitempty"`
 	// Weights is the broker's weight vector after any update.
 	Weights []float64
 	// Solver names the equilibrium backend that produced Profile.
@@ -221,6 +285,14 @@ func New(sellers []*Seller, cfg Config) (*Market, error) {
 	if backend == nil {
 		backend = solve.Analytic{}
 	}
+	discount := cfg.Discount
+	if discount != nil {
+		if discount.Factor == 0 {
+			discount = nil // zero factor means "not configured"
+		} else if err := discount.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	lambdas := make([]float64, len(sellers))
 	for i, s := range sellers {
 		lambdas[i] = s.Lambda
@@ -236,6 +308,8 @@ func New(sellers []*Seller, cfg Config) (*Market, error) {
 		lambdas:   lambdas,
 		backend:   backend,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		budget:    cfg.Budget,
+		discount:  discount,
 	}
 	if err := m.rebuildProto(); err != nil {
 		return nil, fmt.Errorf("market: precomputing solver prototype: %w", err)
@@ -364,6 +438,8 @@ func (tx *Transaction) Clone() *Transaction {
 	cp.Epsilons = append([]float64(nil), tx.Epsilons...)
 	cp.Compensations = append([]float64(nil), tx.Compensations...)
 	cp.Shapley = append([]float64(nil), tx.Shapley...)
+	cp.Discounts = append([]float64(nil), tx.Discounts...)
+	cp.BudgetSpent = append([]float64(nil), tx.BudgetSpent...)
 	cp.Weights = append([]float64(nil), tx.Weights...)
 	if tx.Metrics.Detail != nil {
 		cp.Metrics.Detail = make(map[string]float64, len(tx.Metrics.Detail))
@@ -501,14 +577,47 @@ func (m *Market) RunRoundBackend(ctx context.Context, buyer core.Buyer, builder 
 	n := int(buyer.N + 0.5)
 	tx.Pieces = IntegerAllocation(profile.Chi, n)
 	tx.Epsilons = make([]float64, m.M())
+	for i := range m.sellers {
+		tx.Epsilons[i] = ldp.EpsilonForFidelity(profile.Tau[i])
+	}
+	// Budget admission: the round's per-seller ε charges are checked before
+	// any record is perturbed, so a refused round has spent nothing — no
+	// privacy, no rng draws, no ledger writes. Exhaustion excludes the
+	// seller by aborting the round with the typed error; the caller decides
+	// whether to retry without the seller, top up, or surface the refusal.
+	mech := m.mechanism
+	var applied []int
+	cur := -1
+	if m.budget != nil {
+		ids := make([]string, 0, m.M())
+		eps := make([]float64, 0, m.M())
+		for i, s := range m.sellers {
+			if tx.Pieces[i] > 0 && tx.Epsilons[i] > 0 {
+				ids = append(ids, s.ID)
+				eps = append(eps, tx.Epsilons[i])
+			}
+		}
+		if err := m.budget.Check(ids, eps); err != nil {
+			return nil, fmt.Errorf("market: data transaction: %w", err)
+		}
+		// Meter the mechanism so the commit-time charge covers exactly the
+		// LDP applications that ran, not the planned allocation.
+		applied = make([]int, m.M())
+		mech = ldp.Metered(m.mechanism, func(float64, int) {
+			if cur >= 0 {
+				applied[cur]++
+			}
+		})
+	}
 	tx.Compensations = make([]float64, m.M())
 	chunks := make([]*dataset.Dataset, m.M())
 	for i, s := range m.sellers {
-		tx.Epsilons[i] = ldp.EpsilonForFidelity(profile.Tau[i])
-		chunks[i] = m.sellData(s, tx.Pieces[i], tx.Epsilons[i])
+		cur = i
+		chunks[i] = m.sellData(mech, s, tx.Pieces[i], tx.Epsilons[i])
 		qi := profile.Chi[i] * profile.Tau[i]
 		tx.Compensations[i] = profile.PD * qi
 	}
+	cur = -1
 	tx.Timings.DataTransaction = time.Since(t0)
 
 	// Product Production (Line 16).
@@ -543,7 +652,7 @@ func (m *Market) RunRoundBackend(ctx context.Context, buyer core.Buyer, builder 
 		// permutation stream from the round index, so Shapley values are
 		// identical for every Workers setting. Legacy pins the seed-era
 		// row-streaming estimator for benchmarking and A/B runs.
-		var sv []float64
+		var sv, red []float64
 		var err error
 		_, isOLS := builder.(product.OLS)
 		workers := m.update.Workers
@@ -555,8 +664,15 @@ func (m *Market) RunRoundBackend(ctx context.Context, buyer core.Buyer, builder 
 		case m.update.Legacy:
 			sv, err = valuation.SellerShapleyForCtx(ctx, builder, chunks, m.testSet, m.update.Permutations, m.update.TruncateTol, m.rng)
 		case isOLS:
-			sv, err = valuation.SellerShapleyKernelCtx(ctx, chunks, m.testSet,
-				m.update.Permutations, m.update.TruncateTol, seed, workers)
+			if m.discount != nil {
+				// Redundancy rides on the Gram statistics the kernel
+				// caches anyway — no extra pass over seller data.
+				sv, red, err = valuation.SellerShapleyKernelRedundancyCtx(ctx, chunks, m.testSet,
+					m.update.Permutations, m.update.TruncateTol, seed, workers)
+			} else {
+				sv, err = valuation.SellerShapleyKernelCtx(ctx, chunks, m.testSet,
+					m.update.Permutations, m.update.TruncateTol, seed, workers)
+			}
 		case workers > 1:
 			sv, err = valuation.SellerShapleyBuilderParallelCtx(ctx, chunks, m.testSet, builder,
 				m.update.Permutations, m.update.TruncateTol, seed, workers)
@@ -565,6 +681,24 @@ func (m *Market) RunRoundBackend(ctx context.Context, buyer core.Buyer, builder 
 		}
 		if err != nil {
 			return nil, fmt.Errorf("market: Shapley weight update: %w", err)
+		}
+		// Similarity-aware acquisition: near-duplicate sellers' positive
+		// Shapley payouts shrink by d(rᵢ) before normalization, so the
+		// freed weight mass flows to sellers with novel data. Negative
+		// values are left alone — shrinking a penalty would reward
+		// redundancy. The per-seller factor is exposed on the transaction.
+		if m.discount != nil {
+			if red == nil {
+				red = valuation.DatasetRedundancy(chunks)
+			}
+			tx.Discounts = make([]float64, len(sv))
+			for i := range sv {
+				d := m.discount.factor(red[i])
+				tx.Discounts[i] = d
+				if sv[i] > 0 {
+					sv[i] *= d
+				}
+			}
 		}
 		tx.Shapley = sv
 		norm := shapley.Normalize(sv)
@@ -595,6 +729,26 @@ func (m *Market) RunRoundBackend(ctx context.Context, buyer core.Buyer, builder 
 		m.proto = newProto
 	}
 	tx.Weights = m.Weights()
+	// The privacy ledger charges at commit time with the rest of the
+	// round's state: a round that errored or was canceled after admission
+	// never consumed budget, and the charge set reflects the metered LDP
+	// applications that actually ran (applied[i] == Pieces[i] whenever a
+	// chunk was sold).
+	if m.budget != nil {
+		ids := make([]string, 0, m.M())
+		eps := make([]float64, 0, m.M())
+		for i, s := range m.sellers {
+			if applied[i] > 0 && tx.Epsilons[i] > 0 {
+				ids = append(ids, s.ID)
+				eps = append(eps, tx.Epsilons[i])
+			}
+		}
+		m.budget.Charge(ids, eps)
+		tx.BudgetSpent = make([]float64, m.M())
+		for i, s := range m.sellers {
+			tx.BudgetSpent[i] = m.budget.Spent(s.ID)
+		}
+	}
 	m.costLog = append(m.costLog, translog.Observation{N: buyer.N, V: buyer.V, Cost: tx.ManufacturingCost})
 
 	// Product Transaction (Line 19).
@@ -610,7 +764,7 @@ func (m *Market) RunRoundBackend(ctx context.Context, buyer core.Buyer, builder 
 // ε-LDP. Mechanisms calibrated for features-only bounds (k attributes) are
 // honored by leaving the target untouched, preserving custom-mechanism
 // configurations.
-func (m *Market) sellData(s *Seller, pieces int, eps float64) *dataset.Dataset {
+func (m *Market) sellData(mech ldp.Mechanism, s *Seller, pieces int, eps float64) *dataset.Dataset {
 	out := &dataset.Dataset{Features: s.Data.Features, Target: s.Data.Target}
 	if pieces <= 0 {
 		return out
@@ -626,7 +780,7 @@ func (m *Market) sellData(s *Seller, pieces int, eps float64) *dataset.Dataset {
 		}
 	}
 	k := s.Data.NumFeatures()
-	fullRecord := mechanismAttrs(m.mechanism) != k
+	fullRecord := mechanismAttrs(mech) != k
 	out.X = make([][]float64, 0, pieces)
 	out.Y = make([]float64, 0, pieces)
 	record := make([]float64, k+1)
@@ -634,11 +788,11 @@ func (m *Market) sellData(s *Seller, pieces int, eps float64) *dataset.Dataset {
 		if fullRecord {
 			copy(record, s.Data.X[i])
 			record[k] = s.Data.Y[i]
-			perturbed := m.mechanism.Perturb(m.rng, record, eps)
+			perturbed := mech.Perturb(m.rng, record, eps)
 			out.X = append(out.X, perturbed[:k:k])
 			out.Y = append(out.Y, perturbed[k])
 		} else {
-			out.X = append(out.X, m.mechanism.Perturb(m.rng, s.Data.X[i], eps))
+			out.X = append(out.X, mech.Perturb(m.rng, s.Data.X[i], eps))
 			out.Y = append(out.Y, s.Data.Y[i])
 		}
 	}

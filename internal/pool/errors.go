@@ -22,6 +22,10 @@ var (
 	ErrNoSellers = errors.New("no sellers registered")
 	// ErrSellerExists: a registration reused an existing seller ID.
 	ErrSellerExists = errors.New("seller already registered")
+	// ErrSellerNotFound: a seller sub-resource operation (fetch, removal,
+	// budget top-up) named an ID absent from the roster. The HTTP layer
+	// renders it as a 404 with field "sid".
+	ErrSellerNotFound = errors.New("seller not found")
 	// ErrOverloaded: the market's trade queue is full; the caller should
 	// back off and retry. Rejections carry an *OverloadError (which unwraps
 	// to this sentinel) with a Retry-After estimate.

@@ -2,11 +2,13 @@ package pool
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"share/internal/budget"
 	"share/internal/core"
 	"share/internal/dataset"
 	"share/internal/market"
@@ -68,12 +70,23 @@ type Market struct {
 	durability Durability
 	log        *wal.Log
 
+	// ledger is the market's per-seller privacy-budget ledger (nil when
+	// budgeting is disabled). The inner market charges it at trade commit;
+	// the pool persists every charge as a budget_charge WAL record and
+	// restores it through snapshots. Guarded by writeMu like the rest of
+	// the trading state; epsBudget and composition are immutable after
+	// creation.
+	ledger      *budget.Ledger
+	epsBudget   float64
+	composition budget.Composition
+
 	quoteObs  *obs.Endpoint // per-market equilibrium-quote latency
 	tradeObs  *obs.Endpoint // per-market full-round latency
 	reprepObs *obs.Endpoint // incremental re-preparation latency on churn
 
-	rosterGauge *obs.Gauge // current roster size
-	subGauge    *obs.Gauge // live stream subscribers
+	rosterGauge *obs.Gauge   // current roster size
+	subGauge    *obs.Gauge   // live stream subscribers
+	exhaustedC  *obs.Counter // trades refused on budget exhaustion (nil without a ledger)
 }
 
 // View is an immutable snapshot of everything a market's read paths serve.
@@ -100,12 +113,19 @@ type View struct {
 	Epoch uint64
 }
 
-// SellerState is one roster entry of a View.
+// SellerState is one roster entry of a View. The budget fields are zero
+// when the market has no privacy-budget ledger; Discount is the similarity
+// factor applied to the seller's payout in the last committed round (1 when
+// discounting is enabled but no round has priced the seller yet, 0 when
+// discounting is disabled).
 type SellerState struct {
-	ID     string
-	Lambda float64
-	Rows   int
-	Weight float64
+	ID       string
+	Lambda   float64
+	Rows     int
+	Weight   float64
+	Budget   float64
+	Spent    float64
+	Discount float64
 }
 
 // Registration is a seller joining a market. Exactly one of Rows/Targets
@@ -129,21 +149,38 @@ type BatchDemand struct {
 // market's synthetic test set derives from its seed exactly as the
 // single-market server's did, so the pool's default market is
 // bit-compatible with the pre-pool service.
-func (p *Pool) newMarket(id string, backend solve.Backend, seed int64, durability Durability, concurrency, queue int) *Market {
+func (p *Pool) newMarket(id string, backend solve.Backend, seed int64, durability Durability, concurrency, queue int, epsBudget float64, composition budget.Composition) *Market {
+	var ledger *budget.Ledger
+	if epsBudget > 0 {
+		l, err := budget.NewLedger(budget.Config{Epsilon: epsBudget, Composition: composition})
+		if err != nil {
+			// Create validated the config; this is unreachable short of a
+			// programming error, and disabling beats refusing the market.
+			p.logf("pool: market %q: budget ledger: %v; disabling budgets", id, err)
+			epsBudget = 0
+		} else {
+			ledger = l
+		}
+	}
 	m := &Market{
-		id:         id,
-		p:          p,
-		seed:       seed,
-		solver:     backend,
-		closing:    make(chan struct{}),
-		adm:        newGate(p.metrics, id, concurrency, queue),
-		durability: durability,
+		id:          id,
+		p:           p,
+		seed:        seed,
+		solver:      backend,
+		closing:     make(chan struct{}),
+		adm:         newGate(p.metrics, id, concurrency, queue),
+		durability:  durability,
+		ledger:      ledger,
+		epsBudget:   epsBudget,
+		composition: composition,
 		cfg: market.Config{
-			Cost:    p.cost,
-			TestSet: dataset.SyntheticCCPP(p.testRows, stat.NewRand(seed+7)),
-			Update:  p.update,
-			Solver:  backend,
-			Seed:    seed,
+			Cost:     p.cost,
+			TestSet:  dataset.SyntheticCCPP(p.testRows, stat.NewRand(seed+7)),
+			Update:   p.update,
+			Solver:   backend,
+			Seed:     seed,
+			Budget:   ledger,
+			Discount: p.discount,
 		},
 		quoteObs:    p.metrics.Endpoint("market/" + id + "/quote"),
 		tradeObs:    p.metrics.Endpoint("market/" + id + "/trade"),
@@ -151,6 +188,9 @@ func (p *Pool) newMarket(id string, backend solve.Backend, seed int64, durabilit
 		rosterGauge: p.metrics.Gauge("market/" + id + "/roster_size"),
 		subGauge:    p.metrics.Gauge("market/" + id + "/stream_subscribers"),
 		subs:        make(map[int]chan Event),
+	}
+	if ledger != nil {
+		m.exhaustedC = p.metrics.Counter("market/" + id + "/budget_exhausted")
 	}
 	m.view.Store(&View{Weights: core.UniformWeights(1)})
 	return m
@@ -186,7 +226,18 @@ func (m *Market) Info() Info {
 		Trades:           len(v.Trades),
 		Trading:          v.Trading,
 		RosterEpoch:      v.Epoch,
+		EpsilonBudget:    m.epsBudget,
+		Composition:      m.compositionName(),
 	}
+}
+
+// compositionName reports the market's ε-composition rule, empty when
+// budgeting is disabled (so Info and snapshots omit it).
+func (m *Market) compositionName() string {
+	if m.ledger == nil {
+		return ""
+	}
+	return string(m.composition)
 }
 
 // Durability reports the market's persistence mode.
@@ -452,6 +503,10 @@ func (m *Market) Trade(ctx context.Context, b core.Buyer, builder product.Builde
 	tx, l, seq, err := m.tradeLocked(ctx, b, builder, backend)
 	release()
 	if err != nil {
+		var ee *budget.ExhaustedError
+		if m.exhaustedC != nil && errors.As(err, &ee) {
+			m.exhaustedC.Add(1)
+		}
 		return nil, err
 	}
 	m.commitWal(l, seq)
@@ -515,14 +570,10 @@ func (m *Market) buildView() (*View, error) {
 	}
 	v.Weights = weights
 
-	v.Sellers = make([]SellerState, len(m.sellers))
-	for i, sel := range m.sellers {
-		v.Sellers[i] = SellerState{ID: sel.ID, Lambda: sel.Lambda, Rows: sel.Data.Len(), Weight: weights[i]}
-	}
-
 	if m.mkt != nil {
 		v.Trades = m.mkt.Ledger()
 	}
+	v.Sellers = m.sellerStates(weights, v.Trades)
 
 	if len(m.sellers) > 0 {
 		lambdas := make([]float64, len(m.sellers))
@@ -551,6 +602,37 @@ func (m *Market) buildView() (*View, error) {
 	return v, nil
 }
 
+// sellerStates renders the roster into view entries, folding in each
+// seller's budget state and the similarity discount of the last committed
+// round (writeMu held). trades is the ledger the view will carry — the
+// last transaction's Discounts apply only while it matches the current
+// roster (same epoch, same length); after churn the factors are stale and
+// the sellers reset to the no-discount 1 until the next round prices them.
+func (m *Market) sellerStates(weights []float64, trades []*market.Transaction) []SellerState {
+	var discounts []float64
+	if m.cfg.Discount != nil && len(trades) > 0 {
+		if last := trades[len(trades)-1]; last.Epoch == m.rosterEpoch && len(last.Discounts) == len(m.sellers) {
+			discounts = last.Discounts
+		}
+	}
+	out := make([]SellerState, len(m.sellers))
+	for i, sel := range m.sellers {
+		st := SellerState{ID: sel.ID, Lambda: sel.Lambda, Rows: sel.Data.Len(), Weight: weights[i]}
+		if m.ledger != nil {
+			st.Budget = m.ledger.Budget(sel.ID)
+			st.Spent = m.ledger.Spent(sel.ID)
+		}
+		if m.cfg.Discount != nil {
+			st.Discount = 1
+			if discounts != nil {
+				st.Discount = discounts[i]
+			}
+		}
+		out[i] = st
+	}
+	return out
+}
+
 // publishView renders and atomically publishes a new view. Must be called
 // with writeMu held.
 func (m *Market) publishView() error {
@@ -560,5 +642,81 @@ func (m *Market) publishView() error {
 	}
 	m.view.Store(v)
 	m.rosterGauge.Set(int64(len(v.Sellers)))
+	m.updateBudgetGauges(v)
 	return nil
+}
+
+// updateBudgetGauges refreshes the per-seller ε-spent gauges (milli-ε, the
+// registry is integer-valued) after a view publish. A no-op without a
+// ledger.
+func (m *Market) updateBudgetGauges(v *View) {
+	if m.ledger == nil {
+		return
+	}
+	for _, s := range v.Sellers {
+		m.p.metrics.Gauge("market/" + m.id + "/seller/" + s.ID + "/eps_spent_milli").Set(int64(s.Spent * 1000))
+	}
+}
+
+// Seller returns one roster entry by ID from the lock-free view, plus the
+// roster epoch it was read at. Unknown IDs return ErrSellerNotFound.
+func (m *Market) Seller(id string) (SellerState, uint64, error) {
+	v := m.view.Load()
+	for _, s := range v.Sellers {
+		if s.ID == id {
+			return s, v.Epoch, nil
+		}
+	}
+	return SellerState{}, v.Epoch, fmt.Errorf("seller %q: %w", id, ErrSellerNotFound)
+}
+
+// TopUpBudget raises one seller's privacy budget by add (ε). The grant is
+// persisted as a budget_charge WAL record — it must survive a reboot with
+// the same exactness as the charges it offsets — and the refreshed view is
+// published before returning. Markets without a ledger refuse with a
+// field-level error; unknown sellers with ErrSellerNotFound.
+func (m *Market) TopUpBudget(id string, add float64) (SellerState, error) {
+	if err := m.begin(); err != nil {
+		return SellerState{}, err
+	}
+	defer m.end()
+	st, l, seq, err := m.topUpLocked(id, add)
+	if err != nil {
+		return SellerState{}, err
+	}
+	m.commitWal(l, seq)
+	return st, nil
+}
+
+// topUpLocked is TopUpBudget's write-lock section.
+func (m *Market) topUpLocked(id string, add float64) (SellerState, *wal.Log, uint64, error) {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	if m.ledger == nil {
+		return SellerState{}, nil, 0, &FieldError{Field: "add", Msg: "market has no privacy budget configured"}
+	}
+	found := false
+	for _, sel := range m.sellers {
+		if sel.ID == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return SellerState{}, nil, 0, fmt.Errorf("seller %q: %w", id, ErrSellerNotFound)
+	}
+	if _, err := m.ledger.TopUp(id, add); err != nil {
+		return SellerState{}, nil, 0, &FieldError{Field: "add", Msg: err.Error()}
+	}
+	if err := m.publishView(); err != nil {
+		m.p.logf("pool: market %q: view rebuild after top-up for %q: %v", m.id, id, err)
+	}
+	l, seq := m.persistBudgetLocked(budgetRecord{
+		Epoch:       m.rosterEpoch,
+		TopUpSeller: id,
+		TopUpAmount: add,
+	})
+	m.p.logf("pool: market %q: seller %q budget topped up by ε=%g (total %g)", m.id, id, add, m.ledger.Budget(id))
+	st, _, err := m.Seller(id)
+	return st, l, seq, err
 }

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"share/internal/budget"
 	"share/internal/core"
 	"share/internal/market"
 	"share/internal/obs"
@@ -89,6 +90,25 @@ type Options struct {
 	// CompactBytes triggers WAL compaction once a market's segment reaches
 	// this size (0 → 4 MiB).
 	CompactBytes int64
+	// EpsilonBudget is the default per-seller privacy budget (total ε a
+	// seller's data may absorb across rounds) for new markets. 0 disables
+	// budgeting; markets may override it at creation via
+	// Spec.EpsilonBudget. Invalid values fall back to disabled with a log
+	// line, mirroring Solver.
+	EpsilonBudget float64
+	// Composition selects how per-round ε charges compose into a seller's
+	// spent total for new markets: "basic" (plain sum, the default) or
+	// "advanced" (the strong-composition bound). Unknown names fall back
+	// to basic with a log line.
+	Composition string
+	// DiscountFactor enables similarity-aware pricing: the maximum
+	// fraction shaved off a fully redundant seller's Shapley payout
+	// (0 disables, must be ≤ 1). Invalid values fall back to disabled
+	// with a log line.
+	DiscountFactor float64
+	// DiscountThreshold is the pairwise-redundancy level below which no
+	// discount applies (default 0 discounts any redundancy; must be < 1).
+	DiscountThreshold float64
 	// Metrics receives per-market and per-backend latency series (nil → a
 	// private registry).
 	Metrics *obs.Registry
@@ -113,6 +133,9 @@ type Pool struct {
 	compactBytes   int64
 	tradeConc      int
 	tradeQueue     int
+	epsBudget      float64
+	composition    budget.Composition
+	discount       *market.DiscountConfig
 
 	metrics   *obs.Registry
 	valuation *obs.Endpoint            // Shapley weight-update latency, all markets
@@ -155,6 +178,13 @@ type Spec struct {
 	// reject the moment every slot is busy; negative values are a
 	// field-level error.
 	TradeQueue *int
+	// EpsilonBudget overrides the pool's default per-seller privacy
+	// budget for this market (nil → pool default; explicit 0 disables
+	// budgeting; negative or non-finite values are a field-level error).
+	EpsilonBudget *float64
+	// Composition overrides the pool's ε-composition rule for this market
+	// ("" → pool default). Unknown names are a field-level error.
+	Composition string
 }
 
 // Info is the externally visible state of one hosted market.
@@ -169,6 +199,11 @@ type Info struct {
 	Trades           int    `json:"trades"`
 	Trading          bool   `json:"trading"`
 	RosterEpoch      uint64 `json:"roster_epoch"`
+	// EpsilonBudget and Composition describe the market's per-seller
+	// privacy-budget configuration; both are zero-valued (and omitted on
+	// the wire) when budgeting is disabled.
+	EpsilonBudget float64 `json:"epsilon_budget,omitempty"`
+	Composition   string  `json:"composition,omitempty"`
 }
 
 // New builds an empty pool. An unknown Options.Solver falls back to the
@@ -228,6 +263,27 @@ func New(opts Options) *Pool {
 	if tradeQueue < 0 {
 		tradeQueue = 0
 	}
+	composition, err := budget.ParseComposition(opts.Composition)
+	if err != nil {
+		logf("pool: %v; falling back to %q composition", err, budget.Basic)
+		composition = budget.Basic
+	}
+	epsBudget := opts.EpsilonBudget
+	if epsBudget != 0 {
+		if err := (budget.Config{Epsilon: epsBudget, Composition: composition}).Validate(); err != nil {
+			logf("pool: default epsilon budget: %v; disabling budgets", err)
+			epsBudget = 0
+		}
+	}
+	var discount *market.DiscountConfig
+	if opts.DiscountFactor != 0 {
+		d := &market.DiscountConfig{Factor: opts.DiscountFactor, Threshold: opts.DiscountThreshold}
+		if err := d.Validate(); err != nil {
+			logf("pool: similarity discount: %v; disabling discounts", err)
+		} else {
+			discount = d
+		}
+	}
 	metrics := opts.Metrics
 	if metrics == nil {
 		metrics = obs.NewRegistry()
@@ -246,6 +302,9 @@ func New(opts Options) *Pool {
 		compactBytes:   compactBytes,
 		tradeConc:      tradeConc,
 		tradeQueue:     tradeQueue,
+		epsBudget:      epsBudget,
+		composition:    composition,
+		discount:       discount,
 		logf:           logf,
 		metrics:        metrics,
 		valuation:      metrics.Endpoint("trade/valuation"),
@@ -364,7 +423,24 @@ func (p *Pool) Create(spec Spec) (*Market, error) {
 		}
 		queue = *spec.TradeQueue
 	}
-	m := p.newMarket(spec.ID, backend, seed, durability, conc, queue)
+	composition := p.composition
+	if spec.Composition != "" {
+		c, err := budget.ParseComposition(spec.Composition)
+		if err != nil {
+			return nil, &FieldError{Field: "composition", Msg: err.Error()}
+		}
+		composition = c
+	}
+	epsBudget := p.epsBudget
+	if spec.EpsilonBudget != nil {
+		epsBudget = *spec.EpsilonBudget
+	}
+	if epsBudget != 0 {
+		if err := (budget.Config{Epsilon: epsBudget, Composition: composition}).Validate(); err != nil {
+			return nil, &FieldError{Field: "epsilon_budget", Msg: err.Error()}
+		}
+	}
+	m := p.newMarket(spec.ID, backend, seed, durability, conc, queue, epsBudget, composition)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.draining {

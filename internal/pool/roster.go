@@ -2,6 +2,7 @@ package pool
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"share/internal/core"
@@ -74,7 +75,7 @@ func (m *Market) removeLocked(id string) (*wal.Log, uint64, error) {
 		}
 	}
 	if idx < 0 {
-		return nil, 0, &market.RosterError{SellerID: id, Msg: "unknown seller"}
+		return nil, 0, fmt.Errorf("seller %q: %w", id, ErrSellerNotFound)
 	}
 	if m.mkt != nil {
 		if err := m.mkt.RemoveSeller(id); err != nil {
@@ -118,6 +119,7 @@ func (m *Market) publishChurnView(d solve.RosterDelta) {
 	}
 	m.view.Store(v)
 	m.rosterGauge.Set(int64(len(v.Sellers)))
+	m.updateBudgetGauges(v)
 	m.reprepObs.Observe(time.Since(t0))
 }
 
@@ -130,11 +132,8 @@ func (m *Market) buildChurnView(old *View, d solve.RosterDelta) (*View, error) {
 	}
 	v := &View{Trading: m.mkt != nil, Epoch: m.rosterEpoch}
 	v.Weights = m.mkt.Weights()
-	v.Sellers = make([]SellerState, len(m.sellers))
-	for i, sel := range m.sellers {
-		v.Sellers[i] = SellerState{ID: sel.ID, Lambda: sel.Lambda, Rows: sel.Data.Len(), Weight: v.Weights[i]}
-	}
 	v.Trades = old.Trades // immutable by contract; churn does not trade
+	v.Sellers = m.sellerStates(v.Weights, v.Trades)
 	v.Protos = make(map[string]solve.Prepared, len(old.Protos))
 	for name, proto := range old.Protos {
 		np := proto.Clone()

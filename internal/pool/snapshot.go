@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"share/internal/budget"
 	"share/internal/dataset"
 	"share/internal/market"
 	"share/internal/solve"
@@ -49,6 +50,16 @@ type MarketSnapshot struct {
 	// extends. 0 in pre-churn files, whose epoch replay re-derives from the
 	// register records.
 	RosterEpoch uint64 `json:"roster_epoch,omitempty"`
+	// EpsilonBudget and Composition carry the market's privacy-budget
+	// configuration (0/"" — including every pre-budget file — disables,
+	// or keeps the restoring market's configuration).
+	EpsilonBudget float64 `json:"epsilon_budget,omitempty"`
+	Composition   string  `json:"composition,omitempty"`
+	// BudgetAccounts is each seller's ledger account at save time, keyed
+	// by seller ID; sellers who never charged are omitted. Restored
+	// verbatim, so the composed ε-spent after a reboot is bit-identical
+	// to the spend at save time.
+	BudgetAccounts map[string]budget.Account `json:"budget_accounts,omitempty"`
 	// Sellers is the registered roster in order.
 	Sellers []StoredSeller `json:"sellers"`
 	// Market is the trading state; nil when no trade has executed yet.
@@ -94,6 +105,11 @@ func (m *Market) snapshotLocked() *MarketSnapshot {
 		snap.WalSeq = m.log.LastSeq()
 	}
 	snap.RosterEpoch = m.rosterEpoch
+	if m.ledger != nil {
+		snap.EpsilonBudget = m.epsBudget
+		snap.Composition = m.compositionName()
+		snap.BudgetAccounts = m.ledger.Accounts()
+	}
 	for _, sel := range m.sellers {
 		snap.Sellers = append(snap.Sellers, StoredSeller{
 			ID:      sel.ID,
@@ -152,6 +168,30 @@ func (m *Market) RestoreSnapshot(snap *MarketSnapshot) error {
 			return fmt.Errorf("pool: restoring durability: %w", err)
 		}
 		m.durability = d
+	}
+	if snap.EpsilonBudget != 0 {
+		// Budget config follows the Solver/Durability rule (absent keeps
+		// the restoring market's configuration); the ledger itself is
+		// rebuilt before the inner market so trades wire to it, and the
+		// saved accounts restore the composed spend exactly.
+		comp, err := budget.ParseComposition(snap.Composition)
+		if err != nil {
+			return fmt.Errorf("pool: restoring composition: %w", err)
+		}
+		led, err := budget.NewLedger(budget.Config{Epsilon: snap.EpsilonBudget, Composition: comp})
+		if err != nil {
+			return fmt.Errorf("pool: restoring privacy budget: %w", err)
+		}
+		m.ledger = led
+		m.epsBudget = snap.EpsilonBudget
+		m.composition = comp
+		m.cfg.Budget = led
+		if m.exhaustedC == nil {
+			m.exhaustedC = m.p.metrics.Counter("market/" + m.id + "/budget_exhausted")
+		}
+	}
+	if m.ledger != nil {
+		m.ledger.Restore(snap.BudgetAccounts)
 	}
 	sellers := make([]*market.Seller, len(snap.Sellers))
 	for i, st := range snap.Sellers {
@@ -390,6 +430,11 @@ func (p *Pool) restoreOne(id, snapPath, walPath string) error {
 			spec.Solver = snap.Solver
 			spec.Seed = snap.Seed
 			spec.Durability = snap.Durability
+			if snap.EpsilonBudget != 0 {
+				eb := snap.EpsilonBudget
+				spec.EpsilonBudget = &eb
+				spec.Composition = snap.Composition
+			}
 		}
 		var err error
 		m, err = p.Create(spec)

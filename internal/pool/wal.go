@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"share/internal/dataset"
 	"share/internal/market"
@@ -78,6 +79,10 @@ const (
 	// recordLeave logs one seller release at any point of the market's life
 	// (payload: leaveRecord).
 	recordLeave = "seller_leave"
+	// recordBudget logs one privacy-ledger mutation (payload: budgetRecord):
+	// the per-seller ε charges of a committed trade, written right after its
+	// trade record, or a budget top-up grant.
+	recordBudget = "budget_charge"
 )
 
 // tradeRecord is the WAL payload of one committed trade: the transaction
@@ -103,6 +108,23 @@ type joinRecord struct {
 type leaveRecord struct {
 	ID    string `json:"id"`
 	Epoch uint64 `json:"epoch"`
+}
+
+// budgetRecord is the WAL payload of one privacy-ledger mutation. Trade
+// charges carry Round and the charged sellers' ε; top-ups carry the grant.
+// Replay validates Epoch against the roster history it lands on — the same
+// discipline as churn records, except a ledger mutation extends the current
+// epoch rather than opening the next one — applies the mutation verbatim,
+// and cross-checks the recomputed composed spend against Spent bit for bit
+// (Go's JSON float round-trip is exact, so any divergence is real state
+// drift, not encoding noise).
+type budgetRecord struct {
+	Round       int                `json:"round,omitempty"`
+	Epoch       uint64             `json:"epoch"`
+	Charges     map[string]float64 `json:"charges,omitempty"`
+	TopUpSeller string             `json:"topup_seller,omitempty"`
+	TopUpAmount float64            `json:"topup_amount,omitempty"`
+	Spent       map[string]float64 `json:"spent,omitempty"`
 }
 
 // walPath is the market's WAL segment path.
@@ -156,6 +178,11 @@ func (m *Market) ensureLogLocked() bool {
 			Solver:     m.solver.Name(),
 			Seed:       &seed,
 			Durability: string(m.durability),
+			// Budget configuration only — never accounts: the log holds the
+			// market's whole charge history, so replay rebuilds every spend
+			// from a zeroed ledger.
+			EpsilonBudget: m.epsBudget,
+			Composition:   m.compositionName(),
 		}
 		if err := writeSnapshotFile(m.snapshotPath(), spec); err != nil {
 			m.p.logf("pool: market %q: writing spec snapshot: %v", m.id, err)
@@ -297,6 +324,44 @@ func (m *Market) applyRecordLocked(rec *wal.Record) error {
 		m.sellers = append(m.sellers, sel)
 		m.rosterEpoch = jr.Epoch
 		return nil
+	case recordBudget:
+		var br budgetRecord
+		if err := json.Unmarshal(rec.Data, &br); err != nil {
+			return fmt.Errorf("pool: decoding budget record %d: %w", rec.Seq, err)
+		}
+		if m.ledger == nil {
+			return fmt.Errorf("pool: budget record %d replayed into a market without a privacy budget", rec.Seq)
+		}
+		// Ledger mutations never advance the epoch, so the record must sit
+		// exactly on the roster history it was written under — the same
+		// validation trades get in ApplyCommitted.
+		if br.Epoch != m.rosterEpoch {
+			return fmt.Errorf("pool: budget record %d: %w", rec.Seq,
+				&market.RosterError{Msg: fmt.Sprintf("record at epoch %d, roster at epoch %d", br.Epoch, m.rosterEpoch)})
+		}
+		if br.TopUpSeller != "" {
+			if _, err := m.ledger.TopUp(br.TopUpSeller, br.TopUpAmount); err != nil {
+				return fmt.Errorf("pool: budget record %d: replaying top-up: %w", rec.Seq, err)
+			}
+			return nil
+		}
+		ids := make([]string, 0, len(br.Charges))
+		for id := range br.Charges {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids) // per-seller accounts are independent; sorted for determinism
+		eps := make([]float64, len(ids))
+		for i, id := range ids {
+			eps[i] = br.Charges[id]
+		}
+		m.ledger.Charge(ids, eps)
+		for id, want := range br.Spent {
+			if got := m.ledger.Spent(id); got != want {
+				return fmt.Errorf("pool: budget record %d: replayed ε-spent for seller %q is %v, record says %v",
+					rec.Seq, id, got, want)
+			}
+		}
+		return nil
 	case recordLeave:
 		var lr leaveRecord
 		if err := json.Unmarshal(rec.Data, &lr); err != nil {
@@ -348,8 +413,56 @@ func (m *Market) persistTradeLocked(tx *market.Transaction, obs translog.Observa
 		m.saveLocked()
 		return nil, 0
 	}
+	if m.ledger != nil {
+		if bseq, ok := m.appendTradeChargeLocked(tx); ok {
+			seq = bseq // commit the later record; the barrier covers both
+		} else {
+			// The trade record landed but its charge did not: fall back to a
+			// full snapshot (which carries the ledger accounts) so a reboot
+			// cannot replay the trade with its ε charge missing.
+			m.saveLocked()
+			return nil, 0
+		}
+	}
 	m.maybeCompactLocked()
 	return m.log, seq
+}
+
+// appendTradeChargeLocked writes one committed trade's budget_charge record
+// (writeMu held). The charge set derives from the transaction — every
+// seller who sold perturbed records at ε > 0 — and the record carries each
+// charged seller's post-charge composed spend for the replay cross-check.
+func (m *Market) appendTradeChargeLocked(tx *market.Transaction) (uint64, bool) {
+	rec := budgetRecord{
+		Round:   tx.Round,
+		Epoch:   m.rosterEpoch,
+		Charges: make(map[string]float64),
+		Spent:   make(map[string]float64),
+	}
+	for i, s := range m.sellers {
+		if i < len(tx.Pieces) && i < len(tx.Epsilons) && tx.Pieces[i] > 0 && tx.Epsilons[i] > 0 {
+			rec.Charges[s.ID] = tx.Epsilons[i]
+			rec.Spent[s.ID] = m.ledger.Spent(s.ID)
+		}
+	}
+	seq, err := m.log.Append(recordBudget, rec)
+	if err != nil {
+		m.p.logf("pool: market %q: wal budget append failed: %v", m.id, err)
+		return 0, false
+	}
+	return seq, true
+}
+
+// persistBudgetLocked logs one standalone ledger mutation — a top-up —
+// (writeMu held), falling back to a full snapshot on append failure.
+// Snapshot mode saves immediately, like a leave: a crash that forgot a
+// granted top-up would wrongly exclude the seller from later rounds.
+func (m *Market) persistBudgetLocked(rec budgetRecord) (*wal.Log, uint64) {
+	l, seq := m.persistRosterLocked(recordBudget, rec)
+	if l == nil && m.p.snapshotDir != "" && m.durability == DurSnapshot {
+		m.saveLocked()
+	}
+	return l, seq
 }
 
 // persistRegisterLocked logs one seller admission (writeMu held). Snapshot

@@ -48,6 +48,27 @@ func (mo *Moments) N() int { return mo.n }
 // K returns the feature count (excluding intercept).
 func (mo *Moments) K() int { return mo.k }
 
+// Vector flattens the moments into one per-row-normalized profile
+// [XᵀX/n ; Xᵀy/n] — the dataset's empirical second-moment signature.
+// Two sellers drawing from the same distribution produce nearly parallel
+// vectors regardless of how many rows each holds, which is what makes the
+// cosine between Vectors a scale-free redundancy measure. Empty moments
+// return nil.
+func (mo *Moments) Vector() []float64 {
+	if mo.n == 0 {
+		return nil
+	}
+	inv := 1 / float64(mo.n)
+	out := make([]float64, 0, len(mo.gram.Data)+len(mo.xty))
+	for _, v := range mo.gram.Data {
+		out = append(out, v*inv)
+	}
+	for _, v := range mo.xty {
+		out = append(out, v*inv)
+	}
+	return out
+}
+
 // AddMoments merges a precomputed chunk into the accumulator in O(k²),
 // equivalent (up to floating-point association order) to AddDataset over the
 // chunk's rows. It panics on a feature-count mismatch — mixing designs is a

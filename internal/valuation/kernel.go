@@ -172,12 +172,33 @@ func SellerShapleyMomentsCtx(ctx context.Context, chunks []*dataset.Dataset, tes
 // new permutations, drains the pool within one permutation's work per
 // worker, and returns ctx.Err().
 func SellerShapleyKernelCtx(ctx context.Context, chunks []*dataset.Dataset, test *dataset.Dataset, permutations int, truncateTol float64, seed int64, workers int) ([]float64, error) {
-	if permutations <= 0 {
-		permutations = 100
-	}
 	kn, err := newMomentKernel(chunks, test)
 	if err != nil {
 		return nil, err
+	}
+	return kn.shapley(ctx, permutations, truncateTol, seed, workers)
+}
+
+// SellerShapleyKernelRedundancyCtx runs the kernel estimator and also
+// returns each seller's pairwise redundancy computed from the very Gram
+// sufficient statistics the kernel already cached for the round — the
+// similarity signal costs no extra pass over seller data.
+func SellerShapleyKernelRedundancyCtx(ctx context.Context, chunks []*dataset.Dataset, test *dataset.Dataset, permutations int, truncateTol float64, seed int64, workers int) (sv, redundancy []float64, err error) {
+	kn, err := newMomentKernel(chunks, test)
+	if err != nil {
+		return nil, nil, err
+	}
+	sv, err = kn.shapley(ctx, permutations, truncateTol, seed, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sv, Redundancy(kn.moments), nil
+}
+
+// shapley is the shared fan-out body of the kernel entry points.
+func (kn *momentKernel) shapley(ctx context.Context, permutations int, truncateTol float64, seed int64, workers int) ([]float64, error) {
+	if permutations <= 0 {
+		permutations = 100
 	}
 	var grand float64
 	if truncateTol > 0 {

@@ -10,6 +10,11 @@
 # committed bench_out/BENCH_PR9.json must pass, and a fresh run must keep
 # incremental re-preparation at least 10x faster than a full Precompute at
 # m=1000 (the loadgen enforces its own floor and exits non-zero below it).
+#
+# The privacy-budget probe (share-loadgen -bench-pr10) closes the set: the
+# committed bench_out/BENCH_PR10.json must pass, and a fresh run must keep
+# the ledger's trade-path overhead within 5% with every ε-starved trade
+# refused (again the loadgen enforces its own gate).
 set -eu
 
 REPO_DIR=$(cd "$(dirname "$0")/.." && pwd)
@@ -69,6 +74,25 @@ if go run ./cmd/share-loadgen -bench-pr9 -out "$tmp"; then
     echo "bench_compare: churn probe ok ($(jq -r '.speedup_m1000' "$tmp/BENCH_PR9.json")x incremental speedup at m=1000)"
 else
     echo "bench_compare: REGRESSION churn probe below its $(jq -r '.speedup_floor' "$COMMITTED_PR9")x floor" >&2
+    status=1
+fi
+
+# Privacy-budget gate: the committed report must pass, and a fresh probe
+# must keep the ledger overhead within its 5% limit on this machine.
+COMMITTED_PR10=bench_out/BENCH_PR10.json
+if [ ! -s "$COMMITTED_PR10" ]; then
+    echo "bench_compare: missing $COMMITTED_PR10 — run 'share-loadgen -bench-pr10' and commit it first" >&2
+    exit 1
+fi
+if [ "$(jq -r '.pass' "$COMMITTED_PR10")" != true ]; then
+    echo "bench_compare: committed $COMMITTED_PR10 does not pass its own gate" >&2
+    exit 1
+fi
+echo "bench_compare: running fresh -bench-pr10 budget-ledger probes into $tmp"
+if go run ./cmd/share-loadgen -bench-pr10 -out "$tmp"; then
+    echo "bench_compare: budget probe ok ($(jq -r '.overhead_pct' "$tmp/BENCH_PR10.json")% ledger overhead, $(jq -r '.exhausted_refusals' "$tmp/BENCH_PR10.json") exhausted refusals)"
+else
+    echo "bench_compare: REGRESSION budget ledger past its $(jq -r '.overhead_limit_pct' "$COMMITTED_PR10")% overhead limit" >&2
     status=1
 fi
 exit "$status"

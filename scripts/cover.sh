@@ -4,8 +4,9 @@
 # through — internal/pool — the multi-market engine behind the /v2 API —
 # internal/wal — the write-ahead log every committed trade rides on —
 # internal/numeric — the optimizer toolbox under every price search and
-# best response of the general cascade — and internal/market — the
-# round-trip engine that owns roster churn and the weight trajectory.
+# best response of the general cascade — internal/market — the
+# round-trip engine that owns roster churn and the weight trajectory —
+# and internal/budget — the ε-ledger every budgeted trade charges.
 set -eu
 
 FLOOR=80.0
@@ -34,3 +35,4 @@ check_floor 'share/internal/pool'
 check_floor 'share/internal/wal'
 check_floor 'share/internal/numeric'
 check_floor 'share/internal/market'
+check_floor 'share/internal/budget'
